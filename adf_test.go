@@ -1,0 +1,248 @@
+package adf
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPointDist(t *testing.T) {
+	if d := (Point{X: 0, Y: 0}).Dist(Point{X: 3, Y: 4}); d != 5 {
+		t.Errorf("Dist = %v, want 5", d)
+	}
+}
+
+func TestDefaultOptionsValid(t *testing.T) {
+	if _, err := NewADF(DefaultOptions()); err != nil {
+		t.Fatalf("NewADF(DefaultOptions()): %v", err)
+	}
+}
+
+func TestNewADFValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Options)
+	}{
+		{"zero factor", func(o *Options) { o.DTHFactor = 0 }},
+		{"zero period", func(o *Options) { o.SamplePeriod = 0 }},
+		{"bad semantics", func(o *Options) { o.Semantics = Semantics(99) }},
+		{"zero alpha", func(o *Options) { o.ClusterAlpha = 0 }},
+		{"tiny window", func(o *Options) { o.WindowSize = 1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			opts := DefaultOptions()
+			tt.mutate(&opts)
+			if _, err := NewADF(opts); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestADFFiltersAndClassifies(t *testing.T) {
+	opts := DefaultOptions()
+	opts.DTHFactor = 1.25
+	f, err := NewADF(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() == "" {
+		t.Error("empty Name")
+	}
+	sent := 0
+	for i := 0; i < 100; i++ {
+		lu := LU{Node: 1, Time: float64(i), Pos: Point{X: float64(i)}}
+		if f.Offer(lu).Transmit {
+			sent++
+		}
+	}
+	if sent >= 100 {
+		t.Error("ADF never filtered")
+	}
+	if got := f.PatternOf(1); got != PatternLinear {
+		t.Errorf("PatternOf = %v, want LMS", got)
+	}
+	if f.ClusterCount() != 1 {
+		t.Errorf("ClusterCount = %d", f.ClusterCount())
+	}
+	cs := f.Clusters()
+	if len(cs) != 1 || cs[0].Size != 1 || math.Abs(cs[0].MeanSpeed-1) > 0.05 {
+		t.Errorf("Clusters = %+v", cs)
+	}
+	f.Forget(1)
+	if f.PatternOf(1) != PatternUnknown {
+		t.Error("pattern survives Forget")
+	}
+}
+
+func TestIdealAndGeneralDF(t *testing.T) {
+	ideal := NewIdealLU()
+	for i := 0; i < 5; i++ {
+		if !ideal.Offer(LU{Node: 1, Time: float64(i)}).Transmit {
+			t.Fatal("ideal filtered an LU")
+		}
+	}
+
+	if _, err := NewGeneralDF(0, PerStep); err == nil {
+		t.Error("zero DTH accepted")
+	}
+	if _, err := NewGeneralDF(1, Semantics(0)); err == nil {
+		t.Error("invalid semantics accepted")
+	}
+	gdf, err := NewGeneralDF(5, Anchored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gdf.Offer(LU{Node: 1, Time: 0, Pos: Point{}})
+	d := gdf.Offer(LU{Node: 1, Time: 1, Pos: Point{X: 2}})
+	if d.Transmit {
+		t.Error("general DF transmitted below threshold")
+	}
+	if d.Threshold != 5 || d.Distance != 2 {
+		t.Errorf("decision = %+v", d)
+	}
+}
+
+func TestEstimators(t *testing.T) {
+	brown, err := NewBrownEstimator(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewBrownEstimator(2); err == nil {
+		t.Error("invalid alpha accepted")
+	}
+	gap, err := NewGapAwareEstimator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := NewDeadReckoningEstimator()
+	last := NewLastKnownEstimator()
+
+	for _, e := range []Estimator{brown, gap, dead, last} {
+		for i := 0; i <= 10; i++ {
+			e.Observe(float64(i), Point{X: 2 * float64(i)})
+		}
+		if !e.Ready() {
+			t.Error("estimator not ready after 10 updates")
+		}
+	}
+	// Brown tracks the constant motion almost exactly.
+	got := brown.Predict(12)
+	if math.Abs(got.X-24) > 0.5 || math.Abs(got.Y) > 0.1 {
+		t.Errorf("brown Predict(12) = %+v, want ≈(24, 0)", got)
+	}
+	// Last-known stays put.
+	if got := last.Predict(12); got.X != 20 {
+		t.Errorf("last-known Predict = %+v", got)
+	}
+}
+
+func TestBrokerWithAndWithoutEstimator(t *testing.T) {
+	noLE := NewBroker(nil)
+	withLE := NewBroker(func() Estimator {
+		e, err := NewBrownEstimator(0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	})
+
+	for i := 0; i <= 6; i++ {
+		noLE.ReceiveLU(1, float64(i), Point{X: 3 * float64(i)})
+		withLE.ReceiveLU(1, float64(i), Point{X: 3 * float64(i)})
+	}
+	a, err := noLE.MissLU(1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := withLE.MissLU(1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Pos.X-18) > 1e-9 {
+		t.Errorf("no-LE belief = %+v, want last report x=18", a.Pos)
+	}
+	if !b.Estimated || math.Abs(b.Pos.X-27) > 1 {
+		t.Errorf("with-LE belief = %+v, want extrapolated x≈27", b)
+	}
+
+	if _, err := noLE.MissLU(42, 1); err == nil {
+		t.Error("MissLU for unknown node accepted")
+	}
+	if _, ok := noLE.Location(42); ok {
+		t.Error("Location for unknown node")
+	}
+	locs := withLE.Locations()
+	if len(locs) != 1 || locs[0].Node != 1 {
+		t.Errorf("Locations = %+v", locs)
+	}
+	withLE.Forget(1)
+	if _, ok := withLE.Location(1); ok {
+		t.Error("Location survives Forget")
+	}
+}
+
+func TestEndToEndFilterBrokerPipeline(t *testing.T) {
+	// The quickstart shape: one moving node, an ADF, and a broker with
+	// the gap-aware estimator. The broker's belief must stay close to the
+	// true position even while LUs are filtered.
+	f, err := NewADF(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := func() Estimator {
+		e, err := NewGapAwareEstimator()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	b := NewBroker(gap)
+
+	var worst float64
+	for i := 0; i < 300; i++ {
+		tm := float64(i)
+		truth := Point{X: 1.2 * tm}
+		lu := LU{Node: 1, Time: tm, Pos: truth}
+		if f.Offer(lu).Transmit {
+			b.ReceiveLU(1, tm, truth)
+		} else if _, err := b.MissLU(1, tm); err != nil {
+			t.Fatal(err)
+		}
+		if e, ok := b.Location(1); ok && i > 50 {
+			if d := e.Pos.Dist(truth); d > worst {
+				worst = d
+			}
+		}
+	}
+	// Constant-speed motion: the belief should never stray far.
+	if worst > 5 {
+		t.Errorf("worst broker error = %.2f m, want small", worst)
+	}
+}
+
+func TestBrokerQueries(t *testing.T) {
+	b := NewBroker(nil)
+	b.ReceiveLU(1, 1, Point{X: 1})
+	b.ReceiveLU(2, 1, Point{X: 9})
+	near, err := b.Nearest(Point{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(near) != 1 || near[0].Node != 1 || near[0].Dist != 1 {
+		t.Errorf("Nearest = %+v", near)
+	}
+	within, err := b.Within(Point{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(within) != 1 || within[0].Node != 1 {
+		t.Errorf("Within = %+v", within)
+	}
+	if _, err := b.Nearest(Point{}, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := b.Within(Point{}, -1); err == nil {
+		t.Error("negative radius accepted")
+	}
+}

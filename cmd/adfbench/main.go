@@ -1,0 +1,114 @@
+// Command adfbench runs the design-choice ablations: per-cluster versus
+// global DTH sizing, the clustering similarity bound, the estimator
+// shoot-out, the reconstruction interval, the LE smoothing constant and
+// the distance-comparison semantics and loss models.
+//
+// Usage:
+//
+//	adfbench [-ablation all|adf-vs-gdf|alpha|estimators|recluster|smoothing|semantics|outages|churn]
+//	         [-duration 600] [-seed 1] [-factor 1.0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"github.com/mobilegrid/adf/internal/experiment"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("adfbench: ")
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("adfbench", flag.ContinueOnError)
+	var (
+		ablation = fs.String("ablation", "all", "which ablation to run")
+		duration = fs.Float64("duration", 600, "simulated horizon in seconds")
+		seed     = fs.Int64("seed", 1, "run seed")
+		factor   = fs.Float64("factor", 1.0, "DTH factor the sweeps run at")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiment.DefaultConfig()
+	cfg.Duration = *duration
+	cfg.Seed = *seed
+	cfg.DTHFactors = []float64{*factor}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+
+	type runner func() (fmt.Stringer, error)
+	runners := map[string]runner{
+		"adf-vs-gdf": func() (fmt.Stringer, error) {
+			r, err := experiment.RunAblationADFvsGeneralDF(cfg)
+			return r.Table(), err
+		},
+		"alpha": func() (fmt.Stringer, error) {
+			r, err := experiment.RunAblationAlphaSweep(cfg, nil)
+			return r.Table(), err
+		},
+		"estimators": func() (fmt.Stringer, error) {
+			r, err := experiment.RunAblationEstimators(cfg)
+			return r.Table(), err
+		},
+		"recluster": func() (fmt.Stringer, error) {
+			r, err := experiment.RunAblationReclusterInterval(cfg, nil)
+			return r.Table(), err
+		},
+		"smoothing": func() (fmt.Stringer, error) {
+			r, err := experiment.RunAblationSmoothing(cfg, nil)
+			return r.Table(), err
+		},
+		"semantics": func() (fmt.Stringer, error) {
+			r, err := experiment.RunAblationSemantics(cfg)
+			return r.Table(), err
+		},
+		"outages": func() (fmt.Stringer, error) {
+			r, err := experiment.RunAblationOutages(cfg)
+			return r.Table(), err
+		},
+		"churn": func() (fmt.Stringer, error) {
+			r, err := experiment.RunAblationChurn(cfg)
+			return r.Table(), err
+		},
+	}
+	order := []string{"adf-vs-gdf", "alpha", "estimators", "recluster", "smoothing", "semantics", "outages", "churn"}
+
+	if *ablation == "all" {
+		for i, name := range order {
+			if i > 0 {
+				if _, err := io.WriteString(w, "\n"); err != nil {
+					return err
+				}
+			}
+			t, err := runners[name]()
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			if _, err := io.WriteString(w, t.String()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	r, ok := runners[*ablation]
+	if !ok {
+		return fmt.Errorf("unknown ablation %q", *ablation)
+	}
+	t, err := r()
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, t.String())
+	return err
+}

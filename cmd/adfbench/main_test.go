@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleAblations(t *testing.T) {
+	wants := map[string]string{
+		"adf-vs-gdf": "general DF",
+		"alpha":      "similarity bound",
+		"estimators": "shoot-out",
+		"recluster":  "reconstruction interval",
+		"smoothing":  "smoothing constant",
+		"semantics":  "semantics",
+		"outages":    "bursty wireless loss",
+		"churn":      "node churn",
+	}
+	for name, want := range wants {
+		var b strings.Builder
+		if err := run(&b, []string{"-ablation", name, "-duration", "120"}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("%s output missing %q:\n%s", name, want, b.String())
+		}
+	}
+}
+
+func TestRunAllAblations(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, []string{"-duration", "120"}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"general DF", "shoot-out", "semantics"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-ablation", "nope", "-duration", "60"},
+		{"-duration", "-1"},
+		{"-factor", "0", "-duration", "60"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		var b strings.Builder
+		if err := run(&b, args); err == nil {
+			t.Errorf("args %v: want error", args)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Command adfsim runs the mobile-grid campus simulation and regenerates
+// the paper's tables and figures.
+//
+// Usage:
+//
+//	adfsim [-figure all|table1|4|5|6|7|8|9] [-duration 1800] [-seed 1]
+//	       [-estimator gap-aware] [-series]
+//
+// With -series the per-second curves behind Figures 4, 5 and 7 are
+// printed (averaged into 60-second buckets).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/mobilegrid/adf/internal/experiment"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("adfsim: ")
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("adfsim", flag.ContinueOnError)
+	var (
+		figure    = fs.String("figure", "all", "which figure to regenerate: all, table1, 4, 5, 6, 7, 8, 9, energy, percentiles, seeds or scale")
+		duration  = fs.Float64("duration", 1800, "simulated horizon in seconds")
+		seed      = fs.Int64("seed", 1, "run seed")
+		estimator = fs.String("estimator", "gap-aware", "location estimator: gap-aware, brown, single, dead-reckoning or ar1")
+		factors   = fs.String("factors", "0.75,1.0,1.25", "comma-separated DTH factors")
+		series    = fs.Bool("series", false, "also print the time series behind figures 4, 5 and 7")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiment.DefaultConfig()
+	cfg.Duration = *duration
+	cfg.Seed = *seed
+	cfg.Estimator = *estimator
+	parsed, err := parseFactors(*factors)
+	if err != nil {
+		return err
+	}
+	cfg.DTHFactors = parsed
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+
+	switch *figure {
+	case "table1":
+		return render(w, experiment.RunTable1().Table().String())
+	case "seeds":
+		res, err := experiment.RunSeeds(cfg, nil)
+		if err != nil {
+			return err
+		}
+		return render(w, res.Table().String())
+	case "scale":
+		res, err := experiment.RunScale(cfg, nil)
+		if err != nil {
+			return err
+		}
+		return render(w, res.Table().String())
+	}
+
+	res, err := cfg.Run()
+	if err != nil {
+		return err
+	}
+
+	figures := map[string]func() string{
+		"4": func() string { return experimentSeries(res.Fig4().Table().String(), *series, res.Fig4().Series) },
+		"5": func() string { return experimentSeries(res.Fig5().Table().String(), *series, res.Fig5().Series) },
+		"6": func() string { return res.Fig6().Table().String() },
+		"7": func() string {
+			fig := res.Fig7()
+			out := fig.Table().String()
+			if *series {
+				out += formatSeries("RMSE w/o LE", fig.SeriesNoLE)
+				out += formatSeries("RMSE w/ LE", fig.SeriesWithLE)
+			}
+			return out
+		},
+		"8":           func() string { return res.Fig8().Table().String() },
+		"9":           func() string { return res.Fig9().Table().String() },
+		"energy":      func() string { return res.EnergyBudget().Table().String() },
+		"percentiles": func() string { return res.Percentiles().Table().String() },
+	}
+
+	if *figure == "all" {
+		if err := render(w, experiment.RunTable1().Table().String()); err != nil {
+			return err
+		}
+		for _, k := range []string{"4", "5", "6", "7", "8", "9", "energy", "percentiles"} {
+			if err := render(w, "\n"+figures[k]()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	f, ok := figures[*figure]
+	if !ok {
+		return fmt.Errorf("unknown figure %q", *figure)
+	}
+	return render(w, f())
+}
+
+func render(w io.Writer, s string) error {
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func experimentSeries(table string, withSeries bool, series map[string][]float64) string {
+	if !withSeries {
+		return table
+	}
+	return table + formatSeries("per-minute series", series)
+}
+
+func formatSeries(title string, series map[string][]float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:\n", title)
+	names := make([]string, 0, len(series))
+	for name := range series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "  %-16s", name)
+		for _, v := range series[name] {
+			fmt.Fprintf(&b, " %7.1f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func parseFactors(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad factor %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no DTH factors in %q", s)
+	}
+	return out, nil
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRecordThenReplay(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "traces.csv")
+
+	var rec strings.Builder
+	if err := run(&rec, []string{"-record", csv, "-duration", "120", "-pergroup", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rec.String(), "recorded 56 nodes") {
+		t.Errorf("record output: %s", rec.String())
+	}
+
+	var rep strings.Builder
+	if err := run(&rep, []string{"-replay", csv, "-factor", "1.0"}); err != nil {
+		t.Fatal(err)
+	}
+	out := rep.String()
+	if !strings.Contains(out, "replayed 56 nodes") {
+		t.Errorf("replay output: %s", out)
+	}
+	if !strings.Contains(out, "reduction") {
+		t.Errorf("no reduction reported: %s", out)
+	}
+}
+
+func TestReplayDeterministicAcrossSemantics(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "traces.csv")
+	var b strings.Builder
+	if err := run(&b, []string{"-record", csv, "-duration", "60", "-pergroup", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	var perStep, anchored strings.Builder
+	if err := run(&perStep, []string{"-replay", csv, "-semantics", "per-step"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&anchored, []string{"-replay", csv, "-semantics", "anchored"}); err != nil {
+		t.Fatal(err)
+	}
+	if perStep.String() == anchored.String() {
+		t.Error("semantics had no effect on the replay")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	cases := [][]string{
+		{},
+		{"-record", filepath.Join(dir, "a.csv"), "-replay", "b.csv"},
+		{"-record", filepath.Join(dir, "a.csv"), "-duration", "0"},
+		{"-record", filepath.Join(dir, "a.csv"), "-pergroup", "0"},
+		{"-replay", filepath.Join(dir, "missing.csv")},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		var b strings.Builder
+		if err := run(&b, args); err == nil {
+			t.Errorf("args %v: want error", args)
+		}
+	}
+	// Replay with bad semantics.
+	csv := filepath.Join(dir, "t.csv")
+	var b strings.Builder
+	if err := run(&b, []string{"-record", csv, "-duration", "30", "-pergroup", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b, []string{"-replay", csv, "-semantics", "nope"}); err == nil {
+		t.Error("bad semantics accepted")
+	}
+}

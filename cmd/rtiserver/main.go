@@ -1,0 +1,82 @@
+// Command rtiserver runs a standalone TCP Run-Time Infrastructure for
+// distributed mobile-grid federations. Federates connect with the hla
+// package's TCP client (see examples/distributed).
+//
+// Usage:
+//
+//	rtiserver [-addr 127.0.0.1:4500] [-federations mobilegrid]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"github.com/mobilegrid/adf/internal/hla"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rtiserver: ")
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// setup parses flags, creates the federations and starts listening. It
+// is separated from run so tests can exercise it without signal
+// handling.
+func setup(args []string) (*hla.Server, error) {
+	fs := flag.NewFlagSet("rtiserver", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:4500", "listen address")
+		federations = fs.String("federations", "mobilegrid", "comma-separated federation executions to create")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+
+	rti := hla.NewRTI()
+	created := 0
+	for _, name := range strings.Split(*federations, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if err := rti.CreateFederation(name); err != nil {
+			return nil, err
+		}
+		log.Printf("federation %q created", name)
+		created++
+	}
+	if created == 0 {
+		return nil, fmt.Errorf("no federations in %q", *federations)
+	}
+
+	return hla.NewServer(rti, *addr)
+}
+
+func run(args []string) error {
+	srv, err := setup(args)
+	if err != nil {
+		return err
+	}
+	log.Printf("listening on %s", srv.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve() }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("received %v, shutting down", s)
+		return srv.Close()
+	case err := <-errc:
+		return fmt.Errorf("serve: %w", err)
+	}
+}

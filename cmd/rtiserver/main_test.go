@@ -1,0 +1,120 @@
+package main
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/mobilegrid/adf/internal/hla"
+)
+
+// quietAmbassador discards callbacks.
+type quietAmbassador struct{}
+
+func (quietAmbassador) DiscoverObjectInstance(hla.ObjectHandle, string, string)      {}
+func (quietAmbassador) ReflectAttributeValues(hla.ObjectHandle, hla.Values, float64) {}
+func (quietAmbassador) ReceiveInteraction(string, hla.Values, float64)               {}
+func (quietAmbassador) RemoveObjectInstance(hla.ObjectHandle)                        {}
+func (quietAmbassador) TimeAdvanceGrant(float64)                                     {}
+
+func TestSetupAndServe(t *testing.T) {
+	srv, err := setup([]string{"-addr", "127.0.0.1:0", "-federations", "alpha, beta"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	go func() { _ = srv.Serve() }()
+
+	// Both federations accept joins; unknown ones do not.
+	for _, fed := range []string{"alpha", "beta"} {
+		c, err := hla.Dial(srv.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Join(fed, "probe", 1, quietAmbassador{}); err != nil {
+			t.Errorf("join %s: %v", fed, err)
+		}
+		if err := c.Resign(); err != nil {
+			t.Errorf("resign %s: %v", fed, err)
+		}
+		_ = c.Close()
+	}
+	c, err := hla.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	if err := c.Join("gamma", "probe", 1, quietAmbassador{}); !errors.Is(err, hla.ErrNoFederation) {
+		t.Errorf("join unknown federation: %v", err)
+	}
+}
+
+func TestSetupErrors(t *testing.T) {
+	cases := [][]string{
+		{"-addr", "999.999.999.999:0"},
+		{"-federations", " , "},
+		{"-federations", "a,a"}, // duplicate federation
+		{"-nope"},
+	}
+	for _, args := range cases {
+		srv, err := setup(args)
+		if err == nil {
+			_ = srv.Close()
+			t.Errorf("args %v: want error", args)
+		}
+	}
+}
+
+func TestServedFederationSupportsTraffic(t *testing.T) {
+	srv, err := setup([]string{"-addr", "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	go func() { _ = srv.Serve() }()
+
+	send, err := hla.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = send.Close() }()
+	recv, err := hla.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = recv.Close() }()
+
+	received := &countingAmbassador{}
+	if err := send.Join("mobilegrid", "send", 1, quietAmbassador{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := recv.Join("mobilegrid", "recv", 1, received); err != nil {
+		t.Fatal(err)
+	}
+	if err := send.PublishInteractionClass("LU"); err != nil {
+		t.Fatal(err)
+	}
+	if err := recv.SubscribeInteractionClass("LU"); err != nil {
+		t.Fatal(err)
+	}
+	if err := send.SendInteraction("LU", nil, 2); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); _ = send.TimeAdvanceRequest(3) }()
+	go func() { defer wg.Done(); _ = recv.TimeAdvanceRequest(3) }()
+	wg.Wait()
+	if received.interactions != 1 {
+		t.Errorf("interactions = %d, want 1", received.interactions)
+	}
+}
+
+type countingAmbassador struct {
+	quietAmbassador
+	interactions int
+}
+
+func (a *countingAmbassador) ReceiveInteraction(string, hla.Values, float64) {
+	a.interactions++
+}

@@ -1,0 +1,75 @@
+package adf
+
+import (
+	"github.com/mobilegrid/adf/internal/core"
+	"github.com/mobilegrid/adf/internal/filter"
+)
+
+// ControlledADF is an Adaptive Distance Filter wrapped in a traffic
+// budget controller: it tunes the DTH factor at run time to keep the
+// transmitted-LU rate near a target, extending the paper's fixed
+// 0.75/1.0/1.25·av sweep to deployments with a known uplink budget.
+type ControlledADF struct {
+	inner *core.ControlledADF
+}
+
+var _ Filter = (*ControlledADF)(nil)
+
+// ControllerOptions tunes the budget controller.
+type ControllerOptions struct {
+	// TargetRate is the desired transmitted-LU rate, in LUs per second.
+	TargetRate float64
+	// Interval is the adjustment period in seconds (default 10).
+	Interval float64
+	// Gain is the log-space controller exponent (default 0.4).
+	Gain float64
+	// MinFactor and MaxFactor clamp the controlled DTH factor (defaults
+	// 0.1 and 8).
+	MinFactor, MaxFactor float64
+}
+
+// NewRateControlledADF builds an ADF whose DTH factor tracks the traffic
+// budget. Zero-valued controller fields take their defaults.
+func NewRateControlledADF(opts Options, ctrl ControllerOptions) (*ControlledADF, error) {
+	cfg, err := opts.internal()
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ccfg := core.DefaultControllerConfig(ctrl.TargetRate)
+	if ctrl.Interval > 0 {
+		ccfg.Interval = ctrl.Interval
+	}
+	if ctrl.Gain > 0 {
+		ccfg.Gain = ctrl.Gain
+	}
+	if ctrl.MinFactor > 0 {
+		ccfg.MinFactor = ctrl.MinFactor
+	}
+	if ctrl.MaxFactor > 0 {
+		ccfg.MaxFactor = ctrl.MaxFactor
+	}
+	controlled, err := core.NewControlledADF(inner, ccfg)
+	if err != nil {
+		return nil, err
+	}
+	return &ControlledADF{inner: controlled}, nil
+}
+
+// Name implements Filter.
+func (c *ControlledADF) Name() string { return c.inner.Name() }
+
+// Offer implements Filter.
+func (c *ControlledADF) Offer(lu LU) Decision {
+	d := c.inner.Offer(filter.LU{Node: lu.Node, Time: lu.Time, Pos: lu.Pos.internal()})
+	return Decision{Transmit: d.Transmit, Distance: d.Distance, Threshold: d.Threshold}
+}
+
+// Forget implements Filter.
+func (c *ControlledADF) Forget(node int) { c.inner.Forget(node) }
+
+// Factor returns the controller's current DTH factor.
+func (c *ControlledADF) Factor() float64 { return c.inner.Factor() }

@@ -1,0 +1,44 @@
+package adf
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewRateControlledADFValidation(t *testing.T) {
+	if _, err := NewRateControlledADF(DefaultOptions(), ControllerOptions{TargetRate: 0}); err == nil {
+		t.Error("zero target accepted")
+	}
+	bad := DefaultOptions()
+	bad.DTHFactor = 0
+	if _, err := NewRateControlledADF(bad, ControllerOptions{TargetRate: 10}); err == nil {
+		t.Error("invalid ADF options accepted")
+	}
+}
+
+func TestRateControlledADFAdaptsFactor(t *testing.T) {
+	c, err := NewRateControlledADF(DefaultOptions(), ControllerOptions{TargetRate: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() == "" {
+		t.Error("empty Name")
+	}
+	initial := c.Factor()
+
+	// 10 fast nodes would transmit ~10 LU/s unfiltered; the 3 LU/s
+	// budget must push the factor up.
+	positions := make([]Point, 10)
+	for tick := 0; tick < 400; tick++ {
+		tm := float64(tick)
+		for i := range positions {
+			speed := 1.0 + 0.4*float64(i) + 0.5*math.Sin(tm/7+float64(i))
+			positions[i].X += speed
+			c.Offer(LU{Node: i, Time: tm, Pos: positions[i]})
+		}
+	}
+	if c.Factor() <= initial {
+		t.Errorf("factor %v did not rise above initial %v under a tight budget", c.Factor(), initial)
+	}
+	c.Forget(0) // must not panic and must propagate
+}

@@ -1,0 +1,130 @@
+package adf
+
+import (
+	"strings"
+	"testing"
+)
+
+func shortExperiment() ExperimentConfig {
+	cfg := DefaultExperimentConfig()
+	cfg.Duration = 300
+	return cfg
+}
+
+func TestDefaultExperimentConfig(t *testing.T) {
+	cfg := DefaultExperimentConfig()
+	if cfg.Duration != 1800 {
+		t.Errorf("Duration = %v, want 1800", cfg.Duration)
+	}
+	if len(cfg.DTHFactors) != 3 {
+		t.Errorf("DTHFactors = %v", cfg.DTHFactors)
+	}
+	if cfg.Estimator != "gap-aware" {
+		t.Errorf("Estimator = %q", cfg.Estimator)
+	}
+}
+
+func TestRunExperiments(t *testing.T) {
+	res, err := RunExperiments(shortExperiment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ideal.Name != "ideal" || res.Ideal.ReductionPct != 0 {
+		t.Errorf("ideal = %+v", res.Ideal)
+	}
+	if res.Ideal.MeanLUsPerSecond < 130 || res.Ideal.MeanLUsPerSecond > 140 {
+		t.Errorf("ideal LU/s = %v, want ≈135", res.Ideal.MeanLUsPerSecond)
+	}
+	if len(res.ADF) != 3 {
+		t.Fatalf("ADF summaries = %d", len(res.ADF))
+	}
+	for i, s := range res.ADF {
+		if s.ReductionPct <= 0 || s.ReductionPct >= 100 {
+			t.Errorf("%s: reduction = %v%%", s.Name, s.ReductionPct)
+		}
+		if s.RMSENoLE <= 0 {
+			t.Errorf("%s: RMSE = %v", s.Name, s.RMSENoLE)
+		}
+		if s.RMSEWithLE >= s.RMSENoLE {
+			t.Errorf("%s: LE did not help (%.2f -> %.2f)", s.Name, s.RMSENoLE, s.RMSEWithLE)
+		}
+		if s.RoadRMSE <= s.BuildingRMSE {
+			t.Errorf("%s: road RMSE %.2f not above building %.2f", s.Name, s.RoadRMSE, s.BuildingRMSE)
+		}
+		if i > 0 && s.ReductionPct <= res.ADF[i-1].ReductionPct {
+			t.Errorf("reductions not monotone: %+v", res.ADF)
+		}
+	}
+}
+
+func TestRunExperimentsInvalid(t *testing.T) {
+	cfg := shortExperiment()
+	cfg.Estimator = "bogus"
+	if _, err := RunExperiments(cfg); err == nil {
+		t.Error("invalid estimator accepted")
+	}
+	cfg = shortExperiment()
+	cfg.DTHFactors = []float64{-1}
+	if _, err := RunExperiments(cfg); err == nil {
+		t.Error("negative factor accepted")
+	}
+}
+
+func TestWriteReportContainsAllFigures(t *testing.T) {
+	res, err := RunExperiments(shortExperiment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := res.WriteReport(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Table 1", "Figure 4", "Figure 5", "Figure 6",
+		"Figure 7", "Figure 8", "Figure 9",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestSeriesAccessors(t *testing.T) {
+	res, err := RunExperiments(shortExperiment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lu := res.LUSeries()
+	if len(lu) != 4 { // ideal + 3 factors
+		t.Errorf("LUSeries keys = %d", len(lu))
+	}
+	noLE, withLE := res.RMSESeries()
+	if len(noLE) != 3 || len(withLE) != 3 {
+		t.Errorf("RMSESeries keys = %d/%d", len(noLE), len(withLE))
+	}
+	for name, s := range lu {
+		if len(s) == 0 {
+			t.Errorf("empty series for %s", name)
+		}
+	}
+}
+
+func TestAblationReport(t *testing.T) {
+	cfg := shortExperiment()
+	cfg.Duration = 150
+	cfg.DTHFactors = []float64{1.0}
+	var b strings.Builder
+	if err := AblationReport(&b, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"general DF", "similarity bound", "shoot-out",
+		"reconstruction interval", "smoothing constant", "semantics",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/mobilegrid/adf
+
+go 1.24

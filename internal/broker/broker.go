@@ -1,0 +1,146 @@
+// Package broker implements the grid broker of section 3.4: the wired-grid
+// component that manages mobile resources. It keeps a location DB with one
+// entry per mobile node and a pluggable Location Estimator. When a
+// location update arrives the reported position is stored; when the update
+// was filtered the broker stores the estimator's forecast instead, so the
+// DB always holds the broker's best belief about every node.
+package broker
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/mobilegrid/adf/internal/estimate"
+	"github.com/mobilegrid/adf/internal/geo"
+)
+
+// Entry is one location-DB record.
+type Entry struct {
+	// Node is the mobile node's ID.
+	Node int
+	// Pos is the broker's believed location.
+	Pos geo.Point
+	// Time is the virtual time the belief was last refreshed.
+	Time float64
+	// Estimated is true when Pos came from the Location Estimator rather
+	// than a received LU.
+	Estimated bool
+}
+
+type record struct {
+	est          estimate.PositionEstimator
+	lastReported geo.Point
+	lastReportT  float64
+	believed     Entry
+	hasReport    bool
+}
+
+// Broker is the grid broker.
+type Broker struct {
+	newEstimator estimate.Factory
+	records      map[int]*record
+
+	// Counters for experiment reporting.
+	received  uint64
+	estimated uint64
+}
+
+// New returns a broker whose Location Estimator instances are built by
+// factory. A nil factory disables estimation (the paper's "without LE"
+// configuration): the broker then believes each node's last report.
+func New(factory estimate.Factory) *Broker {
+	if factory == nil {
+		factory = func() estimate.PositionEstimator { return estimate.NewLastKnown() }
+	}
+	return &Broker{
+		newEstimator: factory,
+		records:      make(map[int]*record),
+	}
+}
+
+func (b *Broker) record(node int) *record {
+	r, ok := b.records[node]
+	if !ok {
+		r = &record{est: b.newEstimator()}
+		b.records[node] = r
+	}
+	return r
+}
+
+// ReceiveLU stores a received location update in the location DB and
+// feeds the node's estimator.
+func (b *Broker) ReceiveLU(node int, t float64, p geo.Point) {
+	r := b.record(node)
+	r.lastReported = p
+	r.lastReportT = t
+	r.hasReport = true
+	r.est.Observe(t, p)
+	r.believed = Entry{Node: node, Pos: p, Time: t, Estimated: false}
+	b.received++
+}
+
+// MissLU tells the broker that node's LU for time t was filtered. The
+// broker refreshes the node's DB entry with the estimator's forecast (or
+// keeps the last report when the estimator is not ready yet). It returns
+// the refreshed entry.
+func (b *Broker) MissLU(node int, t float64) (Entry, error) {
+	r, ok := b.records[node]
+	if !ok || !r.hasReport {
+		return Entry{}, fmt.Errorf("broker: no location on record for node %d", node)
+	}
+	pos := r.lastReported
+	estimated := false
+	if r.est.Ready() {
+		pos = r.est.Predict(t)
+		estimated = true
+		b.estimated++
+	}
+	r.believed = Entry{Node: node, Pos: pos, Time: t, Estimated: estimated}
+	return r.believed, nil
+}
+
+// Location returns the broker's current belief about a node.
+func (b *Broker) Location(node int) (Entry, bool) {
+	r, ok := b.records[node]
+	if !ok || !r.hasReport {
+		return Entry{}, false
+	}
+	return r.believed, true
+}
+
+// Locations returns a snapshot of the whole location DB ordered by node
+// ID.
+func (b *Broker) Locations() []Entry {
+	out := make([]Entry, 0, len(b.records))
+	for node, r := range b.records {
+		if !r.hasReport {
+			continue
+		}
+		e := r.believed
+		e.Node = node
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// Forget drops a node from the location DB.
+func (b *Broker) Forget(node int) { delete(b.records, node) }
+
+// NodeCount returns the number of nodes with a DB entry.
+func (b *Broker) NodeCount() int {
+	n := 0
+	for _, r := range b.records {
+		if r.hasReport {
+			n++
+		}
+	}
+	return n
+}
+
+// ReceivedLUs returns the number of LUs stored from the network.
+func (b *Broker) ReceivedLUs() uint64 { return b.received }
+
+// EstimatedLUs returns the number of DB refreshes served by the Location
+// Estimator.
+func (b *Broker) EstimatedLUs() uint64 { return b.estimated }

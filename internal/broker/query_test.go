@@ -1,0 +1,109 @@
+package broker
+
+import (
+	"testing"
+
+	"github.com/mobilegrid/adf/internal/geo"
+)
+
+func populatedBroker() *Broker {
+	b := New(nil)
+	b.ReceiveLU(1, 1, geo.Point{X: 1})
+	b.ReceiveLU(2, 1, geo.Point{X: 5})
+	b.ReceiveLU(3, 1, geo.Point{X: 10})
+	b.ReceiveLU(4, 1, geo.Point{Y: 3})
+	return b
+}
+
+func TestNearest(t *testing.T) {
+	b := populatedBroker()
+	got, err := b.Nearest(geo.Point{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("results = %d", len(got))
+	}
+	if got[0].Node != 1 || got[1].Node != 4 {
+		t.Errorf("nearest = %d, %d; want 1, 4", got[0].Node, got[1].Node)
+	}
+	if got[0].Dist != 1 || got[1].Dist != 3 {
+		t.Errorf("dists = %v, %v", got[0].Dist, got[1].Dist)
+	}
+	// k beyond the DB size returns everything.
+	all, err := b.Nearest(geo.Point{}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 4 {
+		t.Errorf("all = %d", len(all))
+	}
+	if _, err := b.Nearest(geo.Point{}, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestNearestTieBreaksByNode(t *testing.T) {
+	b := New(nil)
+	b.ReceiveLU(9, 1, geo.Point{X: 2})
+	b.ReceiveLU(3, 1, geo.Point{X: -2})
+	got, err := b.Nearest(geo.Point{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Node != 3 || got[1].Node != 9 {
+		t.Errorf("tie order = %d, %d; want 3, 9", got[0].Node, got[1].Node)
+	}
+}
+
+func TestWithin(t *testing.T) {
+	b := populatedBroker()
+	got, err := b.Within(geo.Point{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 { // nodes 1 (d=1), 4 (d=3), 2 (d=5 inclusive)
+		t.Fatalf("results = %d: %+v", len(got), got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Dist < got[i-1].Dist {
+			t.Fatal("not sorted by distance")
+		}
+	}
+	if got[2].Node != 2 {
+		t.Errorf("boundary node missing: %+v", got)
+	}
+	none, err := b.Within(geo.Point{X: 1000}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Errorf("far query = %+v", none)
+	}
+	if _, err := b.Within(geo.Point{}, -1); err == nil {
+		t.Error("negative radius accepted")
+	}
+}
+
+func TestQueriesUseBelievedLocations(t *testing.T) {
+	// A filtered node's believed (estimated) location drives the query,
+	// not its stale last report: an eastbound node whose LUs are filtered
+	// is found by a query near its *predicted* position.
+	b := New(brownFactory(t))
+	for i := 0; i <= 6; i++ {
+		b.ReceiveLU(1, float64(i), geo.Point{X: 2 * float64(i)}) // last report x=12
+	}
+	if _, err := b.MissLU(1, 12); err != nil { // believed ≈ x=24
+		t.Fatal(err)
+	}
+	got, err := b.Nearest(geo.Point{X: 24}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Dist > 3 {
+		t.Errorf("query used stale location: believed %v, dist %v", got[0].Pos, got[0].Dist)
+	}
+	if !got[0].Estimated {
+		t.Error("candidate not marked estimated")
+	}
+}

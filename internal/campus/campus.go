@@ -1,0 +1,250 @@
+// Package campus models the paper's experiment site (Figure 1): a
+// university campus with five roads (R1–R5), six buildings (B1–B6) and two
+// gates, eleven access regions in total. The paper obtained the map from
+// Google Earth; we substitute a parameterised synthetic campus with the
+// same topology — only region type and geometry scale matter to the ADF.
+package campus
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/mobilegrid/adf/internal/geo"
+)
+
+// RegionKind distinguishes the two access-region types of the experiment.
+type RegionKind int
+
+const (
+	// Road regions carry LMS traffic (pedestrians and vehicles).
+	Road RegionKind = iota + 1
+	// Building regions hold SS, RMS and LMS human nodes.
+	Building
+)
+
+// String implements fmt.Stringer.
+func (k RegionKind) String() string {
+	switch k {
+	case Road:
+		return "road"
+	case Building:
+		return "building"
+	default:
+		return "unknown"
+	}
+}
+
+// RegionID names one of the campus's eleven regions, e.g. "R1" or "B4".
+type RegionID string
+
+// Region is one access region of the mobile grid.
+type Region struct {
+	ID   RegionID
+	Kind RegionKind
+	// Path is the road's centreline (roads only; at least two points).
+	Path []geo.Point
+	// Bounds is the building's footprint, or the road's bounding corridor.
+	Bounds geo.Rect
+	// HalfWidth is half the road corridor width (roads only).
+	HalfWidth float64
+}
+
+// Length returns the total centreline length of a road, or the building
+// footprint's diagonal for buildings.
+func (r *Region) Length() float64 {
+	if r.Kind == Building {
+		return r.Bounds.Diagonal()
+	}
+	var sum float64
+	for i := 1; i < len(r.Path); i++ {
+		sum += r.Path[i-1].Dist(r.Path[i])
+	}
+	return sum
+}
+
+// Contains reports whether p lies inside the region.
+func (r *Region) Contains(p geo.Point) bool {
+	if r.Kind == Building {
+		return r.Bounds.Contains(p)
+	}
+	for i := 1; i < len(r.Path); i++ {
+		seg := geo.Segment{A: r.Path[i-1], B: r.Path[i]}
+		if seg.Dist(p) <= r.HalfWidth {
+			return true
+		}
+	}
+	return false
+}
+
+// Campus is the experiment site.
+type Campus struct {
+	regions map[RegionID]*Region
+	order   []RegionID
+	gates   map[string]geo.Point
+}
+
+// roadHalfWidth is the corridor half-width for all roads, in metres.
+const roadHalfWidth = 4
+
+// New returns the standard campus of Figure 1: gates A and B on the south
+// edge, roads R2/R4 running north from the gates, R1 connecting them, and
+// R3/R5 branching north to the upper buildings. Coordinates are metres.
+func New() *Campus {
+	c := &Campus{
+		regions: make(map[RegionID]*Region),
+		gates: map[string]geo.Point{
+			"A": {X: 60, Y: 0},
+			"B": {X: 300, Y: 0},
+		},
+	}
+	road := func(id RegionID, path ...geo.Point) {
+		min, max := path[0], path[0]
+		for _, p := range path {
+			if p.X < min.X {
+				min.X = p.X
+			}
+			if p.Y < min.Y {
+				min.Y = p.Y
+			}
+			if p.X > max.X {
+				max.X = p.X
+			}
+			if p.Y > max.Y {
+				max.Y = p.Y
+			}
+		}
+		pad := geo.Vec{DX: roadHalfWidth, DY: roadHalfWidth}
+		c.add(&Region{
+			ID:        id,
+			Kind:      Road,
+			Path:      path,
+			Bounds:    geo.NewRect(min.Add(pad.Scale(-1)), max.Add(pad)),
+			HalfWidth: roadHalfWidth,
+		})
+	}
+	building := func(id RegionID, minX, minY float64) {
+		c.add(&Region{
+			ID:     id,
+			Kind:   Building,
+			Bounds: geo.NewRect(geo.Point{X: minX, Y: minY}, geo.Point{X: minX + 40, Y: minY + 30}),
+		})
+	}
+
+	road("R1", geo.Point{X: 60, Y: 200}, geo.Point{X: 300, Y: 200})
+	road("R2", geo.Point{X: 300, Y: 0}, geo.Point{X: 300, Y: 200})
+	road("R3", geo.Point{X: 100, Y: 200}, geo.Point{X: 100, Y: 320})
+	road("R4", geo.Point{X: 60, Y: 0}, geo.Point{X: 60, Y: 200})
+	road("R5", geo.Point{X: 240, Y: 200}, geo.Point{X: 240, Y: 320})
+
+	building("B1", 20, 230)  // west of R3
+	building("B2", 130, 240) // between R3 and R5
+	building("B3", 60, 330)  // chemistry building, north of R3
+	building("B4", 310, 210) // the library, at the top of R2
+	building("B5", 130, 120) // south of R1
+	building("B6", 200, 330) // lecture hall, north of R5
+
+	return c
+}
+
+func (c *Campus) add(r *Region) {
+	c.regions[r.ID] = r
+	c.order = append(c.order, r.ID)
+}
+
+// Region returns the region with the given ID.
+func (c *Campus) Region(id RegionID) (*Region, error) {
+	r, ok := c.regions[id]
+	if !ok {
+		return nil, fmt.Errorf("campus: unknown region %q", id)
+	}
+	return r, nil
+}
+
+// Regions returns all regions in declaration order (R1–R5 then B1–B6).
+func (c *Campus) Regions() []*Region {
+	out := make([]*Region, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.regions[id])
+	}
+	return out
+}
+
+// Roads returns the road regions in order.
+func (c *Campus) Roads() []*Region { return c.byKind(Road) }
+
+// Buildings returns the building regions in order.
+func (c *Campus) Buildings() []*Region { return c.byKind(Building) }
+
+func (c *Campus) byKind(k RegionKind) []*Region {
+	var out []*Region
+	for _, id := range c.order {
+		if r := c.regions[id]; r.Kind == k {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Gate returns the position of a named gate ("A" or "B").
+func (c *Campus) Gate(name string) (geo.Point, error) {
+	p, ok := c.gates[name]
+	if !ok {
+		return geo.Point{}, fmt.Errorf("campus: unknown gate %q", name)
+	}
+	return p, nil
+}
+
+// GateNames returns the gate names in sorted order.
+func (c *Campus) GateNames() []string {
+	names := make([]string, 0, len(c.gates))
+	for n := range c.gates {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RegionAt returns the region containing p, preferring buildings over
+// roads when footprints touch. The second result is false if p is in no
+// region (off the grid).
+func (c *Campus) RegionAt(p geo.Point) (RegionID, bool) {
+	for _, id := range c.order {
+		r := c.regions[id]
+		if r.Kind == Building && r.Contains(p) {
+			return id, true
+		}
+	}
+	for _, id := range c.order {
+		r := c.regions[id]
+		if r.Kind == Road && r.Contains(p) {
+			return id, true
+		}
+	}
+	return "", false
+}
+
+// TomRoute returns the waypoint route of the paper's motivating scenario:
+// Tom enters at gate B, walks R2 to the library (B4), crosses to the
+// lecture hall (B6) via R5, returns to B4, then takes R2–R1–R3 to the
+// chemistry building (B3), and finally leaves through R4 and gate A.
+func (c *Campus) TomRoute() []geo.Point {
+	gateB := c.gates["B"]
+	gateA := c.gates["A"]
+	return []geo.Point{
+		gateB,
+		{X: 300, Y: 200}, // top of R2
+		{X: 320, Y: 220}, // into the library B4
+		{X: 240, Y: 200}, // back out to the R5 junction
+		{X: 240, Y: 320}, // up R5
+		{X: 220, Y: 340}, // lecture hall B6
+		{X: 240, Y: 200}, // back down R5
+		{X: 320, Y: 220}, // library again
+		{X: 300, Y: 200}, // R2/R1 junction
+		{X: 100, Y: 200}, // along R1 to the R3 junction
+		{X: 100, Y: 320}, // up R3
+		{X: 80, Y: 340},  // chemistry building B3
+		{X: 100, Y: 200}, // back down R3
+		{X: 60, Y: 200},  // west end of R1
+		gateA,            // down R4 and out
+	}
+}

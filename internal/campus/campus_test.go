@@ -1,0 +1,219 @@
+package campus
+
+import (
+	"testing"
+
+	"github.com/mobilegrid/adf/internal/geo"
+)
+
+func TestNewHasElevenRegions(t *testing.T) {
+	c := New()
+	if got := len(c.Regions()); got != 11 {
+		t.Fatalf("regions = %d, want 11", got)
+	}
+	if got := len(c.Roads()); got != 5 {
+		t.Errorf("roads = %d, want 5", got)
+	}
+	if got := len(c.Buildings()); got != 6 {
+		t.Errorf("buildings = %d, want 6", got)
+	}
+}
+
+func TestRegionLookup(t *testing.T) {
+	c := New()
+	r, err := c.Region("R1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind != Road {
+		t.Errorf("R1 kind = %v, want road", r.Kind)
+	}
+	b, err := c.Region("B4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Kind != Building {
+		t.Errorf("B4 kind = %v, want building", b.Kind)
+	}
+	if _, err := c.Region("X9"); err == nil {
+		t.Error("unknown region did not error")
+	}
+}
+
+func TestRegionKindString(t *testing.T) {
+	if Road.String() != "road" || Building.String() != "building" {
+		t.Error("RegionKind strings wrong")
+	}
+	if RegionKind(0).String() != "unknown" {
+		t.Error("zero RegionKind should be unknown")
+	}
+}
+
+func TestRoadGeometry(t *testing.T) {
+	c := New()
+	for _, r := range c.Roads() {
+		if len(r.Path) < 2 {
+			t.Errorf("%s: path has %d points", r.ID, len(r.Path))
+		}
+		if r.Length() <= 0 {
+			t.Errorf("%s: non-positive length", r.ID)
+		}
+		if r.HalfWidth <= 0 {
+			t.Errorf("%s: non-positive half width", r.ID)
+		}
+		// Centreline points are inside the region and its bounds.
+		for _, p := range r.Path {
+			if !r.Contains(p) {
+				t.Errorf("%s: centreline point %v not contained", r.ID, p)
+			}
+			if !r.Bounds.Contains(p) {
+				t.Errorf("%s: centreline point %v outside bounds", r.ID, p)
+			}
+		}
+	}
+}
+
+func TestBuildingGeometry(t *testing.T) {
+	c := New()
+	for _, b := range c.Buildings() {
+		if b.Bounds.Width() <= 0 || b.Bounds.Height() <= 0 {
+			t.Errorf("%s: degenerate footprint", b.ID)
+		}
+		if !b.Contains(b.Bounds.Center()) {
+			t.Errorf("%s: centre not contained", b.ID)
+		}
+		if b.Length() != b.Bounds.Diagonal() {
+			t.Errorf("%s: Length != Diagonal", b.ID)
+		}
+	}
+}
+
+func TestBuildingsDoNotOverlap(t *testing.T) {
+	c := New()
+	bs := c.Buildings()
+	for i := 0; i < len(bs); i++ {
+		for j := i + 1; j < len(bs); j++ {
+			a, b := bs[i].Bounds, bs[j].Bounds
+			overlapX := a.Min.X < b.Max.X && b.Min.X < a.Max.X
+			overlapY := a.Min.Y < b.Max.Y && b.Min.Y < a.Max.Y
+			if overlapX && overlapY {
+				t.Errorf("%s and %s overlap", bs[i].ID, bs[j].ID)
+			}
+		}
+	}
+}
+
+func TestGates(t *testing.T) {
+	c := New()
+	names := c.GateNames()
+	if len(names) != 2 || names[0] != "A" || names[1] != "B" {
+		t.Fatalf("GateNames = %v", names)
+	}
+	a, err := c.Gate("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Y != 0 {
+		t.Errorf("gate A not on the south edge: %v", a)
+	}
+	if _, err := c.Gate("Z"); err == nil {
+		t.Error("unknown gate did not error")
+	}
+}
+
+func TestGatesConnectToRoads(t *testing.T) {
+	c := New()
+	// Gate A anchors R4, gate B anchors R2.
+	a, _ := c.Gate("A")
+	b, _ := c.Gate("B")
+	r4, _ := c.Region("R4")
+	r2, _ := c.Region("R2")
+	if !r4.Contains(a) {
+		t.Error("gate A not on R4")
+	}
+	if !r2.Contains(b) {
+		t.Error("gate B not on R2")
+	}
+}
+
+func TestRoadsFormConnectedNetwork(t *testing.T) {
+	// Every road shares an endpoint with at least one other road: the
+	// campus road graph is not fragmented.
+	c := New()
+	roads := c.Roads()
+	touches := func(a, b *Region) bool {
+		for _, pa := range a.Path {
+			for i := 1; i < len(b.Path); i++ {
+				seg := geo.Segment{A: b.Path[i-1], B: b.Path[i]}
+				if seg.Dist(pa) <= a.HalfWidth+b.HalfWidth {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, r := range roads {
+		connected := false
+		for _, other := range roads {
+			if other.ID != r.ID && (touches(r, other) || touches(other, r)) {
+				connected = true
+				break
+			}
+		}
+		if !connected {
+			t.Errorf("%s is not connected to any other road", r.ID)
+		}
+	}
+}
+
+func TestRegionAt(t *testing.T) {
+	c := New()
+	tests := []struct {
+		name   string
+		p      geo.Point
+		want   RegionID
+		wantOK bool
+	}{
+		{"on R1 centreline", geo.Point{X: 180, Y: 200}, "R1", true},
+		{"inside B4", geo.Point{X: 330, Y: 225}, "B4", true},
+		{"off campus", geo.Point{X: -100, Y: -100}, "", false},
+		{"gate B on R2", geo.Point{X: 300, Y: 0}, "R2", true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, ok := c.RegionAt(tt.p)
+			if ok != tt.wantOK || got != tt.want {
+				t.Errorf("RegionAt(%v) = (%q, %v), want (%q, %v)", tt.p, got, ok, tt.want, tt.wantOK)
+			}
+		})
+	}
+}
+
+func TestTomRouteVisitsKeyRegions(t *testing.T) {
+	c := New()
+	route := c.TomRoute()
+	if len(route) < 10 {
+		t.Fatalf("route has only %d waypoints", len(route))
+	}
+	gateB, _ := c.Gate("B")
+	gateA, _ := c.Gate("A")
+	if route[0] != gateB {
+		t.Errorf("route starts at %v, want gate B %v", route[0], gateB)
+	}
+	if route[len(route)-1] != gateA {
+		t.Errorf("route ends at %v, want gate A %v", route[len(route)-1], gateA)
+	}
+	// The scenario visits the library (B4), the lecture hall (B6) and the
+	// chemistry building (B3).
+	visited := map[RegionID]bool{}
+	for _, p := range route {
+		if id, ok := c.RegionAt(p); ok {
+			visited[id] = true
+		}
+	}
+	for _, want := range []RegionID{"B4", "B6", "B3"} {
+		if !visited[want] {
+			t.Errorf("route never visits %s (visited %v)", want, visited)
+		}
+	}
+}

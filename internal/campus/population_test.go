@@ -1,0 +1,141 @@
+package campus
+
+import "testing"
+
+func TestTable1PopulationCounts(t *testing.T) {
+	c := New()
+	specs := Table1Population(c)
+	if len(specs) != 140 {
+		t.Fatalf("population = %d, want 140", len(specs))
+	}
+
+	type key struct {
+		kind RegionKind
+		mob  Mobility
+		typ  NodeType
+	}
+	counts := map[key]int{}
+	regionCounts := map[RegionID]int{}
+	for _, s := range specs {
+		r, err := c.Region(s.Region)
+		if err != nil {
+			t.Fatalf("node %d: %v", s.ID, err)
+		}
+		counts[key{r.Kind, s.Mobility, s.Type}]++
+		regionCounts[s.Region]++
+	}
+
+	// Table 1 rows.
+	wants := map[key]int{
+		{Road, Linear, Human}:     25,
+		{Road, Linear, Vehicle}:   25,
+		{Building, Stop, Human}:   30,
+		{Building, Random, Human}: 30,
+		{Building, Linear, Human}: 30,
+	}
+	for k, want := range wants {
+		if got := counts[k]; got != want {
+			t.Errorf("%v %v %v count = %d, want %d", k.kind, k.mob, k.typ, got, want)
+		}
+	}
+
+	// 10 per road, 15 per building.
+	for _, r := range c.Roads() {
+		if got := regionCounts[r.ID]; got != 10 {
+			t.Errorf("%s has %d nodes, want 10", r.ID, got)
+		}
+	}
+	for _, b := range c.Buildings() {
+		if got := regionCounts[b.ID]; got != 15 {
+			t.Errorf("%s has %d nodes, want 15", b.ID, got)
+		}
+	}
+}
+
+func TestTable1VelocityRanges(t *testing.T) {
+	c := New()
+	for _, s := range Table1Population(c) {
+		if err := s.Validate(); err != nil {
+			t.Errorf("node %d invalid: %v", s.ID, err)
+		}
+		r, _ := c.Region(s.Region)
+		switch {
+		case r.Kind == Road && s.Type == Human:
+			if s.MinSpeed != RoadHumanMinSpeed || s.MaxSpeed != RoadHumanMaxSpeed {
+				t.Errorf("node %d: road human speeds [%v, %v]", s.ID, s.MinSpeed, s.MaxSpeed)
+			}
+		case r.Kind == Road && s.Type == Vehicle:
+			if s.MinSpeed != RoadVehicleMinSpeed || s.MaxSpeed != RoadVehicleMaxSpeed {
+				t.Errorf("node %d: vehicle speeds [%v, %v]", s.ID, s.MinSpeed, s.MaxSpeed)
+			}
+		case s.Mobility == Stop:
+			if s.MaxSpeed != 0 {
+				t.Errorf("node %d: SS with speed %v", s.ID, s.MaxSpeed)
+			}
+		case s.Mobility == Random:
+			if s.MaxSpeed != BuildingRMSMaxSpeed {
+				t.Errorf("node %d: RMS max speed %v", s.ID, s.MaxSpeed)
+			}
+		case s.Mobility == Linear:
+			if s.MaxSpeed != BuildingLMSMaxSpeed {
+				t.Errorf("node %d: building LMS max speed %v", s.ID, s.MaxSpeed)
+			}
+		}
+		if s.Type == Vehicle && r.Kind == Building {
+			t.Errorf("node %d: vehicle inside a building", s.ID)
+		}
+	}
+}
+
+func TestTable1IDsDenseAndDeterministic(t *testing.T) {
+	c := New()
+	a := Table1Population(c)
+	b := Table1Population(c)
+	for i := range a {
+		if a[i].ID != i {
+			t.Fatalf("IDs not dense: specs[%d].ID = %d", i, a[i].ID)
+		}
+		if a[i] != b[i] {
+			t.Fatalf("population not deterministic at index %d", i)
+		}
+	}
+}
+
+func TestNodeSpecValidate(t *testing.T) {
+	valid := NodeSpec{ID: 1, Region: "R1", Mobility: Linear, Type: Human, MinSpeed: 1, MaxSpeed: 2}
+	if err := valid.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	tests := []struct {
+		name string
+		s    NodeSpec
+	}{
+		{"negative id", NodeSpec{ID: -1, Region: "R1", Mobility: Linear, MinSpeed: 1, MaxSpeed: 2}},
+		{"no region", NodeSpec{ID: 1, Mobility: Linear, MinSpeed: 1, MaxSpeed: 2}},
+		{"inverted speeds", NodeSpec{ID: 1, Region: "R1", Mobility: Linear, MinSpeed: 3, MaxSpeed: 2}},
+		{"moving stop node", NodeSpec{ID: 1, Region: "B1", Mobility: Stop, MinSpeed: 0, MaxSpeed: 1}},
+		{"immobile LMS node", NodeSpec{ID: 1, Region: "R1", Mobility: Linear, MinSpeed: 0, MaxSpeed: 0}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.s.Validate(); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if Stop.String() != "SS" || Random.String() != "RMS" || Linear.String() != "LMS" {
+		t.Error("Mobility strings wrong")
+	}
+	if Mobility(0).String() != "unknown" {
+		t.Error("zero Mobility should be unknown")
+	}
+	if Human.String() != "human" || Vehicle.String() != "vehicle" {
+		t.Error("NodeType strings wrong")
+	}
+	if NodeType(0).String() != "unknown" {
+		t.Error("zero NodeType should be unknown")
+	}
+}

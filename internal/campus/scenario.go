@@ -1,0 +1,149 @@
+package campus
+
+import (
+	"fmt"
+
+	"github.com/mobilegrid/adf/internal/geo"
+	"github.com/mobilegrid/adf/internal/mobility"
+	"github.com/mobilegrid/adf/internal/sim"
+)
+
+// TomScenario builds the paper's motivating scenario (section 3.1) as a
+// scheduled mobility model: an undergraduate's campus day of eleven
+// movement cases spanning the three mobility patterns.
+//
+//	(1) gate B → library B4 via R2        LMS
+//	(2) study 1 h                         SS
+//	(3) B4 → lecture hall B6 via R5       LMS
+//	(4) lecture 2 h                       SS
+//	(5) B6 → B4 via R5                    LMS
+//	(6) study 90 min                      SS
+//	(7) coffee break, wandering 30 min    RMS
+//	(8) B4 → chemistry B3 via R2–R1–R3    LMS (direction changes at crossroads)
+//	(9) hallway walk inside B3            LMS (turns follow the hallway)
+//	(10) lab experiment 3 h               RMS
+//	(11) B3 → gate A via R3–R1–R4         LMS
+//
+// The scale parameter compresses the dwell times (1 reproduces the full
+// ≈8.7-hour day; 60 compresses hours to minutes). Walking legs always
+// run at full length so the movement geometry is preserved.
+func TomScenario(c *Campus, rng *sim.RNG, scale float64) (*mobility.Schedule, error) {
+	if scale <= 0 {
+		return nil, fmt.Errorf("campus: scale must be positive, got %v", scale)
+	}
+	const walkSpeed = 1.4 // m/s, a brisk walk
+
+	gateA, err := c.Gate("A")
+	if err != nil {
+		return nil, err
+	}
+	gateB, err := c.Gate("B")
+	if err != nil {
+		return nil, err
+	}
+	b3, err := c.Region("B3")
+	if err != nil {
+		return nil, err
+	}
+	b4, err := c.Region("B4")
+	if err != nil {
+		return nil, err
+	}
+
+	// Landmark points.
+	library := geo.Point{X: 320, Y: 225}  // inside B4
+	lecture := geo.Point{X: 220, Y: 345}  // inside B6
+	lab := geo.Point{X: 80, Y: 345}       // inside B3
+	r2Top := geo.Point{X: 300, Y: 200}    // R2/R1 junction
+	r5Bottom := geo.Point{X: 240, Y: 200} // R5/R1 junction
+	r5Top := geo.Point{X: 240, Y: 320}    // top of R5
+	r3Bottom := geo.Point{X: 100, Y: 200} // R3/R1 junction
+	r3Top := geo.Point{X: 100, Y: 320}    // top of R3
+	r1West := geo.Point{X: 60, Y: 200}    // R1/R4 junction
+
+	var phases []mobility.Phase
+	walk := func(name string, route ...geo.Point) error {
+		m, err := mobility.NewWaypoints(mobility.WaypointsConfig{
+			Route:    route,
+			MinSpeed: walkSpeed,
+			MaxSpeed: walkSpeed,
+		}, rng)
+		if err != nil {
+			return err
+		}
+		var length float64
+		for i := 1; i < len(route); i++ {
+			length += route[i-1].Dist(route[i])
+		}
+		phases = append(phases, mobility.Phase{
+			Name:     name,
+			Duration: length / walkSpeed,
+			Model:    m,
+		})
+		return nil
+	}
+	stop := func(name string, at geo.Point, seconds float64) {
+		phases = append(phases, mobility.Phase{
+			Name:     name,
+			Duration: seconds / scale,
+			Model:    mobility.NewStop(at),
+		})
+	}
+	wander := func(name string, bounds geo.Rect, at geo.Point, seconds float64) error {
+		m, err := mobility.NewRandomWalk(bounds, at, 0, 1, rng)
+		if err != nil {
+			return err
+		}
+		phases = append(phases, mobility.Phase{
+			Name:     name,
+			Duration: seconds / scale,
+			Model:    m,
+		})
+		return nil
+	}
+
+	// (1) gate B → library through R2.
+	if err := walk("walk to library", gateB, r2Top, library); err != nil {
+		return nil, err
+	}
+	// (2) study for 1 hour.
+	stop("study", library, 3600)
+	// (3) library → lecture hall B6 through R5.
+	if err := walk("walk to lecture", library, r2Top, r5Bottom, r5Top, lecture); err != nil {
+		return nil, err
+	}
+	// (4) a 2-hour class.
+	stop("lecture", lecture, 2*3600)
+	// (5) back to the library.
+	if err := walk("walk back to library", lecture, r5Top, r5Bottom, r2Top, library); err != nil {
+		return nil, err
+	}
+	// (6) study for 90 minutes.
+	stop("study again", library, 90*60)
+	// (7) a 30-minute coffee break, moving slowly and randomly.
+	if err := wander("coffee break", b4.Bounds, library, 30*60); err != nil {
+		return nil, err
+	}
+	// (8) library → chemistry building B3 through R2, R1 and R3, with
+	// direction changes at the two crossroads.
+	if err := walk("walk to chemistry", library, r2Top, r3Bottom, r3Top, lab); err != nil {
+		return nil, err
+	}
+	// (9) along the hallway to the laboratory.
+	hall1 := geo.Point{X: 95, Y: 340}
+	hall2 := geo.Point{X: 95, Y: 355}
+	hall3 := geo.Point{X: 70, Y: 355}
+	if err := walk("hallway", lab, hall1, hall2, hall3); err != nil {
+		return nil, err
+	}
+	// (10) a 3-hour experiment, moving between instruments.
+	if err := wander("experiment", b3.Bounds, hall3, 3*3600); err != nil {
+		return nil, err
+	}
+	// (11) leave: B3 → gate A through R3, R1 and R4.
+	if err := walk("leave for part-time job", hall3, r3Top, r3Bottom, r1West, gateA); err != nil {
+		return nil, err
+	}
+
+	return mobility.NewSchedule(phases)
+}

@@ -1,0 +1,101 @@
+package campus
+
+import (
+	"testing"
+
+	"github.com/mobilegrid/adf/internal/sim"
+)
+
+func TestTomScenarioValidation(t *testing.T) {
+	c := New()
+	if _, err := TomScenario(c, sim.NewRNG(1), 0); err == nil {
+		t.Error("zero scale accepted")
+	}
+	if _, err := TomScenario(c, sim.NewRNG(1), -1); err == nil {
+		t.Error("negative scale accepted")
+	}
+}
+
+func TestTomScenarioFullDay(t *testing.T) {
+	c := New()
+	s, err := TomScenario(c, sim.NewRNG(7), 60) // hours compressed to minutes
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gateB, _ := c.Gate("B")
+	if got := s.Pos(); got.Dist(gateB) > 1e-9 {
+		t.Fatalf("day starts at %v, want gate B %v", got, gateB)
+	}
+
+	// Walk through the whole day, tracking which regions are visited and
+	// that the position never leaves the campus's known regions by more
+	// than the road half-width (corners cut across junction gaps).
+	visited := map[RegionID]bool{}
+	offGrid := 0
+	steps := int(s.TotalDuration()) + 1
+	for i := 0; i < steps; i++ {
+		p := s.Advance(1)
+		if id, ok := c.RegionAt(p); ok {
+			visited[id] = true
+		} else {
+			offGrid++
+		}
+	}
+	// The scenario's key destinations are all visited.
+	for _, want := range []RegionID{"R2", "B4", "R5", "B6", "R1", "R3", "B3", "R4"} {
+		if !visited[want] {
+			t.Errorf("scenario never visited %s (visited %v)", want, visited)
+		}
+	}
+	// The trajectory stays essentially on the grid. Short excursions are
+	// expected where legs cut the corner between a building door and the
+	// road corridor (crossing a courtyard).
+	if frac := float64(offGrid) / float64(steps); frac > 0.05 {
+		t.Errorf("%.1f%% of samples off the campus grid", 100*frac)
+	}
+	// The day ends at gate A.
+	gateA, _ := c.Gate("A")
+	if got := s.Pos(); got.Dist(gateA) > 2 {
+		t.Errorf("day ends at %v, want ≈gate A %v", got, gateA)
+	}
+	if s.Phase() != "done" {
+		t.Errorf("Phase = %q, want done", s.Phase())
+	}
+}
+
+func TestTomScenarioScaleCompressesDwells(t *testing.T) {
+	c := New()
+	full, err := TomScenario(c, sim.NewRNG(1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compressed, err := TomScenario(c, sim.NewRNG(1), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.TotalDuration() <= compressed.TotalDuration() {
+		t.Errorf("scale did not compress: %v <= %v", full.TotalDuration(), compressed.TotalDuration())
+	}
+	// The full day is ≈8.7 h of dwells plus ≈20 min of walking.
+	if d := full.TotalDuration(); d < 8*3600 || d > 10*3600 {
+		t.Errorf("full day = %v s, want ≈8.7 h", d)
+	}
+}
+
+func TestTomScenarioDeterministic(t *testing.T) {
+	c := New()
+	a, err := TomScenario(c, sim.NewRNG(5), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TomScenario(c, sim.NewRNG(5), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if a.Advance(1) != b.Advance(1) {
+			t.Fatalf("scenario diverged at step %d", i)
+		}
+	}
+}

@@ -1,0 +1,281 @@
+// Package cluster implements the sequential clustering scheme the ADF uses
+// to group mobile nodes with similar motion (section 3.2.1 of the paper,
+// following the Basic Sequential Algorithmic Scheme of Theodoridis &
+// Koutroumbas, "Pattern Recognition").
+//
+// Each mobile node contributes a Feature — its measured speed and heading.
+// The manager compares the node against existing cluster representatives;
+// if the closest cluster is within the similarity bound α the node joins
+// it, otherwise a new cluster is created. Because a node's mobility changes
+// over time, memberships can be updated incrementally and the whole
+// clustering can be rebuilt (the ADF's step-(6) "reconstruction").
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/mobilegrid/adf/internal/geo"
+)
+
+// NodeID identifies a mobile node within the clustering.
+type NodeID int
+
+// ID identifies a cluster. IDs are never reused within one Manager.
+type ID int
+
+// None is the ID returned for nodes that are not clustered.
+const None ID = 0
+
+// Feature is the motion summary the ADF clusters on: mean speed in m/s and
+// mean heading in radians.
+type Feature struct {
+	Speed   float64
+	Heading float64
+}
+
+// Config parameterises the sequential clustering.
+type Config struct {
+	// Alpha is the similarity bound: a node joins the nearest cluster only
+	// if its distance to the cluster representative is below Alpha.
+	// The paper calls this "the minimum difference in velocity (α)".
+	Alpha float64
+	// HeadingWeight converts heading difference (radians, at most π) into
+	// the same units as speed difference (m/s). Zero clusters on speed
+	// alone.
+	HeadingWeight float64
+	// MaxClusters caps the number of clusters; once reached, nodes join
+	// the nearest cluster regardless of Alpha. Zero means unlimited.
+	MaxClusters int
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Alpha <= 0 {
+		return fmt.Errorf("cluster: Alpha must be positive, got %v", c.Alpha)
+	}
+	if c.HeadingWeight < 0 {
+		return fmt.Errorf("cluster: HeadingWeight must be non-negative, got %v", c.HeadingWeight)
+	}
+	if c.MaxClusters < 0 {
+		return fmt.Errorf("cluster: MaxClusters must be non-negative, got %v", c.MaxClusters)
+	}
+	return nil
+}
+
+// DefaultConfig matches the experiment setup: α of 1 m/s with a mild
+// heading contribution.
+func DefaultConfig() Config {
+	return Config{Alpha: 1.0, HeadingWeight: 0.25}
+}
+
+// Cluster is one group of similar nodes. Its representative is the running
+// mean of the members' features.
+type Cluster struct {
+	id      ID
+	members map[NodeID]Feature
+	// Running sums for the representative.
+	speedSum float64
+	cosSum   float64
+	sinSum   float64
+}
+
+// ID returns the cluster's identifier.
+func (c *Cluster) ID() ID { return c.id }
+
+// Size returns the number of member nodes.
+func (c *Cluster) Size() int { return len(c.members) }
+
+// MeanSpeed returns the mean speed of the members, the quantity the ADF
+// sizes its distance threshold from.
+func (c *Cluster) MeanSpeed() float64 {
+	if len(c.members) == 0 {
+		return 0
+	}
+	return c.speedSum / float64(len(c.members))
+}
+
+// MeanHeading returns the circular mean heading of the members.
+func (c *Cluster) MeanHeading() float64 {
+	if c.cosSum == 0 && c.sinSum == 0 {
+		return 0
+	}
+	return geo.NormalizeAngle(math.Atan2(c.sinSum, c.cosSum))
+}
+
+// Members returns the member IDs in ascending order.
+func (c *Cluster) Members() []NodeID {
+	ids := make([]NodeID, 0, len(c.members))
+	for id := range c.members {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func (c *Cluster) add(id NodeID, f Feature) {
+	c.members[id] = f
+	c.speedSum += f.Speed
+	c.cosSum += math.Cos(f.Heading)
+	c.sinSum += math.Sin(f.Heading)
+}
+
+func (c *Cluster) remove(id NodeID) bool {
+	f, ok := c.members[id]
+	if !ok {
+		return false
+	}
+	delete(c.members, id)
+	c.speedSum -= f.Speed
+	c.cosSum -= math.Cos(f.Heading)
+	c.sinSum -= math.Sin(f.Heading)
+	if len(c.members) == 0 {
+		c.speedSum, c.cosSum, c.sinSum = 0, 0, 0
+	}
+	return true
+}
+
+// Manager maintains the live clustering. It is not safe for concurrent
+// use; the simulation engine is single-threaded.
+type Manager struct {
+	cfg      Config
+	clusters map[ID]*Cluster
+	byNode   map[NodeID]ID
+	nextID   ID
+}
+
+// NewManager returns an empty clustering with the given configuration.
+func NewManager(cfg Config) (*Manager, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Manager{
+		cfg:      cfg,
+		clusters: make(map[ID]*Cluster),
+		byNode:   make(map[NodeID]ID),
+		nextID:   1,
+	}, nil
+}
+
+// distance is the similarity difference d(MN, C) between a feature and a
+// cluster representative.
+func (m *Manager) distance(f Feature, c *Cluster) float64 {
+	d := math.Abs(f.Speed - c.MeanSpeed())
+	if m.cfg.HeadingWeight > 0 {
+		d += m.cfg.HeadingWeight * geo.AngleDiff(f.Heading, c.MeanHeading())
+	}
+	return d
+}
+
+// nearest returns the closest cluster and its distance, or nil when there
+// are no clusters. Ties break towards the lowest cluster ID so runs are
+// deterministic.
+func (m *Manager) nearest(f Feature) (*Cluster, float64) {
+	var best *Cluster
+	bestD := math.Inf(1)
+	ids := make([]ID, 0, len(m.clusters))
+	for id := range m.clusters {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		c := m.clusters[id]
+		if d := m.distance(f, c); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best, bestD
+}
+
+// Assign places (or re-places) a node according to the sequential scheme
+// and returns the cluster it ends up in. Updating an existing node first
+// removes it from its old cluster so the representative stays exact.
+func (m *Manager) Assign(id NodeID, f Feature) ID {
+	m.Remove(id)
+	c, d := m.nearest(f)
+	join := c != nil && d < m.cfg.Alpha
+	if !join && c != nil && m.cfg.MaxClusters > 0 && len(m.clusters) >= m.cfg.MaxClusters {
+		join = true // capped: accept the nearest even beyond α
+	}
+	if !join {
+		c = &Cluster{id: m.nextID, members: make(map[NodeID]Feature)}
+		m.nextID++
+		m.clusters[c.id] = c
+	}
+	c.add(id, f)
+	m.byNode[id] = c.id
+	return c.id
+}
+
+// Remove deletes a node from the clustering, dropping its cluster if it
+// becomes empty. It reports whether the node was present.
+func (m *Manager) Remove(id NodeID) bool {
+	cid, ok := m.byNode[id]
+	if !ok {
+		return false
+	}
+	delete(m.byNode, id)
+	c := m.clusters[cid]
+	c.remove(id)
+	if c.Size() == 0 {
+		delete(m.clusters, cid)
+	}
+	return true
+}
+
+// ClusterOf returns the cluster a node belongs to, or (None, false).
+func (m *Manager) ClusterOf(id NodeID) (ID, bool) {
+	cid, ok := m.byNode[id]
+	return cid, ok
+}
+
+// Cluster returns the cluster with the given ID, or nil.
+func (m *Manager) Cluster(id ID) *Cluster { return m.clusters[id] }
+
+// MeanSpeedOf returns the mean speed of the node's cluster, or (0, false)
+// for unclustered nodes.
+func (m *Manager) MeanSpeedOf(id NodeID) (float64, bool) {
+	cid, ok := m.byNode[id]
+	if !ok {
+		return 0, false
+	}
+	return m.clusters[cid].MeanSpeed(), true
+}
+
+// Len returns the number of clusters.
+func (m *Manager) Len() int { return len(m.clusters) }
+
+// NodeCount returns the number of clustered nodes.
+func (m *Manager) NodeCount() int { return len(m.byNode) }
+
+// Clusters returns the clusters ordered by ID.
+func (m *Manager) Clusters() []*Cluster {
+	ids := make([]ID, 0, len(m.clusters))
+	for id := range m.clusters {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]*Cluster, len(ids))
+	for i, id := range ids {
+		out[i] = m.clusters[id]
+	}
+	return out
+}
+
+// Rebuild discards the current clustering and re-runs the sequential pass
+// over the given features in ascending node-ID order (the ADF's periodic
+// cluster reconstruction). It returns the number of clusters formed.
+func (m *Manager) Rebuild(features map[NodeID]Feature) int {
+	m.clusters = make(map[ID]*Cluster)
+	m.byNode = make(map[NodeID]ID)
+	ids := make([]NodeID, 0, len(features))
+	for id := range features {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		m.Assign(id, features[id])
+	}
+	return len(m.clusters)
+}

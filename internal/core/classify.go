@@ -1,0 +1,190 @@
+// Package core implements the paper's contribution: the mobility-pattern
+// classifier of Figure 2 and the Adaptive Distance Filter (ADF) that
+// clusters mobile nodes by motion and filters their location updates with
+// per-cluster distance thresholds.
+package core
+
+import (
+	"fmt"
+
+	"github.com/mobilegrid/adf/internal/cluster"
+	"github.com/mobilegrid/adf/internal/geo"
+)
+
+// MobilityPattern is the three-way classification of section 3.1.
+type MobilityPattern int
+
+const (
+	// PatternUnknown means the classifier has not seen enough samples.
+	PatternUnknown MobilityPattern = iota
+	// PatternStop is the Stop State (SS): no movement.
+	PatternStop
+	// PatternRandom is the Random Movement State (RMS).
+	PatternRandom
+	// PatternLinear is the Linear Movement State (LMS): movement towards a
+	// destination.
+	PatternLinear
+)
+
+// String implements fmt.Stringer.
+func (p MobilityPattern) String() string {
+	switch p {
+	case PatternStop:
+		return "SS"
+	case PatternRandom:
+		return "RMS"
+	case PatternLinear:
+		return "LMS"
+	default:
+		return "unknown"
+	}
+}
+
+// ClassifierConfig tunes the Figure-2 algorithm. The paper's pseudo-code
+// leaves "Vmn and Dmn are constant" unquantified; we operationalise it
+// with stability bounds over a sliding sample window.
+type ClassifierConfig struct {
+	// WindowSize is the number of recent position samples considered.
+	WindowSize int
+	// WalkSpeed is V_walk, the maximum walking speed in m/s. Faster nodes
+	// are running or in a vehicle and are classified LMS outright.
+	WalkSpeed float64
+	// StopSpeed is the mean speed below which a node is in the Stop State.
+	StopSpeed float64
+	// SpeedStability is the maximum standard deviation of per-step speed
+	// (m/s) for the speed to count as "constant".
+	SpeedStability float64
+	// HeadingStability is the maximum circular variance (0..1) of per-step
+	// headings for the direction to count as "constant".
+	HeadingStability float64
+}
+
+// DefaultClassifierConfig returns the thresholds used by the experiments.
+func DefaultClassifierConfig() ClassifierConfig {
+	return ClassifierConfig{
+		WindowSize:       8,
+		WalkSpeed:        2.0,
+		StopSpeed:        0.05,
+		SpeedStability:   0.5,
+		HeadingStability: 0.2,
+	}
+}
+
+// Validate reports configuration errors.
+func (c ClassifierConfig) Validate() error {
+	if c.WindowSize < 2 {
+		return fmt.Errorf("core: WindowSize must be at least 2, got %d", c.WindowSize)
+	}
+	if c.WalkSpeed <= 0 {
+		return fmt.Errorf("core: WalkSpeed must be positive, got %v", c.WalkSpeed)
+	}
+	if c.StopSpeed < 0 || c.StopSpeed >= c.WalkSpeed {
+		return fmt.Errorf("core: StopSpeed %v outside [0, WalkSpeed)", c.StopSpeed)
+	}
+	if c.SpeedStability < 0 {
+		return fmt.Errorf("core: SpeedStability must be non-negative, got %v", c.SpeedStability)
+	}
+	if c.HeadingStability < 0 || c.HeadingStability > 1 {
+		return fmt.Errorf("core: HeadingStability %v outside [0, 1]", c.HeadingStability)
+	}
+	return nil
+}
+
+// Classifier implements the Figure-2 mobility-pattern classification for
+// one mobile node from its raw position samples.
+type Classifier struct {
+	cfg ClassifierConfig
+	// Ring buffers of the most recent WindowSize samples.
+	times  []float64
+	points []geo.Point
+	// Derived per-step motion (len = len(times)-1 when full).
+	speeds   []float64
+	headings []float64 // only steps with actual movement contribute
+}
+
+// NewClassifier returns a classifier for one node.
+func NewClassifier(cfg ClassifierConfig) (*Classifier, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Classifier{cfg: cfg}, nil
+}
+
+// Observe feeds the node's next position sample. Samples with
+// non-advancing timestamps are ignored.
+func (c *Classifier) Observe(t float64, p geo.Point) {
+	n := len(c.times)
+	if n > 0 && t <= c.times[n-1] {
+		return
+	}
+	c.times = append(c.times, t)
+	c.points = append(c.points, p)
+	if len(c.times) > c.cfg.WindowSize {
+		c.times = c.times[1:]
+		c.points = c.points[1:]
+	}
+	c.recompute()
+}
+
+func (c *Classifier) recompute() {
+	c.speeds = c.speeds[:0]
+	c.headings = c.headings[:0]
+	for i := 1; i < len(c.times); i++ {
+		dt := c.times[i] - c.times[i-1]
+		d := c.points[i].Sub(c.points[i-1])
+		speed := d.Len() / dt
+		c.speeds = append(c.speeds, speed)
+		if speed > c.cfg.StopSpeed {
+			c.headings = append(c.headings, d.Heading())
+		}
+	}
+}
+
+// Ready reports whether enough samples have arrived to classify.
+func (c *Classifier) Ready() bool {
+	return len(c.times) >= c.cfg.WindowSize
+}
+
+// Samples returns the number of buffered samples (at most WindowSize).
+func (c *Classifier) Samples() int { return len(c.times) }
+
+// MeanSpeed returns the node's mean speed over the window, V_mn in the
+// paper's notation.
+func (c *Classifier) MeanSpeed() float64 { return geo.Mean(c.speeds) }
+
+// MeanHeading returns the circular mean heading over the window's moving
+// steps, D_mn in the paper's notation.
+func (c *Classifier) MeanHeading() float64 { return geo.CircularMean(c.headings) }
+
+// Feature returns the clustering feature derived from the window.
+func (c *Classifier) Feature() cluster.Feature {
+	return cluster.Feature{Speed: c.MeanSpeed(), Heading: c.MeanHeading()}
+}
+
+// Pattern runs the Figure-2 classification:
+//
+//	if V_mn == 0                         → Stop
+//	else if V_mn > V_walk                → Linear (running or in a vehicle)
+//	else if V_mn and D_mn are constant   → Linear (walking to a destination)
+//	else                                 → Random
+//
+// It returns PatternUnknown until the window is full.
+func (c *Classifier) Pattern() MobilityPattern {
+	if !c.Ready() {
+		return PatternUnknown
+	}
+	v := c.MeanSpeed()
+	switch {
+	case v <= c.cfg.StopSpeed:
+		return PatternStop
+	case v > c.cfg.WalkSpeed:
+		return PatternLinear
+	default:
+		speedStable := geo.StdDev(c.speeds) <= c.cfg.SpeedStability
+		headingStable := geo.CircularVariance(c.headings) <= c.cfg.HeadingStability
+		if speedStable && headingStable {
+			return PatternLinear
+		}
+		return PatternRandom
+	}
+}

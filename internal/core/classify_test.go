@@ -1,0 +1,216 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/mobilegrid/adf/internal/geo"
+	"github.com/mobilegrid/adf/internal/sim"
+)
+
+func mustClassifier(t *testing.T, cfg ClassifierConfig) *Classifier {
+	t.Helper()
+	c, err := NewClassifier(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestClassifierConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*ClassifierConfig)
+		wantErr bool
+	}{
+		{"default", func(*ClassifierConfig) {}, false},
+		{"window too small", func(c *ClassifierConfig) { c.WindowSize = 1 }, true},
+		{"zero walk speed", func(c *ClassifierConfig) { c.WalkSpeed = 0 }, true},
+		{"negative stop speed", func(c *ClassifierConfig) { c.StopSpeed = -1 }, true},
+		{"stop above walk", func(c *ClassifierConfig) { c.StopSpeed = 3 }, true},
+		{"negative speed stability", func(c *ClassifierConfig) { c.SpeedStability = -1 }, true},
+		{"heading stability above 1", func(c *ClassifierConfig) { c.HeadingStability = 1.5 }, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultClassifierConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func feed(c *Classifier, positions []geo.Point) {
+	for i, p := range positions {
+		c.Observe(float64(i), p)
+	}
+}
+
+// walk generates n positions starting at origin with per-step displacement
+// given by step(i).
+func walk(n int, step func(i int) geo.Vec) []geo.Point {
+	pts := make([]geo.Point, n)
+	p := geo.Point{}
+	for i := 0; i < n; i++ {
+		pts[i] = p
+		p = p.Add(step(i))
+	}
+	return pts
+}
+
+func TestPatternUnknownBeforeWindowFull(t *testing.T) {
+	c := mustClassifier(t, DefaultClassifierConfig())
+	for i := 0; i < DefaultClassifierConfig().WindowSize-1; i++ {
+		c.Observe(float64(i), geo.Point{X: float64(i)})
+		if got := c.Pattern(); got != PatternUnknown {
+			t.Fatalf("Pattern after %d samples = %v, want unknown", i+1, got)
+		}
+	}
+	if c.Ready() {
+		t.Error("Ready before window full")
+	}
+	c.Observe(100, geo.Point{X: 100})
+	if !c.Ready() {
+		t.Error("not Ready after window full")
+	}
+}
+
+func TestClassifyStopState(t *testing.T) {
+	c := mustClassifier(t, DefaultClassifierConfig())
+	feed(c, walk(10, func(int) geo.Vec { return geo.Vec{} }))
+	if got := c.Pattern(); got != PatternStop {
+		t.Errorf("Pattern = %v, want SS", got)
+	}
+	if got := c.MeanSpeed(); got != 0 {
+		t.Errorf("MeanSpeed = %v, want 0", got)
+	}
+}
+
+func TestClassifyLinearWalking(t *testing.T) {
+	// Constant 1.2 m/s due north: below V_walk but stable → LMS.
+	c := mustClassifier(t, DefaultClassifierConfig())
+	feed(c, walk(10, func(int) geo.Vec { return geo.Vec{DY: 1.2} }))
+	if got := c.Pattern(); got != PatternLinear {
+		t.Errorf("Pattern = %v, want LMS", got)
+	}
+	if got := c.MeanSpeed(); math.Abs(got-1.2) > 1e-9 {
+		t.Errorf("MeanSpeed = %v, want 1.2", got)
+	}
+	if got := c.MeanHeading(); geo.AngleDiff(got, math.Pi/2) > 1e-9 {
+		t.Errorf("MeanHeading = %v, want π/2", got)
+	}
+}
+
+func TestClassifyLinearVehicle(t *testing.T) {
+	// 8 m/s: above V_walk → LMS regardless of stability.
+	c := mustClassifier(t, DefaultClassifierConfig())
+	rng := sim.NewRNG(3)
+	feed(c, walk(10, func(int) geo.Vec {
+		return geo.FromHeading(rng.Heading(), 8) // erratic direction, high speed
+	}))
+	if got := c.Pattern(); got != PatternLinear {
+		t.Errorf("Pattern = %v, want LMS (vehicle)", got)
+	}
+}
+
+func TestClassifyRandomMovement(t *testing.T) {
+	// Walking speed with chaotic headings → RMS.
+	c := mustClassifier(t, DefaultClassifierConfig())
+	rng := sim.NewRNG(7)
+	feed(c, walk(10, func(int) geo.Vec {
+		return geo.FromHeading(rng.Heading(), 0.8)
+	}))
+	if got := c.Pattern(); got != PatternRandom {
+		t.Errorf("Pattern = %v, want RMS", got)
+	}
+}
+
+func TestClassifyRandomSpeedFluctuation(t *testing.T) {
+	// Stable heading but wildly varying speed → RMS.
+	c := mustClassifier(t, DefaultClassifierConfig())
+	speeds := []float64{0.1, 1.9, 0.1, 1.9, 0.1, 1.9, 0.1, 1.9, 0.1, 1.9}
+	i := 0
+	feed(c, walk(10, func(int) geo.Vec {
+		v := geo.Vec{DX: speeds[i%len(speeds)]}
+		i++
+		return v
+	}))
+	if got := c.Pattern(); got != PatternRandom {
+		t.Errorf("Pattern = %v, want RMS (unstable speed)", got)
+	}
+}
+
+func TestPatternTransition(t *testing.T) {
+	// A node that stops: the sliding window forgets the old motion.
+	c := mustClassifier(t, DefaultClassifierConfig())
+	tm := 0.0
+	p := geo.Point{}
+	for i := 0; i < 10; i++ {
+		c.Observe(tm, p)
+		p = p.Add(geo.Vec{DX: 1.2})
+		tm++
+	}
+	if got := c.Pattern(); got != PatternLinear {
+		t.Fatalf("initial Pattern = %v, want LMS", got)
+	}
+	for i := 0; i < 12; i++ {
+		c.Observe(tm, p) // stays put
+		tm++
+	}
+	if got := c.Pattern(); got != PatternStop {
+		t.Errorf("Pattern after stopping = %v, want SS", got)
+	}
+}
+
+func TestObserveIgnoresNonAdvancingTime(t *testing.T) {
+	c := mustClassifier(t, DefaultClassifierConfig())
+	c.Observe(1, geo.Point{})
+	c.Observe(1, geo.Point{X: 100}) // ignored
+	c.Observe(0.5, geo.Point{X: 50})
+	if c.Samples() != 1 {
+		t.Errorf("Samples = %d, want 1", c.Samples())
+	}
+}
+
+func TestFeature(t *testing.T) {
+	c := mustClassifier(t, DefaultClassifierConfig())
+	feed(c, walk(10, func(int) geo.Vec { return geo.Vec{DX: 2.0} }))
+	f := c.Feature()
+	if math.Abs(f.Speed-2.0) > 1e-9 {
+		t.Errorf("Feature.Speed = %v, want 2.0", f.Speed)
+	}
+	if geo.AngleDiff(f.Heading, 0) > 1e-9 {
+		t.Errorf("Feature.Heading = %v, want 0", f.Heading)
+	}
+}
+
+func TestMobilityPatternString(t *testing.T) {
+	tests := []struct {
+		p    MobilityPattern
+		want string
+	}{
+		{PatternStop, "SS"},
+		{PatternRandom, "RMS"},
+		{PatternLinear, "LMS"},
+		{PatternUnknown, "unknown"},
+		{MobilityPattern(99), "unknown"},
+	}
+	for _, tt := range tests {
+		if got := tt.p.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", int(tt.p), got, tt.want)
+		}
+	}
+}
+
+func TestWindowSlides(t *testing.T) {
+	cfg := DefaultClassifierConfig()
+	c := mustClassifier(t, cfg)
+	for i := 0; i < cfg.WindowSize*3; i++ {
+		c.Observe(float64(i), geo.Point{X: float64(i)})
+	}
+	if c.Samples() != cfg.WindowSize {
+		t.Errorf("Samples = %d, want %d", c.Samples(), cfg.WindowSize)
+	}
+}

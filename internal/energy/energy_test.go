@@ -1,0 +1,125 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestModelValidate(t *testing.T) {
+	if err := DefaultModel().Validate(); err != nil {
+		t.Errorf("default model invalid: %v", err)
+	}
+	bad := []Model{
+		{TxJoulesPerLU: -1, IdleWatts: 0, BatteryJoules: 1},
+		{TxJoulesPerLU: 0, IdleWatts: -1, BatteryJoules: 1},
+		{TxJoulesPerLU: 0, IdleWatts: 0, BatteryJoules: 0},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("model %d accepted: %+v", i, m)
+		}
+	}
+}
+
+func TestSpent(t *testing.T) {
+	m := Model{TxJoulesPerLU: 2, IdleWatts: 0.5, BatteryJoules: 100}
+	if got := m.Spent(10, 20); got != 2*10+0.5*20 {
+		t.Errorf("Spent = %v", got)
+	}
+	if got := m.Spent(0, 0); got != 0 {
+		t.Errorf("Spent(0,0) = %v", got)
+	}
+}
+
+func TestLifetime(t *testing.T) {
+	m := Model{TxJoulesPerLU: 1, IdleWatts: 1, BatteryJoules: 100}
+	// 1 LU/s: drain 2 W -> 50 s.
+	if got := m.Lifetime(1); got != 50 {
+		t.Errorf("Lifetime(1) = %v", got)
+	}
+	// Filtering extends lifetime: fewer LUs per second, longer life.
+	if m.Lifetime(0.5) <= m.Lifetime(1) {
+		t.Error("lower rate did not extend lifetime")
+	}
+	zero := Model{BatteryJoules: 100}
+	if got := zero.Lifetime(0); got != 0 {
+		t.Errorf("drainless Lifetime = %v, want 0", got)
+	}
+}
+
+func TestLifetimeMonotoneProperty(t *testing.T) {
+	m := DefaultModel()
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		ra := math.Abs(math.Mod(a, 100))
+		rb := math.Abs(math.Mod(b, 100))
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		return m.Lifetime(ra) >= m.Lifetime(rb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccountant(t *testing.T) {
+	if _, err := NewAccountant(Model{BatteryJoules: -1}); err == nil {
+		t.Error("invalid model accepted")
+	}
+	a, err := NewAccountant(Model{TxJoulesPerLU: 2, IdleWatts: 1, BatteryJoules: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.ChargeTx(1)
+	a.ChargeTx(1)
+	a.ChargeIdle(1, 10)
+	a.ChargeIdle(2, 5)
+	if got := a.Spent(1); got != 2*2+10 {
+		t.Errorf("Spent(1) = %v", got)
+	}
+	if got := a.Spent(2); got != 5 {
+		t.Errorf("Spent(2) = %v", got)
+	}
+	if got := a.Spent(3); got != 0 {
+		t.Errorf("Spent(untracked) = %v", got)
+	}
+	if got := a.Total(); got != 19 {
+		t.Errorf("Total = %v", got)
+	}
+	if got := a.MeanSpent(); got != 9.5 {
+		t.Errorf("MeanSpent = %v", got)
+	}
+	nodes := a.Nodes()
+	if len(nodes) != 2 || nodes[0] != 1 || nodes[1] != 2 {
+		t.Errorf("Nodes = %v", nodes)
+	}
+	// Remaining: node 1 has 86/100, node 2 has 95/100.
+	want := (0.86 + 0.95) / 2
+	if got := a.RemainingFraction(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("RemainingFraction = %v, want %v", got, want)
+	}
+	if a.Model().TxJoulesPerLU != 2 {
+		t.Error("Model accessor mismatch")
+	}
+}
+
+func TestAccountantEmptyAndExhausted(t *testing.T) {
+	a, err := NewAccountant(Model{TxJoulesPerLU: 1000, IdleWatts: 0, BatteryJoules: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.RemainingFraction(); got != 1 {
+		t.Errorf("empty RemainingFraction = %v, want 1", got)
+	}
+	if got := a.MeanSpent(); got != 0 {
+		t.Errorf("empty MeanSpent = %v", got)
+	}
+	a.ChargeTx(1) // 1000 J > 100 J capacity
+	if got := a.RemainingFraction(); got != 0 {
+		t.Errorf("over-drained RemainingFraction = %v, want clamped 0", got)
+	}
+}

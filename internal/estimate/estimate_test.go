@@ -1,0 +1,398 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/mobilegrid/adf/internal/geo"
+)
+
+func TestNewBrownValidation(t *testing.T) {
+	for _, alpha := range []float64{-0.5, 0, 1, 1.5} {
+		if _, err := NewBrown(alpha); err == nil {
+			t.Errorf("NewBrown(%v) should error", alpha)
+		}
+	}
+	if _, err := NewBrown(0.5); err != nil {
+		t.Errorf("NewBrown(0.5): %v", err)
+	}
+}
+
+func TestBrownConstantSeries(t *testing.T) {
+	b, err := NewBrown(0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		b.Observe(7)
+	}
+	if got := b.Level(); math.Abs(got-7) > 1e-9 {
+		t.Errorf("Level = %v, want 7", got)
+	}
+	if got := b.Trend(); math.Abs(got) > 1e-9 {
+		t.Errorf("Trend = %v, want 0", got)
+	}
+	if got := b.Forecast(10); math.Abs(got-7) > 1e-9 {
+		t.Errorf("Forecast(10) = %v, want 7", got)
+	}
+}
+
+func TestBrownLinearSeriesConverges(t *testing.T) {
+	// For x_t = a + b·t Brown's method converges to level=x_t, trend=b.
+	b, err := NewBrown(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last float64
+	for i := 0; i < 200; i++ {
+		last = 3 + 2*float64(i)
+		b.Observe(last)
+	}
+	if got := b.Trend(); math.Abs(got-2) > 1e-6 {
+		t.Errorf("Trend = %v, want 2", got)
+	}
+	if got := b.Level(); math.Abs(got-last) > 1e-6 {
+		t.Errorf("Level = %v, want %v", got, last)
+	}
+	if got := b.Forecast(5); math.Abs(got-(last+10)) > 1e-5 {
+		t.Errorf("Forecast(5) = %v, want %v", got, last+10)
+	}
+}
+
+func TestBrownLinearConvergenceProperty(t *testing.T) {
+	// Convergence to any slope/intercept for any valid alpha.
+	f := func(rawAlpha, rawA, rawB float64) bool {
+		if anyBad(rawAlpha, rawA, rawB) {
+			return true
+		}
+		alpha := 0.1 + math.Abs(math.Mod(rawAlpha, 0.8)) // (0.1, 0.9)
+		a := math.Mod(rawA, 100)
+		slope := math.Mod(rawB, 10)
+		b, err := NewBrown(alpha)
+		if err != nil {
+			return false
+		}
+		var last float64
+		for i := 0; i < 400; i++ {
+			last = a + slope*float64(i)
+			b.Observe(last)
+		}
+		return math.Abs(b.Trend()-slope) < 1e-3 && math.Abs(b.Level()-last) < 1e-2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func anyBad(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSingleSmoothing(t *testing.T) {
+	if _, err := NewSingle(0); err == nil {
+		t.Error("NewSingle(0) should error")
+	}
+	s, err := NewSingle(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Observe(10)
+	if s.Level() != 10 {
+		t.Errorf("first Level = %v, want 10", s.Level())
+	}
+	s.Observe(20)
+	if got := s.Level(); math.Abs(got-13) > 1e-9 { // 0.3*20 + 0.7*10
+		t.Errorf("Level = %v, want 13", got)
+	}
+	if s.N() != 2 {
+		t.Errorf("N = %v, want 2", s.N())
+	}
+}
+
+func TestBrownLEStraightLineMotion(t *testing.T) {
+	// A node moving at a constant 2 m/s along +x: after a few updates the
+	// LE should predict future positions almost exactly.
+	le, err := NewBrownLE(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= 10; i++ {
+		le.Observe(float64(i), geo.Point{X: 2 * float64(i)})
+	}
+	if !le.Ready() {
+		t.Fatal("LE not ready after 10 updates")
+	}
+	got := le.Predict(15)
+	want := geo.Point{X: 30}
+	if got.Dist(want) > 0.05 {
+		t.Errorf("Predict(15) = %v, want ~%v", got, want)
+	}
+}
+
+func TestBrownLEDiagonalMotion(t *testing.T) {
+	le, err := NewBrownLE(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 m/s along the 45-degree diagonal.
+	step := math.Sqrt2 / 2
+	for i := 0; i <= 20; i++ {
+		le.Observe(float64(i), geo.Point{X: step * float64(i), Y: step * float64(i)})
+	}
+	got := le.Predict(25)
+	want := geo.Point{X: step * 25, Y: step * 25}
+	if got.Dist(want) > 0.1 {
+		t.Errorf("Predict(25) = %v, want ~%v", got, want)
+	}
+}
+
+func TestBrownLEHeadingWraparound(t *testing.T) {
+	// Motion heading just below 2π (slightly south of east). Componentwise
+	// angle smoothing would average 0.05 and 2π-0.05 to π; circular
+	// smoothing must not.
+	le, err := NewBrownLE(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := geo.Point{}
+	for i := 0; i < 20; i++ {
+		h := 2*math.Pi - 0.05
+		if i%2 == 0 {
+			h = 0.05
+		}
+		p = p.Add(geo.FromHeading(h, 1))
+		le.Observe(float64(i), p)
+	}
+	pred := le.Predict(25)
+	// Net motion is almost due east; the forecast must move east too.
+	if pred.X <= p.X {
+		t.Errorf("wraparound smoothing failed: Predict = %v, last = %v", pred, p)
+	}
+}
+
+func TestBrownLEStationaryNode(t *testing.T) {
+	le, err := NewBrownLE(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := geo.Point{X: 5, Y: 5}
+	for i := 0; i < 10; i++ {
+		le.Observe(float64(i), p)
+	}
+	if got := le.Predict(20); got.Dist(p) > 1e-9 {
+		t.Errorf("stationary Predict = %v, want %v", got, p)
+	}
+}
+
+func TestBrownLEEdgeCases(t *testing.T) {
+	le, err := NewBrownLE(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No observations at all: predict the origin rather than panicking.
+	if got := le.Predict(5); got != (geo.Point{}) {
+		t.Errorf("Predict before any Observe = %v", got)
+	}
+	le.Observe(1, geo.Point{X: 3})
+	if le.Ready() {
+		t.Error("Ready after a single observation")
+	}
+	// Predict at or before the last observation returns the observation.
+	if got := le.Predict(1); got != (geo.Point{X: 3}) {
+		t.Errorf("Predict(lastT) = %v, want (3, 0)", got)
+	}
+	if got := le.Predict(0.5); got != (geo.Point{X: 3}) {
+		t.Errorf("Predict(past) = %v, want (3, 0)", got)
+	}
+	// Non-advancing timestamps are ignored.
+	le.Observe(1, geo.Point{X: 99})
+	if le.Ready() {
+		t.Error("non-advancing observation counted")
+	}
+}
+
+func TestBrownLENegativeSpeedClamped(t *testing.T) {
+	// Decelerating node: the speed trend is negative and the one-step
+	// forecast can dip below zero; prediction must not move backwards.
+	le, err := NewBrownLE(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := 0.0
+	speeds := []float64{10, 6, 3, 1, 0.2, 0.01, 0.001}
+	for i, v := range speeds {
+		x += v
+		le.Observe(float64(i+1), geo.Point{X: x})
+	}
+	pred := le.Predict(float64(len(speeds)) + 5)
+	if pred.X < x-1e-6 {
+		t.Errorf("forecast moved backwards: %v < %v", pred.X, x)
+	}
+}
+
+func TestSingleLE(t *testing.T) {
+	le, err := NewSingleLE(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSingleLE(2); err == nil {
+		t.Error("NewSingleLE(2) should error")
+	}
+	for i := 0; i <= 10; i++ {
+		le.Observe(float64(i), geo.Point{Y: 3 * float64(i)})
+	}
+	if !le.Ready() {
+		t.Fatal("not ready")
+	}
+	got := le.Predict(12)
+	want := geo.Point{Y: 36}
+	if got.Dist(want) > 0.2 {
+		t.Errorf("Predict(12) = %v, want ~%v", got, want)
+	}
+	empty, err := NewSingleLE(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := empty.Predict(1); got != (geo.Point{}) {
+		t.Errorf("empty Predict = %v", got)
+	}
+}
+
+func TestDeadReckoning(t *testing.T) {
+	dr := NewDeadReckoning()
+	if dr.Ready() {
+		t.Error("ready before observations")
+	}
+	if got := dr.Predict(1); got != (geo.Point{}) {
+		t.Errorf("empty Predict = %v", got)
+	}
+	dr.Observe(0, geo.Point{})
+	dr.Observe(1, geo.Point{X: 4, Y: 3})
+	if !dr.Ready() {
+		t.Fatal("not ready after two observations")
+	}
+	got := dr.Predict(3)
+	want := geo.Point{X: 12, Y: 9}
+	if got.Dist(want) > 1e-9 {
+		t.Errorf("Predict(3) = %v, want %v", got, want)
+	}
+	// Predict at the last observation time returns it exactly.
+	if got := dr.Predict(1); got != (geo.Point{X: 4, Y: 3}) {
+		t.Errorf("Predict(lastT) = %v", got)
+	}
+}
+
+func TestAR1LEConstantVelocity(t *testing.T) {
+	e := NewAR1LE(1)
+	for i := 0; i <= 10; i++ {
+		e.Observe(float64(i), geo.Point{X: 5 * float64(i)})
+	}
+	if !e.Ready() {
+		t.Fatal("not ready")
+	}
+	got := e.Predict(12)
+	want := geo.Point{X: 60}
+	if got.Dist(want) > 1e-6 {
+		t.Errorf("Predict(12) = %v, want %v", got, want)
+	}
+}
+
+func TestAR1LEBadLambdaDefaults(t *testing.T) {
+	e := NewAR1LE(-3) // falls back to lambda=1
+	e.Observe(0, geo.Point{})
+	e.Observe(1, geo.Point{X: 1})
+	e.Observe(2, geo.Point{X: 2})
+	got := e.Predict(3)
+	if math.Abs(got.X-3) > 1e-6 {
+		t.Errorf("Predict = %v, want x≈3", got)
+	}
+}
+
+func TestAR1LEEmptyPredict(t *testing.T) {
+	e := NewAR1LE(0.9)
+	if got := e.Predict(5); got != (geo.Point{}) {
+		t.Errorf("empty Predict = %v", got)
+	}
+}
+
+func TestLastKnown(t *testing.T) {
+	lk := NewLastKnown()
+	if lk.Ready() {
+		t.Error("ready before observation")
+	}
+	lk.Observe(1, geo.Point{X: 2, Y: 3})
+	if !lk.Ready() {
+		t.Error("not ready after observation")
+	}
+	if got := lk.Predict(100); got != (geo.Point{X: 2, Y: 3}) {
+		t.Errorf("Predict = %v", got)
+	}
+	lk.Observe(2, geo.Point{X: 9})
+	if got := lk.Predict(100); got != (geo.Point{X: 9}) {
+		t.Errorf("Predict after second observe = %v", got)
+	}
+}
+
+func TestEstimatorsOutperformLastKnownOnLinearMotion(t *testing.T) {
+	// The core value proposition of the LE: on predictable (LMS) motion,
+	// every real estimator must beat the last-known baseline.
+	estimators := map[string]PositionEstimator{
+		"brown":  mustBrownLE(t, 0.5),
+		"single": mustSingleLE(t, 0.5),
+		"dead":   NewDeadReckoning(),
+		"ar1":    NewAR1LE(1),
+	}
+	baseline := NewLastKnown()
+
+	var trueAt func(t float64) geo.Point = func(tm float64) geo.Point {
+		return geo.Point{X: 1.5 * tm, Y: 0.5 * tm}
+	}
+	// Updates every 4 seconds; evaluate error at the midpoint of each gap.
+	var baseErr, estErrs = 0.0, map[string]float64{}
+	for step := 0; step < 25; step++ {
+		tm := float64(step * 4)
+		p := trueAt(tm)
+		baseline.Observe(tm, p)
+		for _, e := range estimators {
+			e.Observe(tm, p)
+		}
+		if step < 3 {
+			continue // warm-up
+		}
+		mid := tm + 2
+		truth := trueAt(mid)
+		baseErr += baseline.Predict(mid).Dist(truth)
+		for name, e := range estimators {
+			estErrs[name] += e.Predict(mid).Dist(truth)
+		}
+	}
+	for name, e := range estErrs {
+		if e >= baseErr {
+			t.Errorf("%s error %.2f not better than last-known %.2f", name, e, baseErr)
+		}
+	}
+}
+
+func mustBrownLE(t *testing.T, alpha float64) *BrownLE {
+	t.Helper()
+	le, err := NewBrownLE(alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return le
+}
+
+func mustSingleLE(t *testing.T, alpha float64) *SingleLE {
+	t.Helper()
+	le, err := NewSingleLE(alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return le
+}

@@ -1,0 +1,67 @@
+package estimate
+
+import (
+	"math"
+
+	"github.com/mobilegrid/adf/internal/geo"
+)
+
+// RMSEAccumulator collects squared location errors and reports the paper's
+// RMSE: sqrt(Σ‖RLᵢ−ELᵢ‖²/n) over the accumulated (real, estimated) pairs.
+// The zero value is ready to use.
+type RMSEAccumulator struct {
+	sumSq float64
+	n     int
+}
+
+// Add records one (real, estimated) location pair.
+func (a *RMSEAccumulator) Add(real, estimated geo.Point) {
+	a.sumSq += real.DistSq(estimated)
+	a.n++
+}
+
+// AddError records a precomputed scalar error distance.
+func (a *RMSEAccumulator) AddError(dist float64) {
+	a.sumSq += dist * dist
+	a.n++
+}
+
+// Merge folds another accumulator into a.
+func (a *RMSEAccumulator) Merge(b RMSEAccumulator) {
+	a.sumSq += b.sumSq
+	a.n += b.n
+}
+
+// N returns the number of pairs accumulated.
+func (a *RMSEAccumulator) N() int { return a.n }
+
+// RMSE returns the root-mean-square error, or 0 when empty.
+func (a *RMSEAccumulator) RMSE() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return math.Sqrt(a.sumSq / float64(a.n))
+}
+
+// Reset clears the accumulator.
+func (a *RMSEAccumulator) Reset() {
+	a.sumSq = 0
+	a.n = 0
+}
+
+// RMSE computes the root-mean-square distance between paired real and
+// estimated locations. Mismatched slice lengths use the shorter one.
+func RMSE(real, estimated []geo.Point) float64 {
+	n := len(real)
+	if len(estimated) < n {
+		n = len(estimated)
+	}
+	if n == 0 {
+		return 0
+	}
+	var acc RMSEAccumulator
+	for i := 0; i < n; i++ {
+		acc.Add(real[i], estimated[i])
+	}
+	return acc.RMSE()
+}

@@ -1,0 +1,90 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/mobilegrid/adf/internal/geo"
+)
+
+func TestRMSEAccumulator(t *testing.T) {
+	var acc RMSEAccumulator
+	if acc.RMSE() != 0 || acc.N() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	acc.Add(geo.Point{}, geo.Point{X: 3, Y: 4}) // error 5
+	acc.Add(geo.Point{}, geo.Point{})           // error 0
+	want := math.Sqrt(25.0 / 2)
+	if got := acc.RMSE(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("RMSE = %v, want %v", got, want)
+	}
+	if acc.N() != 2 {
+		t.Errorf("N = %v, want 2", acc.N())
+	}
+	acc.Reset()
+	if acc.RMSE() != 0 || acc.N() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestRMSEAddError(t *testing.T) {
+	var acc RMSEAccumulator
+	acc.AddError(3)
+	acc.AddError(4)
+	want := math.Sqrt((9.0 + 16.0) / 2)
+	if got := acc.RMSE(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("RMSE = %v, want %v", got, want)
+	}
+}
+
+func TestRMSEMerge(t *testing.T) {
+	var a, b RMSEAccumulator
+	a.AddError(1)
+	b.AddError(2)
+	b.AddError(3)
+	a.Merge(b)
+	if a.N() != 3 {
+		t.Fatalf("merged N = %v, want 3", a.N())
+	}
+	want := math.Sqrt((1.0 + 4.0 + 9.0) / 3)
+	if got := a.RMSE(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("merged RMSE = %v, want %v", got, want)
+	}
+}
+
+func TestRMSEFunc(t *testing.T) {
+	real := []geo.Point{{X: 0}, {X: 1}, {X: 2}}
+	est := []geo.Point{{X: 1}, {X: 1}, {X: 4}}
+	want := math.Sqrt((1.0 + 0 + 4.0) / 3)
+	if got := RMSE(real, est); math.Abs(got-want) > 1e-9 {
+		t.Errorf("RMSE = %v, want %v", got, want)
+	}
+	if got := RMSE(nil, nil); got != 0 {
+		t.Errorf("RMSE(empty) = %v", got)
+	}
+	// Mismatched lengths truncate to the shorter slice.
+	if got := RMSE(real[:2], est); math.Abs(got-math.Sqrt(0.5)) > 1e-9 {
+		t.Errorf("RMSE(mismatched) = %v", got)
+	}
+}
+
+func TestRMSEProperties(t *testing.T) {
+	// RMSE is zero iff all pairs coincide, and scales linearly with a
+	// uniform error distance.
+	f := func(rawDist float64, n uint8) bool {
+		if math.IsNaN(rawDist) || math.IsInf(rawDist, 0) {
+			return true
+		}
+		d := math.Abs(math.Mod(rawDist, 1e4))
+		count := int(n%20) + 1
+		var acc RMSEAccumulator
+		for i := 0; i < count; i++ {
+			acc.AddError(d)
+		}
+		return math.Abs(acc.RMSE()-d) < 1e-6*(1+d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

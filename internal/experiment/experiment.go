@@ -1,0 +1,479 @@
+// Package experiment reproduces the paper's evaluation: every table and
+// figure of section 4 plus the ablations DESIGN.md calls out. One Run*
+// function per experiment; each returns a typed result with a Table
+// rendering that prints the same rows/series the paper reports.
+//
+// All experiments share one simulation core: the Table-1 population of 140
+// mobile nodes moving on the synthetic campus for a configurable horizon
+// (1800 s in the paper), sampled at 1 Hz through per-region wireless
+// gateways, filtered by a pluggable location-update filter, and tracked by
+// two grid brokers run in lockstep — one without a Location Estimator and
+// one with the paper's Brown's-double-exponential-smoothing LE — so the
+// "with LE" and "without LE" curves come from identical inputs.
+package experiment
+
+import (
+	"fmt"
+
+	"github.com/mobilegrid/adf/internal/broker"
+	"github.com/mobilegrid/adf/internal/campus"
+	"github.com/mobilegrid/adf/internal/core"
+	"github.com/mobilegrid/adf/internal/energy"
+	"github.com/mobilegrid/adf/internal/estimate"
+	"github.com/mobilegrid/adf/internal/filter"
+	"github.com/mobilegrid/adf/internal/gateway"
+	"github.com/mobilegrid/adf/internal/metrics"
+	"github.com/mobilegrid/adf/internal/node"
+	"github.com/mobilegrid/adf/internal/sim"
+)
+
+// Config parameterises one experiment campaign.
+type Config struct {
+	// Seed drives every random stream; equal seeds give identical runs.
+	Seed int64
+	// Duration is the simulated horizon in seconds (1800 in the paper).
+	Duration float64
+	// SamplePeriod is the LU sampling interval in seconds (1 in the paper).
+	SamplePeriod float64
+	// DropProb is the per-sample disconnection probability of the wireless
+	// gateways. The paper's ideal baseline averages ≈135 LU/s from 140
+	// nodes; a 3.5% drop probability reproduces that.
+	DropProb float64
+	// Burst, when non-nil, replaces the independent per-sample drops with
+	// correlated Gilbert–Elliott outages (failure injection).
+	Burst *gateway.BurstConfig
+	// PerGroup scales the Table-1 population: nodes per (region, pattern,
+	// type) group. Zero means the paper's 5 (140 nodes in total).
+	PerGroup int
+	// Churn, when non-nil, lets nodes leave and rejoin the grid (the
+	// paper's "relocation" constraint): an active node departs with
+	// LeaveProb per second, a departed one returns with RejoinProb. On
+	// departure the filter and both brokers forget the node entirely.
+	Churn *ChurnConfig
+	// DTHFactors are the threshold scalings to evaluate (0.75, 1.0, 1.25
+	// in the paper).
+	DTHFactors []float64
+	// Smoothing is the Location Estimator's smoothing constant.
+	Smoothing float64
+	// Estimator selects the Location Estimator the "with LE" broker uses:
+	// EstimatorGapAware (default), EstimatorBrown (the paper's plain
+	// double-exponential smoothing), EstimatorSingle, EstimatorDead or
+	// EstimatorAR1.
+	Estimator string
+	// ADF is the template configuration for the adaptive filter; its
+	// DTHFactor and SamplePeriod are overridden per run.
+	ADF core.Config
+}
+
+// ChurnConfig parameterises node departure and return.
+type ChurnConfig struct {
+	// LeaveProb is the per-second probability an active node leaves.
+	LeaveProb float64
+	// RejoinProb is the per-second probability a departed node returns.
+	RejoinProb float64
+}
+
+// Validate reports configuration errors.
+func (c ChurnConfig) Validate() error {
+	if c.LeaveProb < 0 || c.LeaveProb >= 1 {
+		return fmt.Errorf("experiment: LeaveProb %v outside [0, 1)", c.LeaveProb)
+	}
+	if c.RejoinProb < 0 || c.RejoinProb > 1 {
+		return fmt.Errorf("experiment: RejoinProb %v outside [0, 1]", c.RejoinProb)
+	}
+	if c.LeaveProb > 0 && c.RejoinProb == 0 {
+		return fmt.Errorf("experiment: nodes can leave but never return")
+	}
+	return nil
+}
+
+// Estimator names accepted by Config.Estimator.
+const (
+	EstimatorGapAware = "gap-aware"
+	EstimatorBrown    = "brown"
+	EstimatorSingle   = "single"
+	EstimatorDead     = "dead-reckoning"
+	EstimatorAR1      = "ar1"
+)
+
+// EstimatorNames lists the supported estimators in shoot-out order.
+func EstimatorNames() []string {
+	return []string{EstimatorGapAware, EstimatorBrown, EstimatorSingle, EstimatorDead, EstimatorAR1}
+}
+
+// estimatorFactory builds the estimate.Factory for a named estimator.
+func (c Config) estimatorFactory(name string) (estimate.Factory, error) {
+	mk := func(build func() (estimate.PositionEstimator, error)) (estimate.Factory, error) {
+		// Validate the configuration once up front so the per-node factory
+		// cannot fail later.
+		if _, err := build(); err != nil {
+			return nil, err
+		}
+		return func() estimate.PositionEstimator {
+			e, err := build()
+			if err != nil {
+				panic(fmt.Sprintf("experiment: estimator config invalidated: %v", err))
+			}
+			return e
+		}, nil
+	}
+	switch name {
+	case EstimatorGapAware, "":
+		gcfg := estimate.DefaultGapAwareConfig()
+		gcfg.HeadingAlpha = c.Smoothing
+		return mk(func() (estimate.PositionEstimator, error) { return estimate.NewGapAwareLE(gcfg) })
+	case EstimatorBrown:
+		return mk(func() (estimate.PositionEstimator, error) { return estimate.NewBrownLE(c.Smoothing) })
+	case EstimatorSingle:
+		return mk(func() (estimate.PositionEstimator, error) { return estimate.NewSingleLE(c.Smoothing) })
+	case EstimatorDead:
+		return mk(func() (estimate.PositionEstimator, error) { return estimate.NewDeadReckoning(), nil })
+	case EstimatorAR1:
+		return mk(func() (estimate.PositionEstimator, error) { return estimate.NewAR1LE(0.98), nil })
+	default:
+		return nil, fmt.Errorf("experiment: unknown estimator %q", name)
+	}
+}
+
+// DefaultConfig returns the paper's experiment setup.
+func DefaultConfig() Config {
+	return Config{
+		Seed:         1,
+		Duration:     1800,
+		SamplePeriod: 1,
+		DropProb:     0.035,
+		DTHFactors:   []float64{0.75, 1.0, 1.25},
+		Smoothing:    estimate.DefaultSmoothing,
+		Estimator:    EstimatorGapAware,
+		ADF:          core.DefaultConfig(),
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Duration <= 0 {
+		return fmt.Errorf("experiment: Duration must be positive, got %v", c.Duration)
+	}
+	if c.SamplePeriod <= 0 {
+		return fmt.Errorf("experiment: SamplePeriod must be positive, got %v", c.SamplePeriod)
+	}
+	if c.DropProb < 0 || c.DropProb >= 1 {
+		return fmt.Errorf("experiment: DropProb %v outside [0, 1)", c.DropProb)
+	}
+	if len(c.DTHFactors) == 0 {
+		return fmt.Errorf("experiment: no DTH factors")
+	}
+	for _, f := range c.DTHFactors {
+		if f <= 0 {
+			return fmt.Errorf("experiment: DTH factor %v not positive", f)
+		}
+	}
+	if c.Smoothing <= 0 || c.Smoothing >= 1 {
+		return fmt.Errorf("experiment: Smoothing %v outside (0, 1)", c.Smoothing)
+	}
+	if _, err := c.estimatorFactory(c.Estimator); err != nil {
+		return err
+	}
+	if c.Burst != nil {
+		if err := c.Burst.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.PerGroup < 0 {
+		return fmt.Errorf("experiment: negative PerGroup %d", c.PerGroup)
+	}
+	if c.Churn != nil {
+		if err := c.Churn.Validate(); err != nil {
+			return err
+		}
+	}
+	adf := c.ADF
+	adf.DTHFactor = 1 // factor is overridden per run; validate the rest
+	adf.SamplePeriod = c.SamplePeriod
+	return adf.Validate()
+}
+
+// adfConfig returns the ADF configuration for one DTH factor.
+func (c Config) adfConfig(factor float64) core.Config {
+	cfg := c.ADF
+	cfg.DTHFactor = factor
+	cfg.SamplePeriod = c.SamplePeriod
+	return cfg
+}
+
+// Run is the measurement record of one filter configuration over one full
+// simulation.
+type Run struct {
+	// Name identifies the filter ("ideal", "adf(0.75av)", ...).
+	Name string
+	// Factor is the DTH factor, or 0 for the ideal baseline.
+	Factor float64
+
+	// LUPerSecond counts transmitted LUs into one-second buckets.
+	LUPerSecond *metrics.CountSeries
+	// OfferedPerSecond counts samples that reached the filter (survived
+	// disconnection).
+	OfferedPerSecond *metrics.CountSeries
+	// SentByRegion and OfferedByRegion tally LUs per home region.
+	SentByRegion    *metrics.GroupTally
+	OfferedByRegion *metrics.GroupTally
+
+	// RMSE curves of the broker's believed-vs-true location error.
+	RMSENoLE   *metrics.RMSESeries
+	RMSEWithLE *metrics.RMSESeries
+	// ErrNoLE and ErrWithLE hold the raw per-sample error distances for
+	// quantile reporting.
+	ErrNoLE   *metrics.Summary
+	ErrWithLE *metrics.Summary
+	// Per region kind ("road" / "building") error accumulators.
+	RMSENoLEByKind   map[string]*estimate.RMSEAccumulator
+	RMSEWithLEByKind map[string]*estimate.RMSEAccumulator
+
+	// FinalClusters is the ADF's cluster count at the end (0 for
+	// baselines).
+	FinalClusters int
+
+	// Energy tracks the fleet's radio energy under the default model.
+	Energy *energy.Accountant
+}
+
+// TotalLUs returns the number of transmitted LUs over the whole run.
+func (r *Run) TotalLUs() float64 { return r.LUPerSecond.Total() }
+
+// MeanLUsPerSecond returns the average transmitted LU rate.
+func (r *Run) MeanLUsPerSecond() float64 { return r.LUPerSecond.Mean() }
+
+// ReductionVersus returns the relative traffic reduction of r against a
+// baseline run, e.g. 0.53 for 53% fewer LUs.
+func (r *Run) ReductionVersus(baseline *Run) float64 {
+	b := baseline.TotalLUs()
+	if b == 0 {
+		return 0
+	}
+	return 1 - r.TotalLUs()/b
+}
+
+// filterFactory builds a fresh filter for one run.
+type filterFactory func() (filter.Filter, string, float64, error)
+
+func idealFactory() (filter.Filter, string, float64, error) {
+	f := filter.NewIdealLU()
+	return f, f.Name(), 0, nil
+}
+
+func (c Config) adfFactory(factor float64) filterFactory {
+	return func() (filter.Filter, string, float64, error) {
+		f, err := core.New(c.adfConfig(factor))
+		if err != nil {
+			return nil, "", 0, err
+		}
+		return f, f.Name(), factor, nil
+	}
+}
+
+// generalDFFactory sizes the global DTH the way the paper's general DF
+// does: factor × mean speed of all MNs × sample period. The population
+// mean speed is computed from the Table-1 velocity ranges.
+func (c Config) generalDFFactory(factor float64, meanSpeed float64) filterFactory {
+	return func() (filter.Filter, string, float64, error) {
+		f, err := filter.NewGeneralDFWithSemantics(
+			factor*meanSpeed*c.SamplePeriod, c.ADF.Semantics)
+		if err != nil {
+			return nil, "", 0, err
+		}
+		return f, fmt.Sprintf("general-df(%.2fav)", factor), factor, nil
+	}
+}
+
+// PopulationMeanSpeed returns the mean of the Table-1 nodes' base speeds
+// (the midpoint of each velocity range), the paper's "average velocity of
+// the MNs" used to size the general DF's DTH.
+func PopulationMeanSpeed(specs []campus.NodeSpec) float64 {
+	if len(specs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range specs {
+		sum += (s.MinSpeed + s.MaxSpeed) / 2
+	}
+	return sum / float64(len(specs))
+}
+
+// runFilter simulates the full campus once under the given filter and the
+// paper's LE configuration. Every run derives its node movement, gateway
+// drops and estimator behaviour from Config.Seed, so runs with different
+// filters see identical inputs and are directly comparable.
+func (c Config) runFilter(mk filterFactory) (*Run, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	f, name, factor, err := mk()
+	if err != nil {
+		return nil, err
+	}
+
+	world := campus.New()
+	perGroup := c.PerGroup
+	if perGroup == 0 {
+		perGroup = campus.PerGroup
+	}
+	specs := campus.PopulationN(world, perGroup)
+	streams := sim.NewStreams(c.Seed)
+	nodes, err := node.Population(specs, world, streams)
+	if err != nil {
+		return nil, err
+	}
+	var net *gateway.Network
+	if c.Burst != nil {
+		net, err = gateway.NewBurstNetwork(world, *c.Burst, streams)
+	} else {
+		net, err = gateway.NewNetwork(world, c.DropProb, streams)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	leFactory, err := c.estimatorFactory(c.Estimator)
+	if err != nil {
+		return nil, err
+	}
+	noLE := broker.New(nil)
+	withLE := broker.New(leFactory)
+
+	run := &Run{
+		Name:             name,
+		Factor:           factor,
+		LUPerSecond:      &metrics.CountSeries{},
+		OfferedPerSecond: &metrics.CountSeries{},
+		SentByRegion:     metrics.NewGroupTally(),
+		OfferedByRegion:  metrics.NewGroupTally(),
+		RMSENoLE:         &metrics.RMSESeries{},
+		RMSEWithLE:       &metrics.RMSESeries{},
+		ErrNoLE:          &metrics.Summary{},
+		ErrWithLE:        &metrics.Summary{},
+		RMSENoLEByKind: map[string]*estimate.RMSEAccumulator{
+			campus.Road.String():     {},
+			campus.Building.String(): {},
+		},
+		RMSEWithLEByKind: map[string]*estimate.RMSEAccumulator{
+			campus.Road.String():     {},
+			campus.Building.String(): {},
+		},
+	}
+	run.Energy, err = energy.NewAccountant(energy.DefaultModel())
+	if err != nil {
+		return nil, err
+	}
+
+	// Churn state: nodes absent from the grid. Movement continues while
+	// absent (people keep walking after closing their laptop).
+	absent := make(map[int]bool)
+	churnRNG := streams.Stream("churn")
+
+	engine := sim.New()
+	var loopErr error
+	_, err = engine.Every(c.SamplePeriod, c.SamplePeriod, func(now float64) {
+		for _, n := range nodes {
+			pos := n.Advance(c.SamplePeriod)
+			if c.Churn != nil {
+				if absent[n.ID()] {
+					if churnRNG.Bool(c.Churn.RejoinProb) {
+						delete(absent, n.ID())
+					} else {
+						continue
+					}
+				} else if churnRNG.Bool(c.Churn.LeaveProb) {
+					absent[n.ID()] = true
+					f.Forget(n.ID())
+					noLE.Forget(n.ID())
+					withLE.Forget(n.ID())
+					continue
+				}
+			}
+			region := n.Region()
+			lu := filter.LU{Node: n.ID(), Time: now, Pos: pos}
+			forwarded, connected, cerr := net.Collect(region.ID, lu)
+			if cerr != nil {
+				loopErr = cerr
+				engine.Stop()
+				return
+			}
+			transmitted := false
+			if connected {
+				run.OfferedPerSecond.Incr(now)
+				run.OfferedByRegion.Add(string(region.ID), 1)
+				run.Energy.ChargeIdle(n.ID(), c.SamplePeriod)
+				if f.Offer(forwarded).Transmit {
+					transmitted = true
+					run.LUPerSecond.Incr(now)
+					run.SentByRegion.Add(string(region.ID), 1)
+					run.Energy.ChargeTx(n.ID())
+					noLE.ReceiveLU(n.ID(), now, pos)
+					withLE.ReceiveLU(n.ID(), now, pos)
+				}
+			}
+			if !transmitted {
+				// The broker cannot tell a filtered LU from a dropped one;
+				// either way it refreshes its belief. Nodes that have
+				// never reported are skipped (no DB entry yet).
+				_, _ = noLE.MissLU(n.ID(), now)
+				_, _ = withLE.MissLU(n.ID(), now)
+			}
+
+			// Measure the believed-vs-true location error for both broker
+			// variants.
+			kind := region.Kind.String()
+			if e, ok := noLE.Location(n.ID()); ok {
+				d := e.Pos.Dist(pos)
+				run.RMSENoLE.Add(now, d)
+				run.RMSENoLEByKind[kind].AddError(d)
+				run.ErrNoLE.Add(d)
+			}
+			if e, ok := withLE.Location(n.ID()); ok {
+				d := e.Pos.Dist(pos)
+				run.RMSEWithLE.Add(now, d)
+				run.RMSEWithLEByKind[kind].AddError(d)
+				run.ErrWithLE.Add(d)
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	engine.RunUntil(c.Duration)
+	if loopErr != nil {
+		return nil, loopErr
+	}
+
+	if adf, ok := f.(*core.ADF); ok {
+		run.FinalClusters = adf.ClusterCount()
+	}
+	return run, nil
+}
+
+// Results bundles the paired runs every figure draws from: the ideal
+// baseline plus one ADF run per DTH factor.
+type Results struct {
+	Config Config
+	Ideal  *Run
+	// ADF holds one run per Config.DTHFactors entry, in order.
+	ADF []*Run
+}
+
+// Run executes the core campaign (ideal + ADF at each DTH factor) that
+// figures 4–9 are derived from.
+func (c Config) Run() (*Results, error) {
+	ideal, err := c.runFilter(idealFactory)
+	if err != nil {
+		return nil, err
+	}
+	res := &Results{Config: c, Ideal: ideal}
+	for _, factor := range c.DTHFactors {
+		r, err := c.runFilter(c.adfFactory(factor))
+		if err != nil {
+			return nil, err
+		}
+		res.ADF = append(res.ADF, r)
+	}
+	return res, nil
+}

@@ -1,0 +1,162 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/mobilegrid/adf/internal/metrics"
+)
+
+// SeedsRow summarises one DTH factor's headline metrics over several
+// seeds, as mean ± sample standard deviation.
+type SeedsRow struct {
+	Factor        float64
+	MeanReduction float64
+	StdReduction  float64
+	MeanRMSELE    float64
+	StdRMSELE     float64
+}
+
+// SeedsResult is the statistical-robustness experiment: the whole
+// campaign repeated across independent seeds, establishing that the
+// reproduced shapes are not artefacts of one random draw.
+type SeedsResult struct {
+	Seeds int
+	Rows  []SeedsRow
+}
+
+// RunSeeds repeats the campaign once per seed and aggregates the
+// traffic-reduction and with-LE RMSE metrics per DTH factor.
+func RunSeeds(cfg Config, seeds []int64) (SeedsResult, error) {
+	if len(seeds) == 0 {
+		seeds = []int64{1, 2, 3, 4, 5}
+	}
+	reductions := make([][]float64, len(cfg.DTHFactors))
+	rmses := make([][]float64, len(cfg.DTHFactors))
+	for _, seed := range seeds {
+		c := cfg
+		c.Seed = seed
+		res, err := c.Run()
+		if err != nil {
+			return SeedsResult{}, fmt.Errorf("seed %d: %w", seed, err)
+		}
+		for i, run := range res.ADF {
+			reductions[i] = append(reductions[i], 100*run.ReductionVersus(res.Ideal))
+			rmses[i] = append(rmses[i], run.RMSEWithLE.Overall())
+		}
+	}
+	out := SeedsResult{Seeds: len(seeds)}
+	for i, factor := range cfg.DTHFactors {
+		mr, sr := meanStd(reductions[i])
+		me, se := meanStd(rmses[i])
+		out.Rows = append(out.Rows, SeedsRow{
+			Factor:        factor,
+			MeanReduction: mr,
+			StdReduction:  sr,
+			MeanRMSELE:    me,
+			StdRMSELE:     se,
+		})
+	}
+	return out, nil
+}
+
+// meanStd returns the mean and sample standard deviation.
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Table renders the seeds experiment.
+func (r SeedsResult) Table() *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("Robustness: %d independent seeds", r.Seeds),
+		"factor", "reduction (mean±std)", "RMSE w/ LE (mean±std)")
+	for _, row := range r.Rows {
+		t.AddRow(fmt.Sprintf("%.2fav", row.Factor),
+			fmt.Sprintf("%.2f%% ± %.2f", row.MeanReduction, row.StdReduction),
+			fmt.Sprintf("%.2f ± %.2f", row.MeanRMSELE, row.StdRMSELE))
+	}
+	return t
+}
+
+// ScaleRow is one population size's outcome.
+type ScaleRow struct {
+	Nodes        int
+	TotalLUs     float64
+	ReductionPct float64
+	RMSELE       float64
+	// SimSeconds is the wall-clock time per simulated second — the
+	// simulator's throughput at this scale.
+	WallPerSimSecond time.Duration
+}
+
+// ScaleResult is the scalability experiment: the Table-1 population
+// multiplied up to ≈10× while everything else stays fixed.
+type ScaleResult struct {
+	Rows []ScaleRow
+}
+
+// RunScale runs the ADF at the first configured DTH factor for each
+// per-group population size (default 5, 10, 20, 40 → 140 to 1120 nodes).
+func RunScale(cfg Config, perGroups []int) (ScaleResult, error) {
+	if len(perGroups) == 0 {
+		perGroups = []int{5, 10, 20, 40}
+	}
+	var out ScaleResult
+	for _, pg := range perGroups {
+		if pg <= 0 {
+			return ScaleResult{}, fmt.Errorf("experiment: per-group size %d not positive", pg)
+		}
+		c := cfg
+		c.PerGroup = pg
+
+		start := time.Now()
+		ideal, err := c.runFilter(idealFactory)
+		if err != nil {
+			return ScaleResult{}, err
+		}
+		run, err := c.runFilter(c.adfFactory(c.DTHFactors[0]))
+		if err != nil {
+			return ScaleResult{}, err
+		}
+		elapsed := time.Since(start)
+
+		out.Rows = append(out.Rows, ScaleRow{
+			Nodes:            pg * 28,
+			TotalLUs:         run.TotalLUs(),
+			ReductionPct:     100 * run.ReductionVersus(ideal),
+			RMSELE:           run.RMSEWithLE.Overall(),
+			WallPerSimSecond: time.Duration(float64(elapsed) / (2 * c.Duration)),
+		})
+	}
+	return out, nil
+}
+
+// Table renders the scalability experiment.
+func (r ScaleResult) Table() *metrics.Table {
+	t := metrics.NewTable("Scalability: Table-1 population multiplied",
+		"nodes", "total LUs", "reduction", "RMSE w/ LE", "wall-clock / sim-second")
+	for _, row := range r.Rows {
+		t.AddRow(fmt.Sprint(row.Nodes),
+			fmt.Sprintf("%.0f", row.TotalLUs),
+			fmt.Sprintf("%.2f%%", row.ReductionPct),
+			fmt.Sprintf("%.2f", row.RMSELE),
+			row.WallPerSimSecond.String())
+	}
+	return t
+}

@@ -1,0 +1,122 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/mobilegrid/adf/internal/campus"
+)
+
+func TestRunSeeds(t *testing.T) {
+	cfg := shortConfig()
+	cfg.Duration = 200
+	cfg.DTHFactors = []float64{1.0}
+	res, err := RunSeeds(cfg, []int64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seeds != 3 || len(res.Rows) != 1 {
+		t.Fatalf("result shape: %+v", res)
+	}
+	row := res.Rows[0]
+	if row.MeanReduction <= 0 || row.MeanReduction >= 100 {
+		t.Errorf("mean reduction = %v", row.MeanReduction)
+	}
+	// Seeds differ, so there is spread — but it must be small relative to
+	// the mean (the reproduction is not a one-seed artefact).
+	if row.StdReduction <= 0 {
+		t.Errorf("std reduction = %v, want > 0", row.StdReduction)
+	}
+	if row.StdReduction > row.MeanReduction/4 {
+		t.Errorf("reduction unstable across seeds: %v ± %v", row.MeanReduction, row.StdReduction)
+	}
+	if !strings.Contains(res.Table().String(), "independent seeds") {
+		t.Error("table title missing")
+	}
+}
+
+func TestRunSeedsDefaultSeeds(t *testing.T) {
+	cfg := shortConfig()
+	cfg.Duration = 60
+	cfg.DTHFactors = []float64{1.0}
+	res, err := RunSeeds(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seeds != 5 {
+		t.Errorf("default seeds = %d, want 5", res.Seeds)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := meanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if m != 5 {
+		t.Errorf("mean = %v", m)
+	}
+	if s < 2.13 || s > 2.15 { // sample std of the classic data set
+		t.Errorf("std = %v", s)
+	}
+	if m, s := meanStd(nil); m != 0 || s != 0 {
+		t.Errorf("empty = %v, %v", m, s)
+	}
+	if _, s := meanStd([]float64{3}); s != 0 {
+		t.Errorf("single-sample std = %v", s)
+	}
+}
+
+func TestRunScale(t *testing.T) {
+	cfg := shortConfig()
+	cfg.Duration = 100
+	cfg.DTHFactors = []float64{1.0}
+	res, err := RunScale(cfg, []int{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Rows[0].Nodes != 140 || res.Rows[1].Nodes != 280 {
+		t.Errorf("node counts = %d, %d", res.Rows[0].Nodes, res.Rows[1].Nodes)
+	}
+	// Twice the population carries roughly twice the traffic.
+	ratio := res.Rows[1].TotalLUs / res.Rows[0].TotalLUs
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Errorf("traffic scaling ratio = %v, want ≈2", ratio)
+	}
+	// The reduction percentage is scale-invariant (within a few points).
+	if d := res.Rows[1].ReductionPct - res.Rows[0].ReductionPct; d > 8 || d < -8 {
+		t.Errorf("reduction changed with scale: %v vs %v", res.Rows[0].ReductionPct, res.Rows[1].ReductionPct)
+	}
+	if res.Rows[0].WallPerSimSecond <= 0 {
+		t.Error("no throughput measured")
+	}
+	if _, err := RunScale(cfg, []int{0}); err == nil {
+		t.Error("zero per-group accepted")
+	}
+	if !strings.Contains(res.Table().String(), "Scalability") {
+		t.Error("table title missing")
+	}
+}
+
+func TestPopulationNScaling(t *testing.T) {
+	c := campus.New()
+	if got := len(campus.PopulationN(c, 10)); got != 280 {
+		t.Errorf("PopulationN(10) = %d, want 280", got)
+	}
+	if got := len(campus.PopulationN(c, 0)); got != 0 {
+		t.Errorf("PopulationN(0) = %d, want 0", got)
+	}
+	for _, s := range campus.PopulationN(c, 3) {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("node %d: %v", s.ID, err)
+		}
+	}
+}
+
+func TestConfigPerGroupValidation(t *testing.T) {
+	cfg := shortConfig()
+	cfg.PerGroup = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative PerGroup accepted")
+	}
+}

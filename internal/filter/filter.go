@@ -1,0 +1,173 @@
+// Package filter defines the location-update filtering contract and the
+// paper's two baselines: the ideal (unfiltered) location update stream and
+// the general Distance Filter with one global distance threshold (DTH).
+// The Adaptive Distance Filter itself lives in internal/core because it
+// composes the classifier and the cluster manager on top of this contract.
+package filter
+
+import (
+	"fmt"
+
+	"github.com/mobilegrid/adf/internal/geo"
+)
+
+// LU is a location update offered to a filter: one node's sampled position
+// at one instant of virtual time.
+type LU struct {
+	Node int
+	Time float64
+	Pos  geo.Point
+}
+
+// Decision is a filter's verdict on one LU.
+type Decision struct {
+	// Transmit is true when the LU must be forwarded to the grid broker.
+	Transmit bool
+	// Distance is the node's displacement from its last transmitted
+	// location (0 for a node's first LU).
+	Distance float64
+	// Threshold is the DTH the LU was compared against (0 when the filter
+	// does not use one).
+	Threshold float64
+}
+
+// Filter decides which location updates reach the grid broker.
+// Implementations are not safe for concurrent use; the simulation engine
+// is single-threaded.
+type Filter interface {
+	// Name identifies the filter in experiment output.
+	Name() string
+	// Offer presents one LU; the decision says whether it is transmitted.
+	// Offers for one node must have non-decreasing timestamps.
+	Offer(lu LU) Decision
+	// Forget drops all per-node state (a node left the grid).
+	Forget(node int)
+}
+
+// IdealLU is the unfiltered baseline: every offered LU is transmitted.
+// The paper calls the resulting stream "the ideal LU".
+type IdealLU struct {
+	lastSent map[int]geo.Point
+}
+
+var _ Filter = (*IdealLU)(nil)
+
+// NewIdealLU returns the pass-through baseline filter.
+func NewIdealLU() *IdealLU {
+	return &IdealLU{lastSent: make(map[int]geo.Point)}
+}
+
+// Name implements Filter.
+func (f *IdealLU) Name() string { return "ideal" }
+
+// Offer implements Filter.
+func (f *IdealLU) Offer(lu LU) Decision {
+	var dist float64
+	if prev, ok := f.lastSent[lu.Node]; ok {
+		dist = lu.Pos.Dist(prev)
+	}
+	f.lastSent[lu.Node] = lu.Pos
+	return Decision{Transmit: true, Distance: dist}
+}
+
+// Forget implements Filter.
+func (f *IdealLU) Forget(node int) { delete(f.lastSent, node) }
+
+// Semantics selects what "the MN's moving distance" is compared against
+// the DTH.
+//
+// The paper (section 3.2.2) filters an LU when "the MN's moving distance
+// is shorter than the DTH". Interpreted per sampling period — the distance
+// moved since the previous location acquisition — slow nodes are filtered
+// indefinitely and the broker's belief goes stale until the Location
+// Estimator repairs it; this reproduces the paper's reported reduction
+// spread (≈30→77% across 0.75av→1.25av) and the large RMSE scale of
+// Figure 7. The classic distance-filter alternative anchors at the last
+// *transmitted* location, which bounds the error by the DTH but reduces
+// traffic far less. Both are implemented; the experiments default to
+// PerStep and ablate the difference.
+type Semantics int
+
+const (
+	// Anchored compares displacement from the last transmitted location.
+	Anchored Semantics = iota + 1
+	// PerStep compares the distance moved since the previous sample.
+	PerStep
+)
+
+// String implements fmt.Stringer.
+func (s Semantics) String() string {
+	switch s {
+	case Anchored:
+		return "anchored"
+	case PerStep:
+		return "per-step"
+	default:
+		return "unknown"
+	}
+}
+
+// Validate reports whether s is a known semantics value.
+func (s Semantics) Validate() error {
+	if s != Anchored && s != PerStep {
+		return fmt.Errorf("filter: unknown semantics %d", int(s))
+	}
+	return nil
+}
+
+// GeneralDF is the paper's general Distance Filter: a single predefined
+// DTH applied to every node. A node's first LU always passes.
+type GeneralDF struct {
+	dth       float64
+	semantics Semantics
+	// anchor is the reference point per node: the last transmitted
+	// location (Anchored) or the previous sample (PerStep).
+	anchor map[int]geo.Point
+}
+
+var _ Filter = (*GeneralDF)(nil)
+
+// NewGeneralDF returns an anchored general distance filter with the given
+// DTH in metres. DTH must be positive.
+func NewGeneralDF(dth float64) (*GeneralDF, error) {
+	return NewGeneralDFWithSemantics(dth, Anchored)
+}
+
+// NewGeneralDFWithSemantics returns a general distance filter with the
+// given DTH and comparison semantics.
+func NewGeneralDFWithSemantics(dth float64, semantics Semantics) (*GeneralDF, error) {
+	if dth <= 0 {
+		return nil, fmt.Errorf("filter: DTH must be positive, got %v", dth)
+	}
+	if err := semantics.Validate(); err != nil {
+		return nil, err
+	}
+	return &GeneralDF{dth: dth, semantics: semantics, anchor: make(map[int]geo.Point)}, nil
+}
+
+// Name implements Filter.
+func (f *GeneralDF) Name() string { return "general-df" }
+
+// DTH returns the filter's distance threshold.
+func (f *GeneralDF) DTH() float64 { return f.dth }
+
+// Semantics returns the filter's comparison semantics.
+func (f *GeneralDF) Semantics() Semantics { return f.semantics }
+
+// Offer implements Filter.
+func (f *GeneralDF) Offer(lu LU) Decision {
+	prev, seen := f.anchor[lu.Node]
+	if !seen {
+		f.anchor[lu.Node] = lu.Pos
+		return Decision{Transmit: true, Threshold: f.dth}
+	}
+	dist := lu.Pos.Dist(prev)
+	transmit := dist >= f.dth
+	if transmit || f.semantics == PerStep {
+		f.anchor[lu.Node] = lu.Pos
+	}
+	return Decision{Transmit: transmit, Distance: dist, Threshold: f.dth}
+}
+
+// Forget implements Filter.
+func (f *GeneralDF) Forget(node int) { delete(f.anchor, node) }

@@ -1,0 +1,252 @@
+package filter
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/mobilegrid/adf/internal/geo"
+)
+
+func TestIdealLUAlwaysTransmits(t *testing.T) {
+	f := NewIdealLU()
+	if f.Name() != "ideal" {
+		t.Errorf("Name = %q", f.Name())
+	}
+	for i := 0; i < 10; i++ {
+		d := f.Offer(LU{Node: 1, Time: float64(i), Pos: geo.Point{X: float64(i)}})
+		if !d.Transmit {
+			t.Fatalf("ideal filtered LU %d", i)
+		}
+		if i > 0 && math.Abs(d.Distance-1) > 1e-9 {
+			t.Errorf("Distance = %v, want 1", d.Distance)
+		}
+	}
+	f.Forget(1)
+	d := f.Offer(LU{Node: 1, Time: 100, Pos: geo.Point{X: 50}})
+	if d.Distance != 0 {
+		t.Errorf("Distance after Forget = %v, want 0", d.Distance)
+	}
+}
+
+func TestNewGeneralDFValidation(t *testing.T) {
+	for _, dth := range []float64{0, -1} {
+		if _, err := NewGeneralDF(dth); err == nil {
+			t.Errorf("NewGeneralDF(%v) should error", dth)
+		}
+	}
+	f, err := NewGeneralDF(2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.DTH() != 2.5 {
+		t.Errorf("DTH = %v", f.DTH())
+	}
+	if f.Name() != "general-df" {
+		t.Errorf("Name = %q", f.Name())
+	}
+}
+
+func TestGeneralDFFirstLUPasses(t *testing.T) {
+	f, err := NewGeneralDF(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := f.Offer(LU{Node: 1, Time: 0, Pos: geo.Point{X: 3}})
+	if !d.Transmit {
+		t.Error("first LU filtered")
+	}
+	if d.Threshold != 10 {
+		t.Errorf("Threshold = %v", d.Threshold)
+	}
+}
+
+func TestGeneralDFFiltersWithinThreshold(t *testing.T) {
+	f, err := NewGeneralDF(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Offer(LU{Node: 1, Time: 0, Pos: geo.Point{}})
+	// Node creeps by 1 m per tick: transmits exactly when cumulative
+	// displacement from the last transmitted point reaches 5.
+	transmits := 0
+	for i := 1; i <= 10; i++ {
+		d := f.Offer(LU{Node: 1, Time: float64(i), Pos: geo.Point{X: float64(i)}})
+		if d.Transmit {
+			transmits++
+			if d.Distance < 5 {
+				t.Errorf("transmitted at distance %v < DTH", d.Distance)
+			}
+		}
+	}
+	if transmits != 2 { // at x=5 and x=10
+		t.Errorf("transmits = %d, want 2", transmits)
+	}
+}
+
+func TestGeneralDFBackAndForthFiltered(t *testing.T) {
+	// Displacement, not path length: oscillation near the anchor never
+	// exceeds the DTH.
+	f, err := NewGeneralDF(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Offer(LU{Node: 1, Time: 0, Pos: geo.Point{}})
+	for i := 1; i <= 20; i++ {
+		x := 2.0
+		if i%2 == 0 {
+			x = -2.0
+		}
+		if d := f.Offer(LU{Node: 1, Time: float64(i), Pos: geo.Point{X: x}}); d.Transmit {
+			t.Fatalf("oscillating node transmitted at step %d", i)
+		}
+	}
+}
+
+func TestGeneralDFPerNodeState(t *testing.T) {
+	f, err := NewGeneralDF(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Offer(LU{Node: 1, Time: 0, Pos: geo.Point{}})
+	f.Offer(LU{Node: 2, Time: 0, Pos: geo.Point{}})
+	// Node 2 jumps; node 1 stays.
+	d2 := f.Offer(LU{Node: 2, Time: 1, Pos: geo.Point{X: 9}})
+	d1 := f.Offer(LU{Node: 1, Time: 1, Pos: geo.Point{X: 0.5}})
+	if !d2.Transmit || d1.Transmit {
+		t.Errorf("per-node isolation broken: d1=%+v d2=%+v", d1, d2)
+	}
+}
+
+func TestGeneralDFForget(t *testing.T) {
+	f, err := NewGeneralDF(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Offer(LU{Node: 1, Time: 0, Pos: geo.Point{}})
+	f.Forget(1)
+	// After Forget, the next LU is a "first" LU again.
+	if d := f.Offer(LU{Node: 1, Time: 1, Pos: geo.Point{X: 0.1}}); !d.Transmit {
+		t.Error("LU after Forget was filtered")
+	}
+}
+
+func TestGeneralDFTransmittedDistanceInvariant(t *testing.T) {
+	// Property: every transmitted LU except a node's first moved at least
+	// DTH from the previous transmitted location.
+	f := func(rawDTH float64, steps []float64) bool {
+		if math.IsNaN(rawDTH) || math.IsInf(rawDTH, 0) {
+			return true
+		}
+		dth := math.Abs(math.Mod(rawDTH, 20)) + 0.1
+		df, err := NewGeneralDF(dth)
+		if err != nil {
+			return false
+		}
+		pos := geo.Point{}
+		var lastSent geo.Point
+		first := true
+		for i, s := range steps {
+			if math.IsNaN(s) || math.IsInf(s, 0) {
+				continue
+			}
+			pos = pos.Add(geo.Vec{DX: math.Mod(s, 10)})
+			d := df.Offer(LU{Node: 7, Time: float64(i), Pos: pos})
+			if d.Transmit {
+				if !first && pos.Dist(lastSent) < dth {
+					return false
+				}
+				lastSent = pos
+				first = false
+			} else if first {
+				return false // first LU must always pass
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneralDFMonotoneInDTH(t *testing.T) {
+	// Property: on the same trajectory, a larger DTH never transmits more.
+	trajectory := func(seedLike []float64) []geo.Point {
+		pos := geo.Point{}
+		out := []geo.Point{pos}
+		for _, s := range seedLike {
+			if math.IsNaN(s) || math.IsInf(s, 0) {
+				continue
+			}
+			pos = pos.Add(geo.Vec{DX: math.Mod(s, 4), DY: math.Mod(s*1.7, 4)})
+			out = append(out, pos)
+		}
+		return out
+	}
+	count := func(dth float64, pts []geo.Point) int {
+		df, _ := NewGeneralDF(dth)
+		n := 0
+		for i, p := range pts {
+			if df.Offer(LU{Node: 1, Time: float64(i), Pos: p}).Transmit {
+				n++
+			}
+		}
+		return n
+	}
+	f := func(raw []float64) bool {
+		pts := trajectory(raw)
+		small := count(1, pts)
+		large := count(5, pts)
+		return large <= small
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSemanticsStringAndValidate(t *testing.T) {
+	if Anchored.String() != "anchored" || PerStep.String() != "per-step" {
+		t.Error("Semantics strings wrong")
+	}
+	if Semantics(0).String() != "unknown" {
+		t.Error("zero Semantics should be unknown")
+	}
+	if err := Anchored.Validate(); err != nil {
+		t.Errorf("Anchored invalid: %v", err)
+	}
+	if err := PerStep.Validate(); err != nil {
+		t.Errorf("PerStep invalid: %v", err)
+	}
+	if err := Semantics(42).Validate(); err == nil {
+		t.Error("unknown Semantics validated")
+	}
+}
+
+func TestGeneralDFPerStepSemantics(t *testing.T) {
+	f, err := NewGeneralDFWithSemantics(5, PerStep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Semantics() != PerStep {
+		t.Errorf("Semantics = %v", f.Semantics())
+	}
+	if _, err := NewGeneralDFWithSemantics(5, Semantics(9)); err == nil {
+		t.Error("invalid semantics accepted")
+	}
+	// Per-step: a node creeping 1 m/tick never reaches the 5 m per-step
+	// threshold, regardless of accumulated displacement.
+	f.Offer(LU{Node: 1, Time: 0, Pos: geo.Point{}})
+	for i := 1; i <= 20; i++ {
+		d := f.Offer(LU{Node: 1, Time: float64(i), Pos: geo.Point{X: float64(i)}})
+		if d.Transmit {
+			t.Fatalf("per-step transmitted at step %d (distance %v)", i, d.Distance)
+		}
+		if d.Distance != 1 {
+			t.Fatalf("per-step distance = %v, want 1 (since previous sample)", d.Distance)
+		}
+	}
+	// A 6 m jump crosses it immediately.
+	if d := f.Offer(LU{Node: 1, Time: 21, Pos: geo.Point{X: 26}}); !d.Transmit {
+		t.Error("per-step missed an above-threshold step")
+	}
+}

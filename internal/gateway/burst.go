@@ -1,0 +1,131 @@
+package gateway
+
+import (
+	"fmt"
+
+	"github.com/mobilegrid/adf/internal/campus"
+	"github.com/mobilegrid/adf/internal/filter"
+	"github.com/mobilegrid/adf/internal/sim"
+)
+
+// BurstConfig models correlated wireless outages with a two-state
+// Gilbert–Elliott chain at the gateway: the base station is either up
+// (dropping samples with DropUp) or in an outage (dropping with
+// DropDown). The chain advances once per sampling period.
+type BurstConfig struct {
+	// PEnterOutage is the per-second probability of an up gateway going
+	// down.
+	PEnterOutage float64
+	// PExitOutage is the per-second probability of a down gateway
+	// recovering; its reciprocal is the mean outage length in seconds.
+	PExitOutage float64
+	// DropUp is the per-sample loss probability while up.
+	DropUp float64
+	// DropDown is the per-sample loss probability during an outage
+	// (typically 1).
+	DropDown float64
+}
+
+// Validate reports configuration errors.
+func (c BurstConfig) Validate() error {
+	for name, p := range map[string]float64{
+		"PEnterOutage": c.PEnterOutage,
+		"PExitOutage":  c.PExitOutage,
+		"DropUp":       c.DropUp,
+		"DropDown":     c.DropDown,
+	} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("gateway: %s %v outside [0, 1]", name, p)
+		}
+	}
+	if c.PEnterOutage > 0 && c.PExitOutage == 0 {
+		return fmt.Errorf("gateway: outages can start but never end")
+	}
+	return nil
+}
+
+// MeanLoss returns the chain's long-run average per-sample loss rate.
+func (c BurstConfig) MeanLoss() float64 {
+	if c.PEnterOutage == 0 {
+		return c.DropUp
+	}
+	// Stationary distribution of the two-state chain.
+	downFrac := c.PEnterOutage / (c.PEnterOutage + c.PExitOutage)
+	return (1-downFrac)*c.DropUp + downFrac*c.DropDown
+}
+
+// BurstGateway is a region gateway with correlated outages. It
+// implements the same Collect contract as Gateway.
+type BurstGateway struct {
+	region campus.RegionID
+	cfg    BurstConfig
+	rng    *sim.RNG
+
+	down     bool
+	lastTime float64
+	started  bool
+
+	received uint64
+	dropped  uint64
+	outages  uint64
+}
+
+// NewBurst returns a gateway with Gilbert–Elliott outage behaviour.
+func NewBurst(region campus.RegionID, cfg BurstConfig, rng *sim.RNG) (*BurstGateway, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("gateway: nil RNG")
+	}
+	return &BurstGateway{region: region, cfg: cfg, rng: rng}, nil
+}
+
+// Region returns the covered region.
+func (g *BurstGateway) Region() campus.RegionID { return g.region }
+
+// Down reports whether the gateway is currently in an outage.
+func (g *BurstGateway) Down() bool { return g.down }
+
+// Outages returns how many outages have started.
+func (g *BurstGateway) Outages() uint64 { return g.outages }
+
+// Received returns the number of samples offered.
+func (g *BurstGateway) Received() uint64 { return g.received }
+
+// Dropped returns the number of samples lost.
+func (g *BurstGateway) Dropped() uint64 { return g.dropped }
+
+// advance steps the outage chain once per elapsed sampling period.
+func (g *BurstGateway) advance(now float64) {
+	if !g.started {
+		g.started = true
+		g.lastTime = now
+		return
+	}
+	for ; g.lastTime < now; g.lastTime++ {
+		if g.down {
+			if g.rng.Bool(g.cfg.PExitOutage) {
+				g.down = false
+			}
+		} else if g.rng.Bool(g.cfg.PEnterOutage) {
+			g.down = true
+			g.outages++
+		}
+	}
+}
+
+// Collect offers one sample; false means the sample was lost.
+func (g *BurstGateway) Collect(lu filter.LU) (filter.LU, bool) {
+	g.advance(lu.Time)
+	g.received++
+	drop := g.cfg.DropUp
+	if g.down {
+		drop = g.cfg.DropDown
+	}
+	if drop > 0 && g.rng.Bool(drop) {
+		g.dropped++
+		return filter.LU{}, false
+	}
+	return lu, true
+}

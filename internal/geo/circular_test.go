@@ -1,0 +1,128 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCircularMean(t *testing.T) {
+	tests := []struct {
+		name   string
+		angles []float64
+		want   float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{1.2}, 1.2},
+		{"identical", []float64{0.5, 0.5, 0.5}, 0.5},
+		{"wraparound", []float64{0.1, 2*math.Pi - 0.1}, 0},
+		{"quarter turn pair", []float64{0, math.Pi / 2}, math.Pi / 4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := CircularMean(tt.angles)
+			if AngleDiff(got, tt.want) > 1e-9 {
+				t.Errorf("CircularMean(%v) = %v, want %v", tt.angles, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCircularMeanOppositeCancels(t *testing.T) {
+	// Perfectly opposed angles have an undefined mean; we define it as 0.
+	got := CircularMean([]float64{0, math.Pi})
+	if got != 0 && AngleDiff(got, math.Pi/2) > 1e-6 {
+		// Floating point may land the resultant on either axis; only require
+		// that the function does not panic and yields a normalised angle.
+		if got < 0 || got >= 2*math.Pi {
+			t.Errorf("CircularMean of opposed angles = %v, out of range", got)
+		}
+	}
+}
+
+func TestCircularVariance(t *testing.T) {
+	tests := []struct {
+		name   string
+		angles []float64
+		want   float64
+	}{
+		{"empty", nil, 0},
+		{"identical", []float64{1, 1, 1, 1}, 0},
+		{"opposed", []float64{0, math.Pi}, 1},
+		{"four compass points", []float64{0, math.Pi / 2, math.Pi, 3 * math.Pi / 2}, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := CircularVariance(tt.angles)
+			if math.Abs(got-tt.want) > 1e-9 {
+				t.Errorf("CircularVariance(%v) = %v, want %v", tt.angles, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCircularVarianceBounded(t *testing.T) {
+	f := func(raw []float64) bool {
+		angles := make([]float64, 0, len(raw))
+		for _, a := range raw {
+			if math.IsNaN(a) || math.IsInf(a, 0) {
+				continue
+			}
+			angles = append(angles, NormalizeAngle(a))
+		}
+		v := CircularVariance(angles)
+		return v >= 0 && v <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCircularVarianceInvariantUnderRotation(t *testing.T) {
+	angles := []float64{0.2, 0.5, 1.1, 1.3}
+	base := CircularVariance(angles)
+	for _, rot := range []float64{0.7, math.Pi, 5.5} {
+		rotated := make([]float64, len(angles))
+		for i, a := range angles {
+			rotated[i] = NormalizeAngle(a + rot)
+		}
+		if got := CircularVariance(rotated); math.Abs(got-base) > 1e-9 {
+			t.Errorf("variance changed under rotation %v: %v vs %v", rot, got, base)
+		}
+	}
+}
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := Variance(xs); got != 4 {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); got != 2 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+	if got := Variance([]float64{3}); got != 0 {
+		t.Errorf("Variance(single) = %v, want 0", got)
+	}
+}
+
+func TestVarianceNonNegative(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			xs = append(xs, math.Mod(x, 1e6))
+		}
+		return Variance(xs) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

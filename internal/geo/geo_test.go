@@ -1,0 +1,330 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestPointDist(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Point
+		want float64
+	}{
+		{"zero", Point{}, Point{}, 0},
+		{"unit x", Point{}, Point{X: 1}, 1},
+		{"unit y", Point{}, Point{Y: 1}, 1},
+		{"3-4-5", Point{X: 1, Y: 1}, Point{X: 4, Y: 5}, 5},
+		{"negative quadrant", Point{X: -3, Y: -4}, Point{}, 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.Dist(tt.q); !almostEqual(got, tt.want) {
+				t.Errorf("Dist(%v, %v) = %v, want %v", tt.p, tt.q, got, tt.want)
+			}
+			if got := tt.p.DistSq(tt.q); !almostEqual(got, tt.want*tt.want) {
+				t.Errorf("DistSq(%v, %v) = %v, want %v", tt.p, tt.q, got, tt.want*tt.want)
+			}
+		})
+	}
+}
+
+func TestPointAddSub(t *testing.T) {
+	p := Point{X: 2, Y: 3}
+	v := Vec{DX: -1, DY: 4}
+	got := p.Add(v)
+	want := Point{X: 1, Y: 7}
+	if got != want {
+		t.Fatalf("Add = %v, want %v", got, want)
+	}
+	if back := got.Sub(p); back != v {
+		t.Fatalf("Sub = %v, want %v", back, v)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	p, q := Point{X: 0, Y: 0}, Point{X: 10, Y: -20}
+	if got := p.Lerp(q, 0); got != p {
+		t.Errorf("Lerp(0) = %v, want %v", got, p)
+	}
+	if got := p.Lerp(q, 1); got != q {
+		t.Errorf("Lerp(1) = %v, want %v", got, q)
+	}
+	mid := p.Lerp(q, 0.5)
+	if !almostEqual(mid.X, 5) || !almostEqual(mid.Y, -10) {
+		t.Errorf("Lerp(0.5) = %v, want (5, -10)", mid)
+	}
+}
+
+func TestVecHeading(t *testing.T) {
+	tests := []struct {
+		v    Vec
+		want float64
+	}{
+		{Vec{DX: 1}, 0},
+		{Vec{DY: 1}, math.Pi / 2},
+		{Vec{DX: -1}, math.Pi},
+		{Vec{DY: -1}, 3 * math.Pi / 2},
+		{Vec{DX: 1, DY: 1}, math.Pi / 4},
+		{Vec{}, 0},
+	}
+	for _, tt := range tests {
+		if got := tt.v.Heading(); !almostEqual(got, tt.want) {
+			t.Errorf("Heading(%v) = %v, want %v", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestFromHeadingRoundTrip(t *testing.T) {
+	f := func(heading, length float64) bool {
+		heading = NormalizeAngle(heading)
+		length = math.Abs(math.Mod(length, 1000)) + 0.5 // keep strictly positive, bounded
+		v := FromHeading(heading, length)
+		return math.Abs(AngleDiff(v.Heading(), heading)) < 1e-6 &&
+			math.Abs(v.Len()-length) < 1e-6*length
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizeAngle(t *testing.T) {
+	tests := []struct {
+		in, want float64
+	}{
+		{0, 0},
+		{2 * math.Pi, 0},
+		{-math.Pi / 2, 3 * math.Pi / 2},
+		{5 * math.Pi, math.Pi},
+		{-6 * math.Pi, 0},
+		{-1e-20, 0},
+	}
+	for _, tt := range tests {
+		got := NormalizeAngle(tt.in)
+		if math.Abs(got-tt.want) > 1e-9 && AngleDiff(got, tt.want) > 1e-9 {
+			t.Errorf("NormalizeAngle(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+		if got < 0 || got >= 2*math.Pi {
+			t.Errorf("NormalizeAngle(%v) = %v out of [0, 2π)", tt.in, got)
+		}
+	}
+}
+
+func TestNormalizeAngleRangeProperty(t *testing.T) {
+	f := func(a float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			return true
+		}
+		n := NormalizeAngle(a)
+		return n >= 0 && n < 2*math.Pi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAngleDiff(t *testing.T) {
+	tests := []struct {
+		a, b, want float64
+	}{
+		{0, 0, 0},
+		{0, math.Pi, math.Pi},
+		{0.1, 2*math.Pi - 0.1, 0.2},
+		{math.Pi / 2, -math.Pi / 2, math.Pi},
+		{3, 3 + 2*math.Pi, 0},
+	}
+	for _, tt := range tests {
+		if got := AngleDiff(tt.a, tt.b); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("AngleDiff(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestAngleDiffSymmetricBounded(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		d1, d2 := AngleDiff(a, b), AngleDiff(b, a)
+		return math.Abs(d1-d2) < 1e-9 && d1 >= 0 && d1 <= math.Pi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceMetricProperties(t *testing.T) {
+	// Symmetry and triangle inequality over bounded random points.
+	type pt struct{ X, Y float64 }
+	bound := func(v float64) float64 { return math.Mod(v, 1e6) }
+	f := func(a, b, c pt) bool {
+		if anyNaN(a.X, a.Y, b.X, b.Y, c.X, c.Y) {
+			return true
+		}
+		p := Point{X: bound(a.X), Y: bound(a.Y)}
+		q := Point{X: bound(b.X), Y: bound(b.Y)}
+		r := Point{X: bound(c.X), Y: bound(c.Y)}
+		sym := math.Abs(p.Dist(q)-q.Dist(p)) < 1e-9
+		tri := p.Dist(r) <= p.Dist(q)+q.Dist(r)+1e-6
+		return sym && tri
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func anyNaN(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSegment(t *testing.T) {
+	s := Segment{A: Point{X: 0, Y: 0}, B: Point{X: 10, Y: 0}}
+	if got := s.Len(); !almostEqual(got, 10) {
+		t.Errorf("Len = %v, want 10", got)
+	}
+	if got := s.Heading(); !almostEqual(got, 0) {
+		t.Errorf("Heading = %v, want 0", got)
+	}
+	if got := s.At(0.3); !almostEqual(got.X, 3) || got.Y != 0 {
+		t.Errorf("At(0.3) = %v, want (3, 0)", got)
+	}
+}
+
+func TestSegmentClosestPoint(t *testing.T) {
+	s := Segment{A: Point{X: 0, Y: 0}, B: Point{X: 10, Y: 0}}
+	tests := []struct {
+		p    Point
+		want Point
+	}{
+		{Point{X: 5, Y: 3}, Point{X: 5, Y: 0}},
+		{Point{X: -4, Y: 1}, Point{X: 0, Y: 0}},
+		{Point{X: 14, Y: -2}, Point{X: 10, Y: 0}},
+	}
+	for _, tt := range tests {
+		got := s.ClosestPoint(tt.p)
+		if got.Dist(tt.want) > eps {
+			t.Errorf("ClosestPoint(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if got := s.Dist(Point{X: 5, Y: 3}); !almostEqual(got, 3) {
+		t.Errorf("Dist = %v, want 3", got)
+	}
+}
+
+func TestSegmentDegenerate(t *testing.T) {
+	s := Segment{A: Point{X: 1, Y: 2}, B: Point{X: 1, Y: 2}}
+	if got := s.ClosestPoint(Point{X: 5, Y: 5}); got != s.A {
+		t.Errorf("degenerate ClosestPoint = %v, want %v", got, s.A)
+	}
+}
+
+func TestRect(t *testing.T) {
+	r := NewRect(Point{X: 4, Y: 6}, Point{X: 0, Y: 2})
+	if r.Min != (Point{X: 0, Y: 2}) || r.Max != (Point{X: 4, Y: 6}) {
+		t.Fatalf("NewRect did not normalise corners: %+v", r)
+	}
+	if !r.Contains(Point{X: 2, Y: 4}) {
+		t.Error("Contains(center) = false, want true")
+	}
+	if !r.Contains(r.Min) || !r.Contains(r.Max) {
+		t.Error("Contains should be inclusive of corners")
+	}
+	if r.Contains(Point{X: -0.1, Y: 4}) {
+		t.Error("Contains outside = true, want false")
+	}
+	if got := r.Center(); got != (Point{X: 2, Y: 4}) {
+		t.Errorf("Center = %v, want (2, 4)", got)
+	}
+	if r.Width() != 4 || r.Height() != 4 {
+		t.Errorf("Width/Height = %v/%v, want 4/4", r.Width(), r.Height())
+	}
+	if !almostEqual(r.Diagonal(), math.Sqrt(32)) {
+		t.Errorf("Diagonal = %v, want %v", r.Diagonal(), math.Sqrt(32))
+	}
+}
+
+func TestRectClampPoint(t *testing.T) {
+	r := NewRect(Point{}, Point{X: 10, Y: 10})
+	tests := []struct {
+		p, want Point
+	}{
+		{Point{X: 5, Y: 5}, Point{X: 5, Y: 5}},
+		{Point{X: -1, Y: 5}, Point{X: 0, Y: 5}},
+		{Point{X: 12, Y: 14}, Point{X: 10, Y: 10}},
+	}
+	for _, tt := range tests {
+		if got := r.ClampPoint(tt.p); got != tt.want {
+			t.Errorf("ClampPoint(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestClampPointAlwaysInside(t *testing.T) {
+	r := NewRect(Point{X: -3, Y: -7}, Point{X: 9, Y: 2})
+	f := func(x, y float64) bool {
+		if anyNaN(x, y) {
+			return true
+		}
+		return r.Contains(r.ClampPoint(Point{X: x, Y: y}))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVecOps(t *testing.T) {
+	v := Vec{DX: 3, DY: 4}
+	if got := v.Len(); !almostEqual(got, 5) {
+		t.Errorf("Len = %v, want 5", got)
+	}
+	if got := v.Scale(2); got != (Vec{DX: 6, DY: 8}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.Add(Vec{DX: -3, DY: -4}); got != (Vec{}) {
+		t.Errorf("Add = %v, want zero", got)
+	}
+	u := v.Unit()
+	if !almostEqual(u.Len(), 1) {
+		t.Errorf("Unit length = %v, want 1", u.Len())
+	}
+	if got := (Vec{}).Unit(); got != (Vec{}) {
+		t.Errorf("Unit of zero = %v, want zero", got)
+	}
+	if got := v.Dot(Vec{DX: 1, DY: 1}); !almostEqual(got, 7) {
+		t.Errorf("Dot = %v, want 7", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	tests := []struct {
+		v, lo, hi, want float64
+	}{
+		{5, 0, 10, 5},
+		{-5, 0, 10, 0},
+		{15, 0, 10, 10},
+		{0, 0, 0, 0},
+	}
+	for _, tt := range tests {
+		if got := Clamp(tt.v, tt.lo, tt.hi); got != tt.want {
+			t.Errorf("Clamp(%v, %v, %v) = %v, want %v", tt.v, tt.lo, tt.hi, got, tt.want)
+		}
+	}
+}
+
+func TestPointString(t *testing.T) {
+	if got := (Point{X: 1.5, Y: -2}).String(); got != "(1.50, -2.00)" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,331 @@
+package hla
+
+import (
+	"errors"
+	"fmt"
+	"net"
+
+	"github.com/mobilegrid/adf/internal/wire"
+)
+
+// Client is a remote federate speaking the TCP RTI protocol. It presents
+// the same service surface as the in-process Federate. A Client is not
+// safe for concurrent use: one goroutine drives the federate, exactly
+// like an HLA federate process.
+type Client struct {
+	conn   net.Conn
+	amb    Ambassador
+	handle FederateHandle
+	joined bool
+	closed bool
+}
+
+// Dial connects to a TCP RTI server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("hla: dial: %w", err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close tears down the connection. A joined federate should Resign first.
+func (c *Client) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}
+
+// Handle returns the federate handle assigned at join.
+func (c *Client) Handle() FederateHandle { return c.handle }
+
+// Join joins a federation as a time-regulating, time-constrained
+// federate. Callbacks are delivered to amb during TimeAdvanceRequest and
+// Tick.
+func (c *Client) Join(federation, name string, lookahead float64, amb Ambassador) error {
+	if amb == nil {
+		return errors.New("hla: nil ambassador")
+	}
+	if c.joined {
+		return errors.New("hla: already joined")
+	}
+	c.amb = amb
+	var e wire.Encoder
+	e.PutByte(msgJoin)
+	e.PutString(federation)
+	e.PutString(name)
+	e.PutFloat64(lookahead)
+	if err := wire.WriteFrame(c.conn, e.Bytes()); err != nil {
+		return err
+	}
+	payload, err := c.await(msgJoined)
+	if err != nil {
+		return err
+	}
+	d := wire.NewDecoder(payload)
+	d.Byte() // type
+	c.handle = FederateHandle(d.Int64())
+	if d.Err() != nil {
+		return d.Err()
+	}
+	c.joined = true
+	return nil
+}
+
+// await reads frames, dispatching callbacks to the ambassador, until a
+// frame of the terminal type (or msgError) arrives. It returns the
+// terminal frame's payload.
+func (c *Client) await(terminal byte) ([]byte, error) {
+	for {
+		payload, err := wire.ReadFrame(c.conn)
+		if err != nil {
+			return nil, fmt.Errorf("hla: connection lost: %w", err)
+		}
+		d := wire.NewDecoder(payload)
+		typ := d.Byte()
+		switch typ {
+		case msgError:
+			code := d.Byte()
+			msg := d.String()
+			if d.Err() != nil {
+				return nil, d.Err()
+			}
+			return nil, codeError(code, msg)
+		case terminal:
+			return payload, nil
+		case msgDiscover:
+			obj := ObjectHandle(d.Int64())
+			class := d.String()
+			name := d.String()
+			if d.Err() != nil {
+				return nil, d.Err()
+			}
+			c.amb.DiscoverObjectInstance(obj, class, name)
+		case msgReflect:
+			obj := ObjectHandle(d.Int64())
+			t := d.Float64()
+			values := Values(d.Values())
+			if d.Err() != nil {
+				return nil, d.Err()
+			}
+			c.amb.ReflectAttributeValues(obj, values, t)
+		case msgReceive:
+			class := d.String()
+			t := d.Float64()
+			values := Values(d.Values())
+			if d.Err() != nil {
+				return nil, d.Err()
+			}
+			c.amb.ReceiveInteraction(class, values, t)
+		case msgRemove:
+			obj := ObjectHandle(d.Int64())
+			if d.Err() != nil {
+				return nil, d.Err()
+			}
+			c.amb.RemoveObjectInstance(obj)
+		case msgAnnounceSync:
+			label := d.String()
+			tag := d.Bytes()
+			if d.Err() != nil {
+				return nil, d.Err()
+			}
+			if sync, ok := c.amb.(SyncAmbassador); ok {
+				sync.AnnounceSynchronizationPoint(label, tag)
+			}
+		case msgFederationSynced:
+			label := d.String()
+			if d.Err() != nil {
+				return nil, d.Err()
+			}
+			if sync, ok := c.amb.(SyncAmbassador); ok {
+				sync.FederationSynchronized(label)
+			}
+		case msgGrant:
+			// A grant can only be terminal (requested via TAR); any other
+			// appearance is a protocol violation.
+			return nil, fmt.Errorf("hla: unexpected grant frame")
+		default:
+			return nil, fmt.Errorf("hla: unexpected frame type %d", typ)
+		}
+	}
+}
+
+// call sends a request and waits for the ok acknowledgement.
+func (c *Client) call(e *wire.Encoder) error {
+	if !c.joined {
+		return errors.New("hla: not joined")
+	}
+	if err := wire.WriteFrame(c.conn, e.Bytes()); err != nil {
+		return err
+	}
+	_, err := c.await(msgOK)
+	return err
+}
+
+// PublishObjectClass mirrors Federate.PublishObjectClass.
+func (c *Client) PublishObjectClass(class string, attributes []string) error {
+	var e wire.Encoder
+	e.PutByte(msgPublishObject)
+	e.PutString(class)
+	e.PutStrings(attributes)
+	return c.call(&e)
+}
+
+// SubscribeObjectClass mirrors Federate.SubscribeObjectClass.
+func (c *Client) SubscribeObjectClass(class string, attributes []string) error {
+	var e wire.Encoder
+	e.PutByte(msgSubscribeObject)
+	e.PutString(class)
+	e.PutStrings(attributes)
+	return c.call(&e)
+}
+
+// PublishInteractionClass mirrors Federate.PublishInteractionClass.
+func (c *Client) PublishInteractionClass(class string) error {
+	var e wire.Encoder
+	e.PutByte(msgPublishInteraction)
+	e.PutString(class)
+	return c.call(&e)
+}
+
+// SubscribeInteractionClass mirrors Federate.SubscribeInteractionClass.
+func (c *Client) SubscribeInteractionClass(class string) error {
+	var e wire.Encoder
+	e.PutByte(msgSubscribeInteraction)
+	e.PutString(class)
+	return c.call(&e)
+}
+
+// RegisterObjectInstance mirrors Federate.RegisterObjectInstance.
+func (c *Client) RegisterObjectInstance(class, name string) (ObjectHandle, error) {
+	if !c.joined {
+		return 0, errors.New("hla: not joined")
+	}
+	var e wire.Encoder
+	e.PutByte(msgRegister)
+	e.PutString(class)
+	e.PutString(name)
+	if err := wire.WriteFrame(c.conn, e.Bytes()); err != nil {
+		return 0, err
+	}
+	payload, err := c.await(msgRegistered)
+	if err != nil {
+		return 0, err
+	}
+	d := wire.NewDecoder(payload)
+	d.Byte()
+	obj := ObjectHandle(d.Int64())
+	return obj, d.Err()
+}
+
+// UpdateAttributeValues mirrors Federate.UpdateAttributeValues.
+func (c *Client) UpdateAttributeValues(obj ObjectHandle, attrs Values, ts float64) error {
+	var e wire.Encoder
+	e.PutByte(msgUpdate)
+	e.PutInt64(int64(obj))
+	e.PutFloat64(ts)
+	e.PutValues(attrs)
+	return c.call(&e)
+}
+
+// SendInteraction mirrors Federate.SendInteraction.
+func (c *Client) SendInteraction(class string, params Values, ts float64) error {
+	var e wire.Encoder
+	e.PutByte(msgInteraction)
+	e.PutString(class)
+	e.PutFloat64(ts)
+	e.PutValues(params)
+	return c.call(&e)
+}
+
+// DeleteObjectInstance mirrors Federate.DeleteObjectInstance.
+func (c *Client) DeleteObjectInstance(obj ObjectHandle) error {
+	var e wire.Encoder
+	e.PutByte(msgDelete)
+	e.PutInt64(int64(obj))
+	return c.call(&e)
+}
+
+// TimeAdvanceRequest mirrors Federate.TimeAdvanceRequest: it blocks,
+// delivering callbacks, until the grant arrives.
+func (c *Client) TimeAdvanceRequest(t float64) error {
+	return c.advance(msgTAR, t)
+}
+
+// NextEventRequest mirrors Federate.NextEventRequest. The granted time
+// (possibly earlier than t) is reported via TimeAdvanceGrant.
+func (c *Client) NextEventRequest(t float64) error {
+	return c.advance(msgNER, t)
+}
+
+func (c *Client) advance(typ byte, t float64) error {
+	if !c.joined {
+		return errors.New("hla: not joined")
+	}
+	var e wire.Encoder
+	e.PutByte(typ)
+	e.PutFloat64(t)
+	if err := wire.WriteFrame(c.conn, e.Bytes()); err != nil {
+		return err
+	}
+	payload, err := c.await(msgGrant)
+	if err != nil {
+		return err
+	}
+	d := wire.NewDecoder(payload)
+	d.Byte()
+	granted := d.Float64()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	c.amb.TimeAdvanceGrant(granted)
+	return nil
+}
+
+// Tick asks the server to flush pending receive-ordered callbacks
+// (discoveries, removals) and delivers them.
+func (c *Client) Tick() error {
+	var e wire.Encoder
+	e.PutByte(msgTick)
+	return c.call(&e)
+}
+
+// RegisterSynchronizationPoint mirrors
+// Federate.RegisterSynchronizationPoint. The registrant's own
+// announcement is delivered before this call returns.
+func (c *Client) RegisterSynchronizationPoint(label string, tag []byte) error {
+	var e wire.Encoder
+	e.PutByte(msgRegisterSync)
+	e.PutString(label)
+	e.PutBytes(tag)
+	return c.call(&e)
+}
+
+// SynchronizationPointAchieved mirrors
+// Federate.SynchronizationPointAchieved.
+func (c *Client) SynchronizationPointAchieved(label string) error {
+	var e wire.Encoder
+	e.PutByte(msgSyncAchieved)
+	e.PutString(label)
+	return c.call(&e)
+}
+
+// Resign leaves the federation.
+func (c *Client) Resign() error {
+	if !c.joined {
+		return errors.New("hla: not joined")
+	}
+	var e wire.Encoder
+	e.PutByte(msgResign)
+	if err := wire.WriteFrame(c.conn, e.Bytes()); err != nil {
+		return err
+	}
+	_, err := c.await(msgOK)
+	if err != nil {
+		return err
+	}
+	c.joined = false
+	return nil
+}

@@ -1,0 +1,224 @@
+package hla
+
+import "testing"
+
+func TestNextEventRequestJumpsToMessage(t *testing.T) {
+	rti := newFederation(t)
+	send, _ := join(t, rti, "send")
+	recv, recvRec := join(t, rti, "recv")
+
+	if err := send.PublishInteractionClass("E"); err != nil {
+		t.Fatal(err)
+	}
+	if err := recv.SubscribeInteractionClass("E"); err != nil {
+		t.Fatal(err)
+	}
+	// Events at 3 and 7; the receiver asks for "anything up to 100".
+	if err := send.SendInteraction("E", nil, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := send.SendInteraction("E", nil, 7); err != nil {
+		t.Fatal(err)
+	}
+
+	// The sender advances to 10 concurrently. Its grant arrives only
+	// after the receiver has advanced past 9 (= 10 − lookahead), because
+	// an early-granted NER receiver may itself send low-stamped messages.
+	sendDone := make(chan error, 1)
+	go func() { sendDone <- send.TimeAdvanceRequest(10) }()
+
+	// First NER: granted at the FIRST event's time with only that event.
+	if err := recv.NextEventRequest(100); err != nil {
+		t.Fatal(err)
+	}
+	if got := recv.Time(); got != 3 {
+		t.Fatalf("granted time = %v, want 3", got)
+	}
+	recvRec.mu.Lock()
+	if len(recvRec.interactions) != 1 || recvRec.interactions[0].time != 3 {
+		t.Fatalf("interactions = %v", times(recvRec.interactions))
+	}
+	if len(recvRec.grants) != 1 || recvRec.grants[0] != 3 {
+		t.Fatalf("grants = %v", recvRec.grants)
+	}
+	recvRec.mu.Unlock()
+
+	// Second NER picks up the second event.
+	if err := recv.NextEventRequest(100); err != nil {
+		t.Fatal(err)
+	}
+	if got := recv.Time(); got != 7 {
+		t.Fatalf("second grant = %v, want 7", got)
+	}
+	recvRec.mu.Lock()
+	if len(recvRec.interactions) != 2 || recvRec.interactions[1].time != 7 {
+		t.Fatalf("interactions = %v", times(recvRec.interactions))
+	}
+	recvRec.mu.Unlock()
+
+	// Advancing the receiver past 9 raises the sender's LBTS above 10.
+	if err := recv.TimeAdvanceRequest(9.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-sendDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNextEventRequestNoEventGrantsAtRequest(t *testing.T) {
+	rti := newFederation(t)
+	a, _ := join(t, rti, "a")
+	b, _ := join(t, rti, "b")
+
+	done := make(chan error, 1)
+	go func() { done <- a.NextEventRequest(5) }()
+	if err := b.TimeAdvanceRequest(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Time(); got != 5 {
+		t.Errorf("granted = %v, want requested 5", got)
+	}
+}
+
+func TestNextEventRequestEqualTimestampsDeliveredTogether(t *testing.T) {
+	rti := newFederation(t)
+	send, _ := join(t, rti, "send")
+	recv, recvRec := join(t, rti, "recv")
+	if err := send.PublishInteractionClass("E"); err != nil {
+		t.Fatal(err)
+	}
+	if err := recv.SubscribeInteractionClass("E"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := send.SendInteraction("E", Values{"i": []byte{byte(i)}}, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sendDone := make(chan error, 1)
+	go func() { sendDone <- send.TimeAdvanceRequest(10) }()
+	if err := recv.NextEventRequest(100); err != nil {
+		t.Fatal(err)
+	}
+	recvRec.mu.Lock()
+	if len(recvRec.interactions) != 3 {
+		t.Errorf("interactions = %d, want all 3 equal-time events", len(recvRec.interactions))
+	}
+	recvRec.mu.Unlock()
+	if recv.Time() != 4 {
+		t.Errorf("granted = %v, want 4", recv.Time())
+	}
+	// Free the sender.
+	if err := recv.TimeAdvanceRequest(9.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-sendDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNERGrantBlocksSenderUntilReceiverAdvances(t *testing.T) {
+	// The conservative subtlety the property test uncovered: a receiver
+	// granted early by an NER can itself send low-stamped messages, so
+	// the sender's own advance must NOT be granted merely because the
+	// receiver once requested a large time.
+	rti := newFederation(t)
+	send, sendRec := join(t, rti, "send")
+	recv, recvRec := join(t, rti, "recv")
+	if err := send.PublishInteractionClass("E"); err != nil {
+		t.Fatal(err)
+	}
+	if err := recv.SubscribeInteractionClass("E"); err != nil {
+		t.Fatal(err)
+	}
+	if err := recv.PublishInteractionClass("Back"); err != nil {
+		t.Fatal(err)
+	}
+	if err := send.SubscribeInteractionClass("Back"); err != nil {
+		t.Fatal(err)
+	}
+	if err := send.SendInteraction("E", nil, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	sendDone := make(chan error, 1)
+	go func() { sendDone <- send.TimeAdvanceRequest(10) }()
+
+	// The receiver is granted at 2 (enabled by the sender's pending
+	// request raising its bound to 11)...
+	if err := recv.NextEventRequest(100); err != nil {
+		t.Fatal(err)
+	}
+	if recv.Time() != 2 {
+		t.Fatalf("recv granted = %v, want 2", recv.Time())
+	}
+	// ...and can legitimately send a reply stamped 3 < 10, which the
+	// sender must receive before its own grant to 10.
+	if err := recv.SendInteraction("Back", nil, 3); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-sendDone:
+		t.Fatalf("sender granted before receiver advanced (err=%v)", err)
+	default:
+	}
+	if err := recv.TimeAdvanceRequest(9.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-sendDone; err != nil {
+		t.Fatal(err)
+	}
+	// The low-stamped reply made it into the sender's grant.
+	sendRec.mu.Lock()
+	if len(sendRec.interactions) != 1 || sendRec.interactions[0].time != 3 {
+		t.Errorf("send interactions = %v, want the reply at 3", times(sendRec.interactions))
+	}
+	sendRec.mu.Unlock()
+	recvRec.mu.Lock()
+	defer recvRec.mu.Unlock()
+	if len(recvRec.grants) != 2 {
+		t.Errorf("recv grants = %v", recvRec.grants)
+	}
+}
+
+func TestNextEventRequestOverTCP(t *testing.T) {
+	addr := startServer(t)
+	send, sendRec := dialJoin(t, addr, "send")
+	recv, recvRec := dialJoin(t, addr, "recv")
+	if err := send.PublishInteractionClass("E"); err != nil {
+		t.Fatal(err)
+	}
+	if err := recv.SubscribeInteractionClass("E"); err != nil {
+		t.Fatal(err)
+	}
+	if err := send.SendInteraction("E", nil, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	sendDone := make(chan error, 1)
+	go func() { sendDone <- send.TimeAdvanceRequest(10) }()
+	if err := recv.NextEventRequest(50); err != nil {
+		t.Fatal(err)
+	}
+	recvRec.mu.Lock()
+	if len(recvRec.grants) != 1 || recvRec.grants[0] != 2.5 {
+		t.Errorf("grants = %v, want [2.5]", recvRec.grants)
+	}
+	if len(recvRec.interactions) != 1 {
+		t.Errorf("interactions = %d", len(recvRec.interactions))
+	}
+	recvRec.mu.Unlock()
+	if err := recv.TimeAdvanceRequest(9.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-sendDone; err != nil {
+		t.Fatal(err)
+	}
+	sendRec.mu.Lock()
+	defer sendRec.mu.Unlock()
+	if len(sendRec.grants) != 1 || sendRec.grants[0] != 10 {
+		t.Errorf("send grants = %v", sendRec.grants)
+	}
+}

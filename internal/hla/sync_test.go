@@ -1,0 +1,251 @@
+package hla
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// syncRecorder extends recorder with the synchronization callbacks.
+type syncRecorder struct {
+	recorder
+	announced []string
+	tags      map[string][]byte
+	synced    []string
+}
+
+var _ SyncAmbassador = (*syncRecorder)(nil)
+
+func (r *syncRecorder) AnnounceSynchronizationPoint(label string, tag []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.announced = append(r.announced, label)
+	if r.tags == nil {
+		r.tags = map[string][]byte{}
+	}
+	r.tags[label] = tag
+}
+
+func (r *syncRecorder) FederationSynchronized(label string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.synced = append(r.synced, label)
+}
+
+func joinSync(t *testing.T, rti *RTI, name string) (*Federate, *syncRecorder) {
+	t.Helper()
+	rec := &syncRecorder{}
+	f, err := rti.Join("test", name, 1.0, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, rec
+}
+
+func TestSyncPointLifecycle(t *testing.T) {
+	rti := newFederation(t)
+	a, aRec := joinSync(t, rti, "a")
+	b, bRec := joinSync(t, rti, "b")
+
+	if err := a.RegisterSynchronizationPoint("phase-1", []byte("go")); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate label rejected.
+	if err := b.RegisterSynchronizationPoint("phase-1", nil); !errors.Is(err, ErrSyncPointExists) {
+		t.Errorf("duplicate register: %v", err)
+	}
+	a.Tick()
+	b.Tick()
+	for _, rec := range []*syncRecorder{aRec, bRec} {
+		rec.mu.Lock()
+		if len(rec.announced) != 1 || rec.announced[0] != "phase-1" {
+			t.Errorf("announced = %v", rec.announced)
+		}
+		if string(rec.tags["phase-1"]) != "go" {
+			t.Errorf("tag = %q", rec.tags["phase-1"])
+		}
+		rec.mu.Unlock()
+	}
+
+	// One achiever is not enough.
+	if err := a.SynchronizationPointAchieved("phase-1"); err != nil {
+		t.Fatal(err)
+	}
+	a.Tick()
+	aRec.mu.Lock()
+	if len(aRec.synced) != 0 {
+		t.Error("synchronized before all participants achieved")
+	}
+	aRec.mu.Unlock()
+
+	// The second achiever completes the point.
+	if err := b.SynchronizationPointAchieved("phase-1"); err != nil {
+		t.Fatal(err)
+	}
+	a.Tick()
+	b.Tick()
+	for name, rec := range map[string]*syncRecorder{"a": aRec, "b": bRec} {
+		rec.mu.Lock()
+		if len(rec.synced) != 1 || rec.synced[0] != "phase-1" {
+			t.Errorf("%s synced = %v", name, rec.synced)
+		}
+		rec.mu.Unlock()
+	}
+
+	// The point is retired: achieving again fails.
+	if err := a.SynchronizationPointAchieved("phase-1"); !errors.Is(err, ErrNoSyncPoint) {
+		t.Errorf("achieved retired point: %v", err)
+	}
+	// And the label can be reused.
+	if err := a.RegisterSynchronizationPoint("phase-1", nil); err != nil {
+		t.Errorf("re-register retired label: %v", err)
+	}
+}
+
+func TestSyncPointUnknownLabel(t *testing.T) {
+	rti := newFederation(t)
+	a, _ := joinSync(t, rti, "a")
+	if err := a.SynchronizationPointAchieved("nope"); !errors.Is(err, ErrNoSyncPoint) {
+		t.Errorf("unknown label: %v", err)
+	}
+}
+
+func TestSyncPointLateJoinerNotParticipant(t *testing.T) {
+	rti := newFederation(t)
+	a, _ := joinSync(t, rti, "a")
+	if err := a.RegisterSynchronizationPoint("p", nil); err != nil {
+		t.Fatal(err)
+	}
+	late, lateRec := joinSync(t, rti, "late")
+	// The late joiner is not announced and cannot achieve the point...
+	if err := late.SynchronizationPointAchieved("p"); !errors.Is(err, ErrNoSyncPoint) {
+		t.Errorf("late achiever: %v", err)
+	}
+	// ...and does not block completion.
+	if err := a.SynchronizationPointAchieved("p"); err != nil {
+		t.Fatal(err)
+	}
+	a.Tick()
+	late.Tick()
+	lateRec.mu.Lock()
+	if len(lateRec.synced) != 0 || len(lateRec.announced) != 0 {
+		t.Errorf("late joiner saw %v / %v", lateRec.announced, lateRec.synced)
+	}
+	lateRec.mu.Unlock()
+}
+
+func TestSyncPointResignUnblocks(t *testing.T) {
+	rti := newFederation(t)
+	a, aRec := joinSync(t, rti, "a")
+	b, _ := joinSync(t, rti, "b")
+	if err := a.RegisterSynchronizationPoint("p", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SynchronizationPointAchieved("p"); err != nil {
+		t.Fatal(err)
+	}
+	// b resigns without achieving: the point must complete for a.
+	if err := b.Resign(); err != nil {
+		t.Fatal(err)
+	}
+	a.Tick()
+	aRec.mu.Lock()
+	defer aRec.mu.Unlock()
+	if len(aRec.synced) != 1 {
+		t.Errorf("synced = %v after resignation", aRec.synced)
+	}
+}
+
+func TestSyncPointPlainAmbassadorTolerated(t *testing.T) {
+	// A federate whose ambassador lacks the SyncAmbassador extension
+	// still participates; its announcements are silently dropped.
+	rti := newFederation(t)
+	a, aRec := joinSync(t, rti, "a")
+	plain, _ := join(t, rti, "plain") // recorder does not implement SyncAmbassador
+	if err := a.RegisterSynchronizationPoint("p", nil); err != nil {
+		t.Fatal(err)
+	}
+	plain.Tick() // must not panic
+	if err := a.SynchronizationPointAchieved("p"); err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.SynchronizationPointAchieved("p"); err != nil {
+		t.Fatal(err)
+	}
+	a.Tick()
+	aRec.mu.Lock()
+	defer aRec.mu.Unlock()
+	if len(aRec.synced) != 1 {
+		t.Errorf("synced = %v", aRec.synced)
+	}
+}
+
+func TestSyncPointOverTCP(t *testing.T) {
+	addr := startServer(t)
+	mk := func(name string) (*Client, *syncRecorder) {
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = c.Close() })
+		rec := &syncRecorder{}
+		if err := c.Join("test", name, 1.0, rec); err != nil {
+			t.Fatal(err)
+		}
+		return c, rec
+	}
+	a, aRec := mk("a")
+	b, bRec := mk("b")
+
+	if err := a.RegisterSynchronizationPoint("ready", []byte("tag")); err != nil {
+		t.Fatal(err)
+	}
+	// The registrant sees its own announcement before the call returns.
+	aRec.mu.Lock()
+	if len(aRec.announced) != 1 {
+		t.Fatalf("registrant announced = %v", aRec.announced)
+	}
+	aRec.mu.Unlock()
+	if err := b.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	bRec.mu.Lock()
+	if len(bRec.announced) != 1 || string(bRec.tags["ready"]) != "tag" {
+		t.Fatalf("b announced = %v tags = %v", bRec.announced, bRec.tags)
+	}
+	bRec.mu.Unlock()
+
+	// Errors cross the wire with their sentinel identity.
+	if err := b.SynchronizationPointAchieved("nope"); !errors.Is(err, ErrNoSyncPoint) {
+		t.Errorf("unknown label over TCP: %v", err)
+	}
+	if err := a.RegisterSynchronizationPoint("ready", nil); !errors.Is(err, ErrSyncPointExists) {
+		t.Errorf("duplicate over TCP: %v", err)
+	}
+
+	if err := a.SynchronizationPointAchieved("ready"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := b.SynchronizationPointAchieved("ready"); err != nil {
+			t.Error(err)
+		}
+	}()
+	wg.Wait()
+	if err := a.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	for name, rec := range map[string]*syncRecorder{"a": aRec, "b": bRec} {
+		rec.mu.Lock()
+		if len(rec.synced) != 1 || rec.synced[0] != "ready" {
+			t.Errorf("%s synced = %v", name, rec.synced)
+		}
+		rec.mu.Unlock()
+	}
+}

@@ -1,0 +1,403 @@
+package hla
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/mobilegrid/adf/internal/wire"
+)
+
+// Message types of the TCP RTI protocol. Client requests first, then
+// server responses and callbacks.
+const (
+	msgJoin byte = iota + 1
+	msgPublishObject
+	msgSubscribeObject
+	msgPublishInteraction
+	msgSubscribeInteraction
+	msgRegister
+	msgUpdate
+	msgInteraction
+	msgDelete
+	msgTAR
+	msgTick
+	msgResign
+	msgRegisterSync
+	msgSyncAchieved
+	msgNER
+
+	msgJoined
+	msgRegistered
+	msgOK
+	msgError
+	msgDiscover
+	msgReflect
+	msgReceive
+	msgRemove
+	msgGrant
+	msgAnnounceSync
+	msgFederationSynced
+)
+
+// Sentinel error codes carried across the wire so errors.Is keeps working
+// on the client side.
+var wireErrors = []error{
+	ErrFederationExists,
+	ErrNoFederation,
+	ErrFederationNotEmpty,
+	ErrResigned,
+	ErrNotPublished,
+	ErrUnknownObject,
+	ErrNotOwner,
+	ErrInvalidTime,
+	ErrPendingAdvance,
+	ErrSyncPointExists,
+	ErrNoSyncPoint,
+}
+
+func errorCode(err error) byte {
+	for i, sentinel := range wireErrors {
+		if errors.Is(err, sentinel) {
+			return byte(i + 1)
+		}
+	}
+	return 0
+}
+
+func codeError(code byte, msg string) error {
+	if code == 0 || int(code) > len(wireErrors) {
+		return errors.New(msg)
+	}
+	return fmt.Errorf("%w: %s", wireErrors[code-1], msg)
+}
+
+// Server exposes an RTI's federations over TCP. Each connection carries
+// one federate.
+type Server struct {
+	rti *RTI
+	ln  net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]bool
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer listens on addr (e.g. "127.0.0.1:0") and serves the given
+// RTI. Call Serve to start accepting.
+func NewServer(rti *RTI, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("hla: listen: %w", err)
+	}
+	return &Server{rti: rti, ln: ln, conns: make(map[net.Conn]bool)}, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Serve accepts connections until Close. It always returns a non-nil
+// error; after Close the error wraps net.ErrClosed.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("hla: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = true
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting, closes every live connection and waits for the
+// handlers to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	_ = conn.Close()
+}
+
+// connWriter serialises frame writes from the request handler and the
+// RTI callback path.
+type connWriter struct {
+	mu   sync.Mutex
+	conn net.Conn
+	err  error
+}
+
+func (w *connWriter) writeFrame(payload []byte) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return
+	}
+	w.err = wire.WriteFrame(w.conn, payload)
+}
+
+// remoteAmbassador relays ambassador callbacks to the remote client.
+type remoteAmbassador struct {
+	w *connWriter
+}
+
+var _ Ambassador = (*remoteAmbassador)(nil)
+
+func (a *remoteAmbassador) DiscoverObjectInstance(obj ObjectHandle, class, name string) {
+	var e wire.Encoder
+	e.PutByte(msgDiscover)
+	e.PutInt64(int64(obj))
+	e.PutString(class)
+	e.PutString(name)
+	a.w.writeFrame(e.Bytes())
+}
+
+func (a *remoteAmbassador) ReflectAttributeValues(obj ObjectHandle, attrs Values, t float64) {
+	var e wire.Encoder
+	e.PutByte(msgReflect)
+	e.PutInt64(int64(obj))
+	e.PutFloat64(t)
+	e.PutValues(attrs)
+	a.w.writeFrame(e.Bytes())
+}
+
+func (a *remoteAmbassador) ReceiveInteraction(class string, params Values, t float64) {
+	var e wire.Encoder
+	e.PutByte(msgReceive)
+	e.PutString(class)
+	e.PutFloat64(t)
+	e.PutValues(params)
+	a.w.writeFrame(e.Bytes())
+}
+
+func (a *remoteAmbassador) RemoveObjectInstance(obj ObjectHandle) {
+	var e wire.Encoder
+	e.PutByte(msgRemove)
+	e.PutInt64(int64(obj))
+	a.w.writeFrame(e.Bytes())
+}
+
+func (a *remoteAmbassador) TimeAdvanceGrant(t float64) {
+	var e wire.Encoder
+	e.PutByte(msgGrant)
+	e.PutFloat64(t)
+	a.w.writeFrame(e.Bytes())
+}
+
+var _ SyncAmbassador = (*remoteAmbassador)(nil)
+
+// AnnounceSynchronizationPoint implements SyncAmbassador.
+func (a *remoteAmbassador) AnnounceSynchronizationPoint(label string, tag []byte) {
+	var e wire.Encoder
+	e.PutByte(msgAnnounceSync)
+	e.PutString(label)
+	e.PutBytes(tag)
+	a.w.writeFrame(e.Bytes())
+}
+
+// FederationSynchronized implements SyncAmbassador.
+func (a *remoteAmbassador) FederationSynchronized(label string) {
+	var e wire.Encoder
+	e.PutByte(msgFederationSynced)
+	e.PutString(label)
+	a.w.writeFrame(e.Bytes())
+}
+
+func writeOK(w *connWriter) {
+	var e wire.Encoder
+	e.PutByte(msgOK)
+	w.writeFrame(e.Bytes())
+}
+
+func writeError(w *connWriter, err error) {
+	var e wire.Encoder
+	e.PutByte(msgError)
+	e.PutByte(errorCode(err))
+	e.PutString(err.Error())
+	w.writeFrame(e.Bytes())
+}
+
+// handle runs one connection's request loop: a join frame first, then
+// RTI service requests until the connection drops or the client resigns.
+func (s *Server) handle(conn net.Conn) {
+	defer s.dropConn(conn)
+	w := &connWriter{conn: conn}
+
+	var fed *Federate
+	defer func() {
+		if fed != nil {
+			// Unblock the rest of the federation if the client vanished.
+			_ = fed.Resign()
+		}
+	}()
+
+	for {
+		payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		d := wire.NewDecoder(payload)
+		typ := d.Byte()
+
+		if fed == nil {
+			if typ != msgJoin {
+				writeError(w, errors.New("hla: join required first"))
+				return
+			}
+			federation := d.String()
+			name := d.String()
+			lookahead := d.Float64()
+			if d.Err() != nil {
+				writeError(w, d.Err())
+				return
+			}
+			f, err := s.rti.Join(federation, name, lookahead, &remoteAmbassador{w: w})
+			if err != nil {
+				writeError(w, err)
+				continue
+			}
+			fed = f
+			var e wire.Encoder
+			e.PutByte(msgJoined)
+			e.PutInt64(int64(f.Handle()))
+			w.writeFrame(e.Bytes())
+			continue
+		}
+
+		switch typ {
+		case msgPublishObject:
+			class := d.String()
+			attrs := d.Strings()
+			s.respond(w, d.Err(), func() error { return fed.PublishObjectClass(class, attrs) })
+		case msgSubscribeObject:
+			class := d.String()
+			attrs := d.Strings()
+			s.respond(w, d.Err(), func() error { return fed.SubscribeObjectClass(class, attrs) })
+		case msgPublishInteraction:
+			class := d.String()
+			s.respond(w, d.Err(), func() error { return fed.PublishInteractionClass(class) })
+		case msgSubscribeInteraction:
+			class := d.String()
+			s.respond(w, d.Err(), func() error { return fed.SubscribeInteractionClass(class) })
+		case msgRegister:
+			class := d.String()
+			name := d.String()
+			if d.Err() != nil {
+				writeError(w, d.Err())
+				continue
+			}
+			obj, err := fed.RegisterObjectInstance(class, name)
+			if err != nil {
+				writeError(w, err)
+				continue
+			}
+			var e wire.Encoder
+			e.PutByte(msgRegistered)
+			e.PutInt64(int64(obj))
+			w.writeFrame(e.Bytes())
+		case msgUpdate:
+			obj := ObjectHandle(d.Int64())
+			ts := d.Float64()
+			values := Values(d.Values())
+			s.respond(w, d.Err(), func() error { return fed.UpdateAttributeValues(obj, values, ts) })
+		case msgInteraction:
+			class := d.String()
+			ts := d.Float64()
+			values := Values(d.Values())
+			s.respond(w, d.Err(), func() error { return fed.SendInteraction(class, values, ts) })
+		case msgDelete:
+			obj := ObjectHandle(d.Int64())
+			s.respond(w, d.Err(), func() error { return fed.DeleteObjectInstance(obj) })
+		case msgTAR, msgNER:
+			t := d.Float64()
+			if d.Err() != nil {
+				writeError(w, d.Err())
+				continue
+			}
+			// The advance blocks; callbacks (ending with the grant)
+			// stream to the client through the remote ambassador.
+			advance := fed.TimeAdvanceRequest
+			if typ == msgNER {
+				advance = fed.NextEventRequest
+			}
+			if err := advance(t); err != nil {
+				writeError(w, err)
+			}
+		case msgTick:
+			fed.Tick()
+			writeOK(w)
+		case msgRegisterSync:
+			label := d.String()
+			tag := d.Bytes()
+			if d.Err() != nil {
+				writeError(w, d.Err())
+				continue
+			}
+			if err := fed.RegisterSynchronizationPoint(label, tag); err != nil {
+				writeError(w, err)
+				continue
+			}
+			// Stream the registrant's own announcement before the ack so
+			// the client sees announce-then-ok, as an in-process federate
+			// would on its next Tick.
+			fed.Tick()
+			writeOK(w)
+		case msgSyncAchieved:
+			label := d.String()
+			if d.Err() != nil {
+				writeError(w, d.Err())
+				continue
+			}
+			if err := fed.SynchronizationPointAchieved(label); err != nil {
+				writeError(w, err)
+				continue
+			}
+			fed.Tick()
+			writeOK(w)
+		case msgResign:
+			err := fed.Resign()
+			fed = nil
+			s.respond(w, nil, func() error { return err })
+			return
+		default:
+			writeError(w, fmt.Errorf("hla: unknown message type %d", typ))
+		}
+	}
+}
+
+// respond runs op (unless decoding already failed) and writes ok/error.
+func (s *Server) respond(w *connWriter, decodeErr error, op func() error) {
+	if decodeErr != nil {
+		writeError(w, decodeErr)
+		return
+	}
+	if err := op(); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeOK(w)
+}

@@ -1,0 +1,344 @@
+// Package metrics collects the time-series and per-group tallies the
+// experiments report: location updates per second, accumulated totals,
+// per-region transmission rates and per-second RMSE curves, plus a plain
+// text table renderer for the figure output.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// CountSeries counts events into fixed one-second buckets of virtual time.
+// The zero value is ready to use.
+type CountSeries struct {
+	counts []float64
+}
+
+func (s *CountSeries) grow(bucket int) {
+	for len(s.counts) <= bucket {
+		s.counts = append(s.counts, 0)
+	}
+}
+
+// Add records n events at virtual time t (t >= 0).
+func (s *CountSeries) Add(t float64, n float64) {
+	if t < 0 || math.IsNaN(t) {
+		return
+	}
+	b := int(t)
+	s.grow(b)
+	s.counts[b] += n
+}
+
+// Incr records one event at time t.
+func (s *CountSeries) Incr(t float64) { s.Add(t, 1) }
+
+// Series returns a copy of the per-second counts.
+func (s *CountSeries) Series() []float64 {
+	return append([]float64(nil), s.counts...)
+}
+
+// Total returns the sum over all buckets.
+func (s *CountSeries) Total() float64 {
+	var sum float64
+	for _, c := range s.counts {
+		sum += c
+	}
+	return sum
+}
+
+// Mean returns the mean per-second count over the recorded horizon.
+func (s *CountSeries) Mean() float64 {
+	if len(s.counts) == 0 {
+		return 0
+	}
+	return s.Total() / float64(len(s.counts))
+}
+
+// Len returns the number of one-second buckets recorded.
+func (s *CountSeries) Len() int { return len(s.counts) }
+
+// Accumulate converts a per-second series into its running total.
+func Accumulate(series []float64) []float64 {
+	out := make([]float64, len(series))
+	var sum float64
+	for i, v := range series {
+		sum += v
+		out[i] = sum
+	}
+	return out
+}
+
+// Downsample averages a series into ceil(len/width) buckets of the given
+// width, for compact figure printouts. A non-positive width returns the
+// input unchanged.
+func Downsample(series []float64, width int) []float64 {
+	if width <= 1 {
+		return append([]float64(nil), series...)
+	}
+	var out []float64
+	for i := 0; i < len(series); i += width {
+		end := i + width
+		if end > len(series) {
+			end = len(series)
+		}
+		var sum float64
+		for _, v := range series[i:end] {
+			sum += v
+		}
+		out = append(out, sum/float64(end-i))
+	}
+	return out
+}
+
+// RMSESeries accumulates squared errors into one-second buckets and
+// reports the per-second RMSE curve of Figure 7. The zero value is ready
+// to use.
+type RMSESeries struct {
+	sumSq []float64
+	n     []int
+}
+
+// Add records one scalar error distance at time t.
+func (s *RMSESeries) Add(t float64, err float64) {
+	if t < 0 || math.IsNaN(t) || math.IsNaN(err) {
+		return
+	}
+	b := int(t)
+	for len(s.sumSq) <= b {
+		s.sumSq = append(s.sumSq, 0)
+		s.n = append(s.n, 0)
+	}
+	s.sumSq[b] += err * err
+	s.n[b]++
+}
+
+// Series returns the per-second RMSE values; empty buckets are 0.
+func (s *RMSESeries) Series() []float64 {
+	out := make([]float64, len(s.sumSq))
+	for i := range s.sumSq {
+		if s.n[i] > 0 {
+			out[i] = math.Sqrt(s.sumSq[i] / float64(s.n[i]))
+		}
+	}
+	return out
+}
+
+// Overall returns the RMSE over every sample in every bucket.
+func (s *RMSESeries) Overall() float64 {
+	var sumSq float64
+	var n int
+	for i := range s.sumSq {
+		sumSq += s.sumSq[i]
+		n += s.n[i]
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Sqrt(sumSq / float64(n))
+}
+
+// Len returns the number of one-second buckets recorded.
+func (s *RMSESeries) Len() int { return len(s.sumSq) }
+
+// GroupTally counts events per string key (e.g. per region or per region
+// kind). The zero value is not ready; construct with NewGroupTally.
+type GroupTally struct {
+	counts map[string]float64
+}
+
+// NewGroupTally returns an empty tally.
+func NewGroupTally() *GroupTally {
+	return &GroupTally{counts: make(map[string]float64)}
+}
+
+// Add adds n to a key's count.
+func (g *GroupTally) Add(key string, n float64) { g.counts[key] += n }
+
+// Get returns a key's count.
+func (g *GroupTally) Get(key string) float64 { return g.counts[key] }
+
+// Keys returns the keys in sorted order.
+func (g *GroupTally) Keys() []string {
+	keys := make([]string, 0, len(g.counts))
+	for k := range g.counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Total returns the sum over all keys.
+func (g *GroupTally) Total() float64 {
+	var sum float64
+	for _, v := range g.counts {
+		sum += v
+	}
+	return sum
+}
+
+// Ratio returns num's count divided by den's count, or 0 when the
+// denominator is empty.
+func (g *GroupTally) Ratio(num, den *GroupTally, key string) float64 {
+	d := den.Get(key)
+	if d == 0 {
+		return 0
+	}
+	return num.Get(key) / d
+}
+
+// Table renders experiment rows as aligned plain text, the form the
+// benchmark harness prints each figure in.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends one row; cells beyond the header count are dropped.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.headers) {
+		cells = cells[:len(t.headers)]
+	}
+	row := make([]string, len(t.headers))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends one row of formatted cells.
+func (t *Table) AddRowf(format string, cells ...any) {
+	parts := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			parts[i] = fmt.Sprintf(format, v)
+		default:
+			parts[i] = fmt.Sprint(v)
+		}
+	}
+	t.AddRow(parts...)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	// strings.Builder writes cannot fail.
+	_ = t.Render(&b)
+	return b.String()
+}
+
+// Summary collects scalar samples for quantile reporting. Samples are
+// stored exactly; memory is linear in the number of samples, which is
+// fine at this simulator's scale (hundreds of thousands per run). The
+// zero value is ready to use.
+type Summary struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add records one sample; NaNs are ignored.
+func (s *Summary) Add(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	s.samples = append(s.samples, v)
+	s.sorted = false
+}
+
+// N returns the number of samples recorded.
+func (s *Summary) N() int { return len(s.samples) }
+
+func (s *Summary) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.samples)
+		s.sorted = true
+	}
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by nearest-rank over the
+// recorded samples, or 0 when empty.
+func (s *Summary) Quantile(q float64) float64 {
+	if len(s.samples) == 0 || math.IsNaN(q) {
+		return 0
+	}
+	s.ensureSorted()
+	if q <= 0 {
+		return s.samples[0]
+	}
+	if q >= 1 {
+		return s.samples[len(s.samples)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(s.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s.samples[idx]
+}
+
+// Max returns the largest sample, or 0 when empty.
+func (s *Summary) Max() float64 { return s.Quantile(1) }
+
+// Mean returns the arithmetic mean, or 0 when empty.
+func (s *Summary) Mean() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.samples {
+		sum += v
+	}
+	return sum / float64(len(s.samples))
+}

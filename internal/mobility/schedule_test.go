@@ -1,0 +1,129 @@
+package mobility
+
+import (
+	"testing"
+
+	"github.com/mobilegrid/adf/internal/geo"
+	"github.com/mobilegrid/adf/internal/sim"
+)
+
+func mustWaypoints(t *testing.T, route []geo.Point, speed float64) *Waypoints {
+	t.Helper()
+	m, err := NewWaypoints(WaypointsConfig{
+		Route: route, MinSpeed: speed, MaxSpeed: speed,
+	}, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewScheduleValidation(t *testing.T) {
+	if _, err := NewSchedule(nil); err == nil {
+		t.Error("empty schedule accepted")
+	}
+	if _, err := NewSchedule([]Phase{{Name: "x", Duration: 1}}); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := NewSchedule([]Phase{{Name: "x", Duration: 0, Model: NewStop(geo.Point{})}}); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+func TestScheduleWalkThenStop(t *testing.T) {
+	// Walk 10 m east at 1 m/s (10 s), then stop for 5 s.
+	walkRoute := []geo.Point{{}, {X: 10}}
+	s, err := NewSchedule([]Phase{
+		{Name: "walk", Duration: 10, Model: mustWaypoints(t, walkRoute, 1)},
+		{Name: "rest", Duration: 5, Model: NewStop(geo.Point{X: 10})},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalDuration() != 15 {
+		t.Errorf("TotalDuration = %v", s.TotalDuration())
+	}
+	if s.Phase() != "walk" {
+		t.Errorf("initial Phase = %q", s.Phase())
+	}
+	for i := 0; i < 5; i++ {
+		s.Advance(1)
+	}
+	if got := s.Pos(); got.Dist(geo.Point{X: 5}) > 1e-9 {
+		t.Errorf("mid-walk Pos = %v, want (5, 0)", got)
+	}
+	for i := 0; i < 5; i++ {
+		s.Advance(1)
+	}
+	if s.Phase() != "rest" {
+		t.Errorf("Phase after 10 s = %q, want rest", s.Phase())
+	}
+	for i := 0; i < 10; i++ {
+		if got := s.Advance(1); got != (geo.Point{X: 10}) {
+			t.Fatalf("rest phase moved to %v", got)
+		}
+	}
+	if s.Phase() != "done" {
+		t.Errorf("Phase after end = %q, want done", s.Phase())
+	}
+}
+
+func TestScheduleSplitsAcrossBoundaries(t *testing.T) {
+	// One Advance spanning two phases: 3 s of walking + 2 s of resting.
+	s, err := NewSchedule([]Phase{
+		{Name: "walk", Duration: 3, Model: mustWaypoints(t, []geo.Point{{}, {X: 100}}, 1)},
+		{Name: "rest", Duration: 10, Model: NewStop(geo.Point{X: 3})},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.Advance(5)
+	if got != (geo.Point{X: 3}) {
+		t.Errorf("Advance(5) = %v, want (3, 0)", got)
+	}
+	if s.Phase() != "rest" {
+		t.Errorf("Phase = %q", s.Phase())
+	}
+}
+
+func TestScheduleHoldsFinalPosition(t *testing.T) {
+	s, err := NewSchedule([]Phase{
+		{Name: "only", Duration: 2, Model: NewStop(geo.Point{X: 7, Y: 8})},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Advance(100)
+	if got := s.Pos(); got != (geo.Point{X: 7, Y: 8}) {
+		t.Errorf("post-end Pos = %v", got)
+	}
+	if got := s.Advance(1); got != (geo.Point{X: 7, Y: 8}) {
+		t.Errorf("post-end Advance = %v", got)
+	}
+}
+
+func TestPhaseAt(t *testing.T) {
+	s, err := NewSchedule([]Phase{
+		{Name: "a", Duration: 10, Model: NewStop(geo.Point{})},
+		{Name: "b", Duration: 20, Model: NewStop(geo.Point{})},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		at   float64
+		want string
+	}{
+		{0, "a"},
+		{9.9, "a"},
+		{10, "b"}, // boundaries belong to the next phase
+		{29.9, "b"},
+		{30, "done"},
+		{100, "done"},
+	}
+	for _, tt := range tests {
+		if got := s.PhaseAt(tt.at); got != tt.want {
+			t.Errorf("PhaseAt(%v) = %q, want %q", tt.at, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package node
+
+import (
+	"testing"
+
+	"github.com/mobilegrid/adf/internal/campus"
+	"github.com/mobilegrid/adf/internal/sim"
+)
+
+func testCampus() *campus.Campus { return campus.New() }
+
+func TestNewValidation(t *testing.T) {
+	c := testCampus()
+	rng := sim.NewRNG(1)
+	bad := []campus.NodeSpec{
+		{ID: -1, Region: "R1", Mobility: campus.Linear, MinSpeed: 1, MaxSpeed: 2},
+		{ID: 1, Region: "NOPE", Mobility: campus.Linear, MinSpeed: 1, MaxSpeed: 2},
+		{ID: 1, Region: "R1", Mobility: campus.Random, MinSpeed: 0, MaxSpeed: 1}, // RMS on a road
+		{ID: 1, Region: "R1", Mobility: campus.Mobility(99), MinSpeed: 1, MaxSpeed: 2},
+	}
+	for i, spec := range bad {
+		if _, err := New(spec, c, rng); err == nil {
+			t.Errorf("spec %d accepted: %+v", i, spec)
+		}
+	}
+	good := campus.NodeSpec{ID: 1, Region: "R1", Mobility: campus.Linear, Type: campus.Human, MinSpeed: 1, MaxSpeed: 2}
+	if _, err := New(good, c, nil); err == nil {
+		t.Error("nil RNG accepted")
+	}
+	if _, err := New(good, c, rng); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+func TestStopNodeStaysInBuilding(t *testing.T) {
+	c := testCampus()
+	spec := campus.NodeSpec{ID: 1, Region: "B1", Mobility: campus.Stop, Type: campus.Human}
+	n, err := New(spec, c, sim.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := c.Region("B1")
+	start := n.Pos()
+	if !b.Contains(start) {
+		t.Fatalf("stop node placed outside its building: %v", start)
+	}
+	for i := 0; i < 100; i++ {
+		if p := n.Advance(1); p != start {
+			t.Fatalf("stop node moved to %v", p)
+		}
+	}
+}
+
+func TestRandomNodeConfinedToBuilding(t *testing.T) {
+	c := testCampus()
+	spec := campus.NodeSpec{ID: 2, Region: "B2", Mobility: campus.Random, Type: campus.Human, MinSpeed: 0, MaxSpeed: 1}
+	n, err := New(spec, c, sim.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := c.Region("B2")
+	for i := 0; i < 2000; i++ {
+		if p := n.Advance(1); !b.Contains(p) {
+			t.Fatalf("RMS node escaped %s at step %d: %v", b.ID, i, p)
+		}
+	}
+}
+
+func TestRoadNodeStaysOnRoad(t *testing.T) {
+	c := testCampus()
+	spec := campus.NodeSpec{ID: 3, Region: "R1", Mobility: campus.Linear, Type: campus.Vehicle, MinSpeed: 4, MaxSpeed: 10}
+	n, err := New(spec, c, sim.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := c.Region("R1")
+	for i := 0; i < 500; i++ {
+		if p := n.Advance(1); !r.Contains(p) {
+			t.Fatalf("vehicle left %s at step %d: %v", r.ID, i, p)
+		}
+	}
+}
+
+func TestBuildingLMSNodeConfined(t *testing.T) {
+	c := testCampus()
+	spec := campus.NodeSpec{ID: 4, Region: "B3", Mobility: campus.Linear, Type: campus.Human, MinSpeed: 0.5, MaxSpeed: 1.5}
+	n, err := New(spec, c, sim.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := c.Region("B3")
+	for i := 0; i < 1000; i++ {
+		if p := n.Advance(1); !b.Contains(p) {
+			t.Fatalf("building LMS node escaped at step %d: %v", i, p)
+		}
+	}
+}
+
+func TestNodeAccessors(t *testing.T) {
+	c := testCampus()
+	spec := campus.NodeSpec{ID: 7, Region: "R2", Mobility: campus.Linear, Type: campus.Human, MinSpeed: 1, MaxSpeed: 4}
+	n, err := New(spec, c, sim.NewRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.ID() != 7 {
+		t.Errorf("ID = %d", n.ID())
+	}
+	if n.Spec() != spec {
+		t.Errorf("Spec = %+v", n.Spec())
+	}
+	if n.Region().ID != "R2" {
+		t.Errorf("Region = %v", n.Region().ID)
+	}
+}
+
+func TestPopulationBuildsAll140(t *testing.T) {
+	c := testCampus()
+	specs := campus.Table1Population(c)
+	nodes, err := Population(specs, c, sim.NewStreams(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 140 {
+		t.Fatalf("nodes = %d, want 140", len(nodes))
+	}
+	// Every node starts inside its home region.
+	for _, n := range nodes {
+		if !n.Region().Contains(n.Pos()) {
+			t.Errorf("node %d starts outside %s: %v", n.ID(), n.Region().ID, n.Pos())
+		}
+	}
+}
+
+func TestPopulationDeterministic(t *testing.T) {
+	c := testCampus()
+	specs := campus.Table1Population(c)
+	a, err := Population(specs, c, sim.NewStreams(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Population(specs, c, sim.NewStreams(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Pos() != b[i].Pos() {
+			t.Fatalf("node %d start positions differ", i)
+		}
+	}
+	for step := 0; step < 50; step++ {
+		for i := range a {
+			if a[i].Advance(1) != b[i].Advance(1) {
+				t.Fatalf("node %d diverged at step %d", i, step)
+			}
+		}
+	}
+}
+
+func TestPopulationStartsDesynchronised(t *testing.T) {
+	// Road nodes are pre-warmed along their routes; the ten nodes on one
+	// road must not all start at the same point.
+	c := testCampus()
+	specs := campus.Table1Population(c)
+	nodes, err := Population(specs, c, sim.NewStreams(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[string]bool{}
+	for _, n := range nodes[:10] { // the ten R1 nodes
+		distinct[n.Pos().String()] = true
+	}
+	if len(distinct) < 5 {
+		t.Errorf("only %d distinct start positions on R1", len(distinct))
+	}
+}
+
+func TestPopulationErrorPropagates(t *testing.T) {
+	c := testCampus()
+	specs := []campus.NodeSpec{{ID: 0, Region: "NOPE", Mobility: campus.Linear, MinSpeed: 1, MaxSpeed: 2}}
+	if _, err := Population(specs, c, sim.NewStreams(1)); err == nil {
+		t.Error("invalid spec did not propagate an error")
+	}
+}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"hash/fnv"
+	"math/rand"
+)
+
+// RNG is a deterministic random source for one simulation entity. It wraps
+// math/rand with the handful of distributions the mobility and network
+// models need. RNG is not safe for concurrent use; the engine is
+// single-threaded by design.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a stream seeded directly with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Streams derives independent named sub-streams from one run seed, so each
+// entity (a node, a gateway, the disconnection model) gets its own
+// deterministic sequence regardless of the order entities consume
+// randomness in.
+type Streams struct {
+	seed int64
+}
+
+// NewStreams returns a derivation root for the given run seed.
+func NewStreams(seed int64) *Streams {
+	return &Streams{seed: seed}
+}
+
+// Seed returns the root seed.
+func (s *Streams) Seed() int64 { return s.seed }
+
+// Stream derives the sub-stream for name. Equal names always yield streams
+// that generate identical sequences.
+func (s *Streams) Stream(name string) *RNG {
+	h := fnv.New64a()
+	// hash.Hash Write never errors.
+	_, _ = h.Write([]byte(name))
+	return NewRNG(s.seed ^ int64(h.Sum64()))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Uniform returns a uniform value in [lo, hi). It panics if hi < lo.
+func (g *RNG) Uniform(lo, hi float64) float64 {
+	if hi < lo {
+		panic("sim: Uniform with hi < lo")
+	}
+	return lo + g.r.Float64()*(hi-lo)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0, matching
+// math/rand.
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Bool returns true with probability p.
+func (g *RNG) Bool(p float64) bool { return g.r.Float64() < p }
+
+// Normal returns a normally distributed value with the given mean and
+// standard deviation.
+func (g *RNG) Normal(mean, stddev float64) float64 {
+	return mean + g.r.NormFloat64()*stddev
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+// A non-positive mean yields 0.
+func (g *RNG) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return g.r.ExpFloat64() * mean
+}
+
+// Heading returns a uniform angle in [0, 2π).
+func (g *RNG) Heading() float64 {
+	return g.r.Float64() * 2 * 3.141592653589793
+}
+
+// Shuffle pseudo-randomises the order of n elements using swap.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }

@@ -1,0 +1,203 @@
+// Package sim implements the discrete-event simulation engine that drives
+// the mobile-grid model: a virtual clock, an event queue ordered by
+// timestamp, and deterministic per-entity random number streams.
+//
+// Timestamps are float64 seconds of virtual time. Events scheduled for the
+// same instant run in FIFO scheduling order, which keeps runs reproducible.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Handler is the work attached to an event. It runs with the simulator
+// clock set to the event's timestamp.
+type Handler func(now float64)
+
+// ErrPastEvent is returned when an event is scheduled before the current
+// virtual time.
+var ErrPastEvent = errors.New("sim: event scheduled in the past")
+
+type event struct {
+	time    float64
+	seq     uint64 // tie-break: FIFO among equal timestamps
+	handler Handler
+	index   int // heap bookkeeping
+	dead    bool
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Simulator owns the virtual clock and the pending event set. The zero
+// value is not usable; construct with New.
+type Simulator struct {
+	now     float64
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+	// processed counts handlers that have run, for diagnostics and tests.
+	processed uint64
+}
+
+// New returns a simulator with the clock at zero and an empty event queue.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current virtual time in seconds.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Processed returns the number of events executed so far.
+func (s *Simulator) Processed() uint64 { return s.processed }
+
+// Pending returns the number of events waiting in the queue.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Event is an opaque handle to a scheduled event, usable with Cancel.
+type Event struct{ ev *event }
+
+// Schedule enqueues h to run at absolute virtual time t. It returns an
+// error if t is earlier than Now.
+func (s *Simulator) Schedule(t float64, h Handler) (Event, error) {
+	if math.IsNaN(t) {
+		return Event{}, fmt.Errorf("sim: schedule at NaN")
+	}
+	if t < s.now {
+		return Event{}, fmt.Errorf("%w: at %v, now %v", ErrPastEvent, t, s.now)
+	}
+	ev := &event{time: t, seq: s.seq, handler: h}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return Event{ev: ev}, nil
+}
+
+// ScheduleAfter enqueues h to run delay seconds after Now.
+func (s *Simulator) ScheduleAfter(delay float64, h Handler) (Event, error) {
+	return s.Schedule(s.now+delay, h)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-run or
+// already-cancelled event is a no-op and returns false.
+func (s *Simulator) Cancel(e Event) bool {
+	if e.ev == nil || e.ev.dead || e.ev.index < 0 {
+		return false
+	}
+	e.ev.dead = true
+	heap.Remove(&s.queue, e.ev.index)
+	return true
+}
+
+// Stop makes the current Run/RunUntil call return after the in-flight
+// handler finishes. Pending events stay queued.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// step pops and executes the earliest event. It reports whether an event
+// ran.
+func (s *Simulator) step() bool {
+	for len(s.queue) > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		s.now = ev.time
+		ev.dead = true
+		s.processed++
+		ev.handler(s.now)
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (s *Simulator) Run() {
+	s.stopped = false
+	for !s.stopped && s.step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= horizon, then advances the
+// clock to the horizon. Events beyond the horizon remain queued.
+func (s *Simulator) RunUntil(horizon float64) {
+	s.stopped = false
+	for !s.stopped {
+		next, ok := s.peekTime()
+		if !ok || next > horizon {
+			break
+		}
+		s.step()
+	}
+	if !s.stopped && horizon > s.now {
+		s.now = horizon
+	}
+}
+
+func (s *Simulator) peekTime() (float64, bool) {
+	for len(s.queue) > 0 {
+		if s.queue[0].dead {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return s.queue[0].time, true
+	}
+	return 0, false
+}
+
+// Every schedules h to run first at start and then every interval seconds
+// until the returned stop function is called or the simulation ends.
+// interval must be positive.
+func (s *Simulator) Every(start, interval float64, h Handler) (stop func(), err error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("sim: non-positive interval %v", interval)
+	}
+	done := false
+	var tick Handler
+	tick = func(now float64) {
+		if done {
+			return
+		}
+		h(now)
+		if done {
+			return
+		}
+		// Scheduling from inside a handler cannot be in the past.
+		_, _ = s.Schedule(now+interval, tick)
+	}
+	if _, err := s.Schedule(start, tick); err != nil {
+		return nil, err
+	}
+	return func() { done = true }, nil
+}

@@ -1,0 +1,288 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleAndRunOrder(t *testing.T) {
+	s := New()
+	var order []float64
+	for _, at := range []float64{5, 1, 3, 2, 4} {
+		at := at
+		if _, err := s.Schedule(at, func(now float64) {
+			order = append(order, now)
+		}); err != nil {
+			t.Fatalf("Schedule(%v): %v", at, err)
+		}
+	}
+	s.Run()
+	want := []float64{1, 2, 3, 4, 5}
+	if len(order) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if s.Now() != 5 {
+		t.Errorf("Now = %v, want 5", s.Now())
+	}
+	if s.Processed() != 5 {
+		t.Errorf("Processed = %v, want 5", s.Processed())
+	}
+}
+
+func TestFIFOAmongEqualTimestamps(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if _, err := s.Schedule(7, func(float64) { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestSchedulePastRejected(t *testing.T) {
+	s := New()
+	if _, err := s.Schedule(3, func(float64) {}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if _, err := s.Schedule(1, func(float64) {}); !errors.Is(err, ErrPastEvent) {
+		t.Errorf("Schedule in past: err = %v, want ErrPastEvent", err)
+	}
+	if _, err := s.Schedule(math.NaN(), func(float64) {}); err == nil {
+		t.Error("Schedule(NaN) should error")
+	}
+}
+
+func TestScheduleAfter(t *testing.T) {
+	s := New()
+	var at float64
+	if _, err := s.Schedule(10, func(now float64) {
+		if _, err := s.ScheduleAfter(2.5, func(now float64) { at = now }); err != nil {
+			t.Errorf("ScheduleAfter: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if at != 12.5 {
+		t.Errorf("inner event ran at %v, want 12.5", at)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	ran := false
+	ev, err := s.Schedule(1, func(float64) { ran = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Cancel(ev) {
+		t.Error("Cancel returned false for pending event")
+	}
+	if s.Cancel(ev) {
+		t.Error("second Cancel returned true")
+	}
+	s.Run()
+	if ran {
+		t.Error("cancelled event still ran")
+	}
+	if s.Cancel(Event{}) {
+		t.Error("Cancel of zero Event returned true")
+	}
+}
+
+func TestCancelAfterRun(t *testing.T) {
+	s := New()
+	ev, err := s.Schedule(1, func(float64) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if s.Cancel(ev) {
+		t.Error("Cancel of executed event returned true")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var ran []float64
+	for _, at := range []float64{1, 2, 3, 4, 5} {
+		if _, err := s.Schedule(at, func(now float64) { ran = append(ran, now) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.RunUntil(3)
+	if len(ran) != 3 {
+		t.Fatalf("ran %v events, want 3 (got %v)", len(ran), ran)
+	}
+	if s.Now() != 3 {
+		t.Errorf("Now = %v, want 3", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Errorf("Pending = %v, want 2", s.Pending())
+	}
+	// Horizon beyond all events advances the clock to the horizon.
+	s.RunUntil(100)
+	if s.Now() != 100 {
+		t.Errorf("Now = %v, want 100", s.Now())
+	}
+	if len(ran) != 5 {
+		t.Errorf("ran %v events total, want 5", len(ran))
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		if _, err := s.Schedule(float64(i), func(float64) {
+			count++
+			if count == 2 {
+				s.Stop()
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+	if count != 2 {
+		t.Errorf("count = %v, want 2 after Stop", count)
+	}
+	// Run resumes with the remaining events.
+	s.Run()
+	if count != 5 {
+		t.Errorf("count = %v, want 5 after resume", count)
+	}
+}
+
+func TestEvery(t *testing.T) {
+	s := New()
+	var ticks []float64
+	stop, err := s.Every(0, 1, func(now float64) {
+		ticks = append(ticks, now)
+		if now >= 4 {
+			s.Stop()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	want := []float64{0, 1, 2, 3, 4}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	stop()
+	s.Run()
+	if len(ticks) != len(want) {
+		t.Errorf("ticker kept running after stop: %v", ticks)
+	}
+}
+
+func TestEveryStopFromHandler(t *testing.T) {
+	s := New()
+	var ticks int
+	var stop func()
+	var err error
+	stop, err = s.Every(0, 1, func(now float64) {
+		ticks++
+		if ticks == 3 {
+			stop()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(100)
+	if ticks != 3 {
+		t.Errorf("ticks = %v, want 3", ticks)
+	}
+}
+
+func TestEveryInvalidInterval(t *testing.T) {
+	s := New()
+	if _, err := s.Every(0, 0, func(float64) {}); err == nil {
+		t.Error("Every(interval=0) should error")
+	}
+	if _, err := s.Every(0, -1, func(float64) {}); err == nil {
+		t.Error("Every(interval<0) should error")
+	}
+}
+
+func TestEventOrderingProperty(t *testing.T) {
+	// Whatever timestamps we push, events pop in non-decreasing time order.
+	f := func(raw []float64) bool {
+		s := New()
+		var ts []float64
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			ts = append(ts, math.Abs(math.Mod(v, 1e6)))
+		}
+		var got []float64
+		for _, at := range ts {
+			if _, err := s.Schedule(at, func(now float64) { got = append(got, now) }); err != nil {
+				return false
+			}
+		}
+		s.Run()
+		if len(got) != len(ts) {
+			return false
+		}
+		if !sort.Float64sAreSorted(got) {
+			return false
+		}
+		want := append([]float64(nil), ts...)
+		sort.Float64s(want)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	// An event cascade: each event schedules the next until depth 100.
+	s := New()
+	depth := 0
+	var next Handler
+	next = func(now float64) {
+		depth++
+		if depth < 100 {
+			if _, err := s.ScheduleAfter(0.5, next); err != nil {
+				t.Errorf("nested schedule: %v", err)
+			}
+		}
+	}
+	if _, err := s.Schedule(0, next); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if depth != 100 {
+		t.Errorf("depth = %v, want 100", depth)
+	}
+	if s.Now() != 49.5 {
+		t.Errorf("Now = %v, want 49.5", s.Now())
+	}
+}

@@ -1,0 +1,204 @@
+// Package trace captures mobility traces and replays them as mobility
+// models, with a CSV interchange format (node,time,x,y). Traces let
+// experiments rerun identical movement across filter configurations,
+// archive interesting runs, and import external mobility data sets.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"github.com/mobilegrid/adf/internal/geo"
+	"github.com/mobilegrid/adf/internal/mobility"
+)
+
+// Sample is one timestamped position.
+type Sample struct {
+	Time float64
+	Pos  geo.Point
+}
+
+// Trace is one node's movement history, ordered by time.
+type Trace struct {
+	Node    int
+	Samples []Sample
+}
+
+// Duration returns the time span covered by the trace.
+func (t *Trace) Duration() float64 {
+	if len(t.Samples) < 2 {
+		return 0
+	}
+	return t.Samples[len(t.Samples)-1].Time - t.Samples[0].Time
+}
+
+// At returns the interpolated position at time tm: linear between
+// samples, clamped to the first/last sample outside the span.
+func (t *Trace) At(tm float64) (geo.Point, error) {
+	if len(t.Samples) == 0 {
+		return geo.Point{}, fmt.Errorf("trace: node %d has no samples", t.Node)
+	}
+	s := t.Samples
+	if tm <= s[0].Time {
+		return s[0].Pos, nil
+	}
+	if tm >= s[len(s)-1].Time {
+		return s[len(s)-1].Pos, nil
+	}
+	i := sort.Search(len(s), func(i int) bool { return s[i].Time >= tm })
+	a, b := s[i-1], s[i]
+	if b.Time == a.Time {
+		return b.Pos, nil
+	}
+	frac := (tm - a.Time) / (b.Time - a.Time)
+	return a.Pos.Lerp(b.Pos, frac), nil
+}
+
+// Validate checks sample ordering.
+func (t *Trace) Validate() error {
+	for i := 1; i < len(t.Samples); i++ {
+		if t.Samples[i].Time < t.Samples[i-1].Time {
+			return fmt.Errorf("trace: node %d samples out of order at index %d", t.Node, i)
+		}
+	}
+	return nil
+}
+
+// Record samples a mobility model every period seconds for the given
+// duration (inclusive of t=0) and returns the trace.
+func Record(node int, m mobility.Model, duration, period float64) (*Trace, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("trace: period must be positive, got %v", period)
+	}
+	if duration < 0 {
+		return nil, fmt.Errorf("trace: negative duration %v", duration)
+	}
+	t := &Trace{Node: node}
+	t.Samples = append(t.Samples, Sample{Time: 0, Pos: m.Pos()})
+	for tm := period; tm <= duration+period/2; tm += period {
+		t.Samples = append(t.Samples, Sample{Time: tm, Pos: m.Advance(period)})
+	}
+	return t, nil
+}
+
+// Replay plays a trace back as a mobility model.
+type Replay struct {
+	trace *Trace
+	now   float64
+}
+
+var _ mobility.Model = (*Replay)(nil)
+
+// NewReplay wraps a trace. The replay starts at the trace's first
+// sample.
+func NewReplay(t *Trace) (*Replay, error) {
+	if len(t.Samples) == 0 {
+		return nil, fmt.Errorf("trace: node %d has no samples", t.Node)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &Replay{trace: t, now: t.Samples[0].Time}, nil
+}
+
+// Advance implements mobility.Model.
+func (r *Replay) Advance(dt float64) geo.Point {
+	r.now += dt
+	return r.Pos()
+}
+
+// Pos implements mobility.Model.
+func (r *Replay) Pos() geo.Point {
+	// At only errors on empty traces, which NewReplay rejects.
+	p, _ := r.trace.At(r.now)
+	return p
+}
+
+// csvHeader is the interchange header row.
+var csvHeader = []string{"node", "time", "x", "y"}
+
+// WriteCSV writes traces as CSV (node,time,x,y), one row per sample,
+// nodes in ascending order.
+func WriteCSV(w io.Writer, traces []*Trace) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	ordered := append([]*Trace(nil), traces...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Node < ordered[j].Node })
+	for _, t := range ordered {
+		for _, s := range t.Samples {
+			row := []string{
+				strconv.Itoa(t.Node),
+				strconv.FormatFloat(s.Time, 'g', -1, 64),
+				strconv.FormatFloat(s.Pos.X, 'g', -1, 64),
+				strconv.FormatFloat(s.Pos.Y, 'g', -1, 64),
+			}
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("trace: write row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses traces from CSV written by WriteCSV (or any file with a
+// node,time,x,y header). Samples may be interleaved across nodes; each
+// node's samples must be in time order.
+func ReadCSV(r io.Reader) ([]*Trace, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	if len(header) != 4 || header[0] != "node" || header[1] != "time" || header[2] != "x" || header[3] != "y" {
+		return nil, fmt.Errorf("trace: unexpected header %v", header)
+	}
+	byNode := map[int]*Trace{}
+	line := 1
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: read row: %w", err)
+		}
+		line++
+		node, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad node %q: %w", line, row[0], err)
+		}
+		tm, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad time %q: %w", line, row[1], err)
+		}
+		x, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad x %q: %w", line, row[2], err)
+		}
+		y, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad y %q: %w", line, row[3], err)
+		}
+		t := byNode[node]
+		if t == nil {
+			t = &Trace{Node: node}
+			byNode[node] = t
+		}
+		t.Samples = append(t.Samples, Sample{Time: tm, Pos: geo.Point{X: x, Y: y}})
+	}
+	out := make([]*Trace, 0, len(byNode))
+	for _, t := range byNode {
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out, nil
+}

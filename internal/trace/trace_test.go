@@ -1,0 +1,271 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/mobilegrid/adf/internal/geo"
+	"github.com/mobilegrid/adf/internal/mobility"
+	"github.com/mobilegrid/adf/internal/sim"
+)
+
+func lineTrace() *Trace {
+	return &Trace{Node: 3, Samples: []Sample{
+		{Time: 0, Pos: geo.Point{X: 0}},
+		{Time: 10, Pos: geo.Point{X: 10}},
+		{Time: 20, Pos: geo.Point{X: 10, Y: 10}},
+	}}
+}
+
+func TestTraceAt(t *testing.T) {
+	tr := lineTrace()
+	tests := []struct {
+		tm   float64
+		want geo.Point
+	}{
+		{-5, geo.Point{X: 0}}, // before start: clamp
+		{0, geo.Point{X: 0}},
+		{5, geo.Point{X: 5}},   // interpolated
+		{10, geo.Point{X: 10}}, // exact sample
+		{15, geo.Point{X: 10, Y: 5}},
+		{20, geo.Point{X: 10, Y: 10}},
+		{99, geo.Point{X: 10, Y: 10}}, // after end: clamp
+	}
+	for _, tt := range tests {
+		got, err := tr.At(tt.tm)
+		if err != nil {
+			t.Fatalf("At(%v): %v", tt.tm, err)
+		}
+		if got.Dist(tt.want) > 1e-9 {
+			t.Errorf("At(%v) = %v, want %v", tt.tm, got, tt.want)
+		}
+	}
+	if tr.Duration() != 20 {
+		t.Errorf("Duration = %v", tr.Duration())
+	}
+	empty := &Trace{Node: 1}
+	if _, err := empty.At(0); err == nil {
+		t.Error("At on empty trace did not error")
+	}
+	if empty.Duration() != 0 {
+		t.Error("empty Duration != 0")
+	}
+}
+
+func TestTraceAtDuplicateTimestamps(t *testing.T) {
+	tr := &Trace{Node: 1, Samples: []Sample{
+		{Time: 0, Pos: geo.Point{}},
+		{Time: 5, Pos: geo.Point{X: 1}},
+		{Time: 5, Pos: geo.Point{X: 2}}, // teleport at t=5
+		{Time: 10, Pos: geo.Point{X: 3}},
+	}}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("duplicate timestamps should validate: %v", err)
+	}
+	got, err := tr.At(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.X != 1 && got.X != 2 {
+		t.Errorf("At(5) = %v, want one of the duplicate samples", got)
+	}
+}
+
+func TestValidateOutOfOrder(t *testing.T) {
+	tr := &Trace{Node: 1, Samples: []Sample{
+		{Time: 5}, {Time: 3},
+	}}
+	if err := tr.Validate(); err == nil {
+		t.Error("out-of-order samples validated")
+	}
+}
+
+func TestRecord(t *testing.T) {
+	m, err := mobility.NewWaypoints(mobility.WaypointsConfig{
+		Route: []geo.Point{{}, {X: 100}}, MinSpeed: 2, MaxSpeed: 2,
+	}, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Record(7, m, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Node != 7 {
+		t.Errorf("Node = %d", tr.Node)
+	}
+	if len(tr.Samples) != 11 { // t = 0..10 inclusive
+		t.Fatalf("samples = %d, want 11", len(tr.Samples))
+	}
+	if got := tr.Samples[10].Pos; got.Dist(geo.Point{X: 20}) > 1e-9 {
+		t.Errorf("final sample = %v, want (20, 0)", got)
+	}
+	if _, err := Record(1, m, 10, 0); err == nil {
+		t.Error("zero period accepted")
+	}
+	if _, err := Record(1, m, -1, 1); err == nil {
+		t.Error("negative duration accepted")
+	}
+}
+
+func TestReplay(t *testing.T) {
+	tr := lineTrace()
+	r, err := NewReplay(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Pos(); got != (geo.Point{X: 0}) {
+		t.Errorf("start Pos = %v", got)
+	}
+	if got := r.Advance(5); got.Dist(geo.Point{X: 5}) > 1e-9 {
+		t.Errorf("Advance(5) = %v", got)
+	}
+	if got := r.Advance(10); got.Dist(geo.Point{X: 10, Y: 5}) > 1e-9 {
+		t.Errorf("Advance to t=15 = %v", got)
+	}
+	r.Advance(100)
+	if got := r.Pos(); got.Dist(geo.Point{X: 10, Y: 10}) > 1e-9 {
+		t.Errorf("past-end Pos = %v", got)
+	}
+	if _, err := NewReplay(&Trace{Node: 1}); err == nil {
+		t.Error("empty trace accepted")
+	}
+	bad := &Trace{Node: 1, Samples: []Sample{{Time: 2}, {Time: 1}}}
+	if _, err := NewReplay(bad); err == nil {
+		t.Error("unordered trace accepted")
+	}
+}
+
+func TestRecordReplayRoundTrip(t *testing.T) {
+	// Replaying a recorded trace reproduces the model's sampled path.
+	m, err := mobility.NewRandomWalk(
+		geo.NewRect(geo.Point{}, geo.Point{X: 50, Y: 50}),
+		geo.Point{X: 25, Y: 25}, 0, 1, sim.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Record(1, m, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReplay(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range tr.Samples {
+		got := r.Pos()
+		if got.Dist(want.Pos) > 1e-9 {
+			t.Fatalf("replay diverged at sample %d: %v vs %v", i, got, want.Pos)
+		}
+		r.Advance(1)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	traces := []*Trace{
+		{Node: 2, Samples: []Sample{
+			{Time: 0, Pos: geo.Point{X: 1.5, Y: -2.25}},
+			{Time: 1, Pos: geo.Point{X: 3.125}},
+		}},
+		{Node: 1, Samples: []Sample{
+			{Time: 0.5, Pos: geo.Point{Y: 7}},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, traces); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("traces = %d", len(got))
+	}
+	// Output is ordered by node.
+	if got[0].Node != 1 || got[1].Node != 2 {
+		t.Fatalf("order = %d, %d", got[0].Node, got[1].Node)
+	}
+	if len(got[1].Samples) != 2 || got[1].Samples[0].Pos != (geo.Point{X: 1.5, Y: -2.25}) {
+		t.Errorf("node 2 samples = %+v", got[1].Samples)
+	}
+}
+
+func TestCSVRoundTripProperty(t *testing.T) {
+	f := func(rawTimes []float64, rawX []float64) bool {
+		n := len(rawTimes)
+		if len(rawX) < n {
+			n = len(rawX)
+		}
+		if n == 0 {
+			return true
+		}
+		tr := &Trace{Node: 5}
+		tm := 0.0
+		for i := 0; i < n; i++ {
+			dt := math.Abs(math.Mod(rawTimes[i], 100))
+			if math.IsNaN(dt) || math.IsInf(dt, 0) {
+				dt = 1
+			}
+			tm += dt
+			x := math.Mod(rawX[i], 1e6)
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0
+			}
+			tr.Samples = append(tr.Samples, Sample{Time: tm, Pos: geo.Point{X: x}})
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, []*Trace{tr}); err != nil {
+			return false
+		}
+		got, err := ReadCSV(&buf)
+		if err != nil || len(got) != 1 {
+			return false
+		}
+		if len(got[0].Samples) != len(tr.Samples) {
+			return false
+		}
+		for i := range tr.Samples {
+			if got[0].Samples[i] != tr.Samples[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad header":  "a,b,c,d\n1,2,3,4\n",
+		"bad node":    "node,time,x,y\nxx,1,2,3\n",
+		"bad time":    "node,time,x,y\n1,xx,2,3\n",
+		"bad x":       "node,time,x,y\n1,1,xx,3\n",
+		"bad y":       "node,time,x,y\n1,1,2,xx\n",
+		"unordered":   "node,time,x,y\n1,5,0,0\n1,3,0,0\n",
+		"empty input": "",
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestReadCSVInterleavedNodes(t *testing.T) {
+	in := "node,time,x,y\n1,0,0,0\n2,0,5,5\n1,1,1,0\n2,1,6,5\n"
+	got, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || len(got[0].Samples) != 2 || len(got[1].Samples) != 2 {
+		t.Fatalf("traces = %+v", got)
+	}
+}

@@ -1,0 +1,246 @@
+// Package wire implements the length-prefixed binary framing and the
+// primitive codec the TCP RTI transport speaks. Frames are a 4-byte
+// big-endian length followed by the payload; payloads are built from
+// fixed-width integers, IEEE-754 floats, length-prefixed strings and byte
+// slices, and string-keyed value maps — all encoded with encoding/binary,
+// no reflection.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// MaxFrameSize bounds a frame payload; oversized frames indicate a
+// corrupt or malicious peer.
+const MaxFrameSize = 16 << 20
+
+// Errors returned by the codec.
+var (
+	// ErrFrameTooLarge is returned for frames exceeding MaxFrameSize.
+	ErrFrameTooLarge = errors.New("wire: frame too large")
+	// ErrShortBuffer is returned when decoding runs past the payload.
+	ErrShortBuffer = errors.New("wire: short buffer")
+)
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("wire: write frame payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed frame.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("wire: read frame payload: %w", err)
+	}
+	return payload, nil
+}
+
+// Encoder builds a frame payload. The zero value is ready to use.
+type Encoder struct {
+	buf []byte
+}
+
+// Bytes returns the encoded payload.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Reset clears the encoder for reuse.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// PutByte appends one byte.
+func (e *Encoder) PutByte(b byte) { e.buf = append(e.buf, b) }
+
+// PutUint64 appends a big-endian uint64.
+func (e *Encoder) PutUint64(v uint64) {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, v)
+}
+
+// PutInt64 appends a big-endian int64.
+func (e *Encoder) PutInt64(v int64) { e.PutUint64(uint64(v)) }
+
+// PutFloat64 appends an IEEE-754 float64.
+func (e *Encoder) PutFloat64(v float64) { e.PutUint64(math.Float64bits(v)) }
+
+// PutBytes appends a length-prefixed byte slice.
+func (e *Encoder) PutBytes(b []byte) {
+	e.buf = binary.BigEndian.AppendUint32(e.buf, uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// PutString appends a length-prefixed string.
+func (e *Encoder) PutString(s string) { e.PutBytes([]byte(s)) }
+
+// PutStrings appends a length-prefixed string list.
+func (e *Encoder) PutStrings(ss []string) {
+	e.buf = binary.BigEndian.AppendUint32(e.buf, uint32(len(ss)))
+	for _, s := range ss {
+		e.PutString(s)
+	}
+}
+
+// PutValues appends a string-keyed byte-slice map in sorted key order,
+// so equal maps encode identically.
+func (e *Encoder) PutValues(v map[string][]byte) {
+	keys := make([]string, 0, len(v))
+	for k := range v {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	e.buf = binary.BigEndian.AppendUint32(e.buf, uint32(len(keys)))
+	for _, k := range keys {
+		e.PutString(k)
+		e.PutBytes(v[k])
+	}
+}
+
+// Decoder reads a frame payload with a sticky error: after the first
+// failure every further read returns the zero value and Err reports the
+// failure.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder wraps a payload.
+func NewDecoder(payload []byte) *Decoder { return &Decoder{buf: payload} }
+
+// Err returns the first decoding error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of undecoded bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: offset %d of %d", ErrShortBuffer, d.off, len(d.buf))
+	}
+}
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.fail()
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// Byte reads one byte.
+func (d *Decoder) Byte() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Uint64 reads a big-endian uint64.
+func (d *Decoder) Uint64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// Int64 reads a big-endian int64.
+func (d *Decoder) Int64() int64 { return int64(d.Uint64()) }
+
+// Float64 reads an IEEE-754 float64.
+func (d *Decoder) Float64() float64 { return math.Float64frombits(d.Uint64()) }
+
+// length reads a 4-byte length and bounds-checks it against the
+// remaining payload.
+func (d *Decoder) length() int {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	if n > d.Remaining() {
+		d.fail()
+		return 0
+	}
+	return n
+}
+
+// Bytes reads a length-prefixed byte slice. The result is a copy.
+func (d *Decoder) Bytes() []byte {
+	n := d.length()
+	if d.err != nil {
+		return nil
+	}
+	b := d.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string { return string(d.Bytes()) }
+
+// Strings reads a length-prefixed string list.
+func (d *Decoder) Strings() []string {
+	n := d.length()
+	if d.err != nil {
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, d.String())
+		if d.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// Values reads a string-keyed byte-slice map.
+func (d *Decoder) Values() map[string][]byte {
+	n := d.length()
+	if d.err != nil {
+		return nil
+	}
+	out := make(map[string][]byte, n)
+	for i := 0; i < n; i++ {
+		k := d.String()
+		v := d.Bytes()
+		if d.err != nil {
+			return nil
+		}
+		out[k] = v
+	}
+	return out
+}
