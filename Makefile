@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test vet race ci bench-runner
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The engine and campaign layers are the concurrency-bearing code; run
+# them under the race detector.
+race:
+	$(GO) test -race ./internal/engine/... ./internal/experiment/...
+
+ci: build vet test race
+
+# Benchmark the campaign runner (sequential vs parallel figure
+# regeneration) and write BENCH_runner.json.
+bench-runner:
+	$(GO) run ./cmd/adfbench -json

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/mobilegrid/adf/internal/experiment"
+)
+
+// BenchReport is the -json output: the cost of regenerating every
+// campaign-derived figure, sequentially and on the parallel runner, with
+// the memoizing campaign cache reset before each pass.
+type BenchReport struct {
+	// GOMAXPROCS is the worker-pool size the parallel pass ran with.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// DurationSeconds is the simulated horizon per run.
+	DurationSeconds float64 `json:"duration_seconds"`
+	// Seed is the campaign seed.
+	Seed int64 `json:"seed"`
+	// DTHFactors are the campaign's DTH factors; the campaign is one ideal
+	// run plus one ADF run per factor.
+	DTHFactors []float64 `json:"dth_factors"`
+	// Sequential and Parallel are the Workers=1 and Workers=0 passes.
+	Sequential BenchPass `json:"sequential"`
+	Parallel   BenchPass `json:"parallel"`
+	// Speedup is the sequential/parallel total wall-clock ratio.
+	Speedup float64 `json:"speedup"`
+}
+
+// BenchPass is one full figure regeneration (figures 4–9 plus the energy
+// budget) from a cold campaign cache.
+type BenchPass struct {
+	Workers int `json:"workers"`
+	// Figures holds the wall-clock cost of each figure in order; with the
+	// memoizing campaign runner only the first figure pays for simulations.
+	Figures []BenchFigure `json:"figures"`
+	// TotalMillis is the whole pass's wall-clock time.
+	TotalMillis float64 `json:"total_millis"`
+	// Simulations is how many full simulations the pass executed.
+	Simulations uint64 `json:"simulations"`
+	// CacheHits and CacheMisses are the campaign cache's counters over the
+	// pass: one miss (the first figure) and one hit per remaining figure.
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	// Mallocs is the number of heap allocations over the pass.
+	Mallocs uint64 `json:"mallocs"`
+}
+
+// BenchFigure is one figure's regeneration cost.
+type BenchFigure struct {
+	Name        string  `json:"name"`
+	Millis      float64 `json:"millis"`
+	Simulations uint64  `json:"simulations"`
+}
+
+// benchFigures lists the campaign-derived figure regenerations the bench
+// times, in the order a full report produces them.
+func benchFigures(cfg experiment.Config) []struct {
+	name string
+	run  func() error
+} {
+	return []struct {
+		name string
+		run  func() error
+	}{
+		{"fig4", func() error { _, err := experiment.RunFig4(cfg); return err }},
+		{"fig5", func() error { _, err := experiment.RunFig5(cfg); return err }},
+		{"fig6", func() error { _, err := experiment.RunFig6(cfg); return err }},
+		{"fig7", func() error { _, err := experiment.RunFig7(cfg); return err }},
+		{"fig8", func() error { _, err := experiment.RunFig8(cfg); return err }},
+		{"fig9", func() error { _, err := experiment.RunFig9(cfg); return err }},
+		{"energy", func() error { _, err := experiment.RunEnergy(cfg); return err }},
+	}
+}
+
+// benchPass regenerates every figure from a cold campaign cache and
+// accounts wall-clock, simulations, cache traffic and allocations.
+func benchPass(cfg experiment.Config, workers int) (BenchPass, error) {
+	cfg.Workers = workers
+	experiment.ResetCampaignCache()
+
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	simsBefore := experiment.SimulationCount()
+	start := time.Now()
+
+	pass := BenchPass{Workers: workers}
+	for _, f := range benchFigures(cfg) {
+		figSims := experiment.SimulationCount()
+		figStart := time.Now()
+		if err := f.run(); err != nil {
+			return BenchPass{}, fmt.Errorf("%s: %w", f.name, err)
+		}
+		pass.Figures = append(pass.Figures, BenchFigure{
+			Name:        f.name,
+			Millis:      float64(time.Since(figStart)) / float64(time.Millisecond),
+			Simulations: experiment.SimulationCount() - figSims,
+		})
+	}
+
+	pass.TotalMillis = float64(time.Since(start)) / float64(time.Millisecond)
+	pass.Simulations = experiment.SimulationCount() - simsBefore
+	pass.CacheHits, pass.CacheMisses = experiment.CampaignCacheStats()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	pass.Mallocs = after.Mallocs - before.Mallocs
+	return pass, nil
+}
+
+// runBench runs the sequential and parallel figure-regeneration passes and
+// writes the JSON report to path (and a one-line summary to w).
+func runBench(w io.Writer, cfg experiment.Config, path string) error {
+	seq, err := benchPass(cfg, 1)
+	if err != nil {
+		return fmt.Errorf("sequential pass: %w", err)
+	}
+	par, err := benchPass(cfg, 0)
+	if err != nil {
+		return fmt.Errorf("parallel pass: %w", err)
+	}
+	report := BenchReport{
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		DurationSeconds: cfg.Duration,
+		Seed:            cfg.Seed,
+		DTHFactors:      cfg.DTHFactors,
+		Sequential:      seq,
+		Parallel:        par,
+	}
+	if par.TotalMillis > 0 {
+		report.Speedup = seq.TotalMillis / par.TotalMillis
+	}
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w,
+		"wrote %s: sequential %.0f ms, parallel %.0f ms (%.2fx, %d workers), %d simulations per pass\n",
+		path, seq.TotalMillis, par.TotalMillis, report.Speedup,
+		report.GOMAXPROCS, par.Simulations)
+	return err
+}

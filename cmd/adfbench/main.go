@@ -6,7 +6,13 @@
 // Usage:
 //
 //	adfbench [-ablation all|adf-vs-gdf|alpha|estimators|recluster|smoothing|semantics|outages|churn]
-//	         [-duration 600] [-seed 1] [-factor 1.0]
+//	         [-duration 600] [-seed 1] [-factor 1.0] [-workers 0]
+//	adfbench -json [-json-out BENCH_runner.json] [-duration 600] [-seed 1]
+//
+// With -json the ablations are skipped; instead the campaign runner
+// itself is benchmarked — every campaign-derived figure regenerated
+// sequentially and in parallel from a cold cache — and the wall-clock,
+// simulation-count and allocation report is written as JSON.
 package main
 
 import (
@@ -34,6 +40,9 @@ func run(w io.Writer, args []string) error {
 		duration = fs.Float64("duration", 600, "simulated horizon in seconds")
 		seed     = fs.Int64("seed", 1, "run seed")
 		factor   = fs.Float64("factor", 1.0, "DTH factor the sweeps run at")
+		workers  = fs.Int("workers", 0, "worker pool size: 0 = one per CPU, 1 = sequential (never changes results)")
+		jsonOut  = fs.Bool("json", false, "benchmark the campaign runner (sequential vs parallel) and write a JSON report instead of running ablations")
+		jsonPath = fs.String("json-out", "BENCH_runner.json", "where -json writes the report")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -43,8 +52,18 @@ func run(w io.Writer, args []string) error {
 	cfg.Duration = *duration
 	cfg.Seed = *seed
 	cfg.DTHFactors = []float64{*factor}
+	cfg.Workers = *workers
 	if err := cfg.Validate(); err != nil {
 		return err
+	}
+
+	if *jsonOut {
+		// Benchmark the paper's own campaign: the ideal baseline plus the
+		// three default DTH factors, not the single-factor ablation config.
+		bcfg := experiment.DefaultConfig()
+		bcfg.Duration = *duration
+		bcfg.Seed = *seed
+		return runBench(w, bcfg, *jsonPath)
 	}
 
 	type runner func() (fmt.Stringer, error)

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	adfsim [-figure all|table1|4|5|6|7|8|9] [-duration 1800] [-seed 1]
-//	       [-estimator gap-aware] [-series]
+//	       [-estimator gap-aware] [-series] [-workers 0]
 //
 // With -series the per-second curves behind Figures 4, 5 and 7 are
 // printed (averaged into 60-second buckets).
@@ -40,6 +40,7 @@ func run(w io.Writer, args []string) error {
 		estimator = fs.String("estimator", "gap-aware", "location estimator: gap-aware, brown, single, dead-reckoning or ar1")
 		factors   = fs.String("factors", "0.75,1.0,1.25", "comma-separated DTH factors")
 		series    = fs.Bool("series", false, "also print the time series behind figures 4, 5 and 7")
+		workers   = fs.Int("workers", 0, "campaign worker pool size: 0 = one per CPU, 1 = sequential (never changes results)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,6 +50,7 @@ func run(w io.Writer, args []string) error {
 	cfg.Duration = *duration
 	cfg.Seed = *seed
 	cfg.Estimator = *estimator
+	cfg.Workers = *workers
 	parsed, err := parseFactors(*factors)
 	if err != nil {
 		return err

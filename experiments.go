@@ -27,6 +27,10 @@ type ExperimentConfig struct {
 	Estimator string
 	// Smoothing is the estimator's smoothing constant in (0, 1).
 	Smoothing float64
+	// Workers bounds the campaign's worker pool: 0 means one worker per
+	// CPU, 1 forces sequential execution. The pool size never changes the
+	// results — runs are bit-for-bit identical at any setting.
+	Workers int
 }
 
 // DefaultExperimentConfig returns the paper's experiment setup.
@@ -61,6 +65,9 @@ func (c ExperimentConfig) internal() experiment.Config {
 	}
 	if c.Smoothing > 0 {
 		cfg.Smoothing = c.Smoothing
+	}
+	if c.Workers > 0 {
+		cfg.Workers = c.Workers
 	}
 	return cfg
 }
@@ -103,7 +110,10 @@ type ExperimentResults struct {
 	res *experiment.Results
 }
 
-// RunExperiments runs the campaign behind figures 4–9.
+// RunExperiments runs the campaign behind figures 4–9. The campaign's
+// independent simulations execute concurrently (see Workers) and completed
+// campaigns are memoized by configuration, so repeated calls — and every
+// figure derived from the result — cost one campaign.
 func RunExperiments(cfg ExperimentConfig) (*ExperimentResults, error) {
 	res, err := cfg.internal().Run()
 	if err != nil {

@@ -1,0 +1,335 @@
+// Package engine decomposes the per-tick simulation loop into explicit
+// pipeline stages — mobility advance → churn → gateway collect → filter →
+// broker delivery → error measurement — with pluggable Observers for the
+// metric sinks, plus the bounded worker pool (Group) the campaign layer
+// uses to run independent simulations concurrently.
+//
+// A Pipeline is single-threaded, like the discrete-event simulator that
+// drives it. Parallelism happens one level up, between whole simulations:
+// each owns a private Pipeline, sim.Simulator and sim.Streams, so running
+// simulations concurrently on a Group is bit-for-bit identical to running
+// them one after another.
+package engine
+
+import (
+	"fmt"
+
+	"github.com/mobilegrid/adf/internal/broker"
+	"github.com/mobilegrid/adf/internal/campus"
+	"github.com/mobilegrid/adf/internal/filter"
+	"github.com/mobilegrid/adf/internal/gateway"
+	"github.com/mobilegrid/adf/internal/geo"
+	"github.com/mobilegrid/adf/internal/node"
+	"github.com/mobilegrid/adf/internal/sim"
+)
+
+// Sample is one node's position sample flowing through the pipeline.
+type Sample struct {
+	// Node is the mobile node's ID.
+	Node int
+	// Region is the node's home region.
+	Region *campus.Region
+	// Time is the virtual time the position was sampled at.
+	Time float64
+	// Pos is the node's true position.
+	Pos geo.Point
+}
+
+// Variant names one of the two broker variants run in lockstep.
+type Variant int
+
+const (
+	// NoLE is the broker without a Location Estimator.
+	NoLE Variant = iota
+	// WithLE is the broker with the Location Estimator.
+	WithLE
+)
+
+// String returns the variant's experiment-output name.
+func (v Variant) String() string {
+	if v == WithLE {
+		return "with-le"
+	}
+	return "no-le"
+}
+
+// Observer receives pipeline events. Implementations are metric sinks
+// (traffic counters, energy accounting, RMSE accumulators); they must not
+// mutate simulation state. Returning a non-nil error aborts the run and
+// surfaces through Pipeline.Run.
+type Observer interface {
+	// OnOffered fires when a sample survives wireless disconnection and
+	// reaches the filter.
+	OnOffered(s Sample) error
+	// OnTransmitted fires when the filter forwards the sample to the
+	// brokers.
+	OnTransmitted(s Sample) error
+	// OnError fires once per broker variant that holds a belief for the
+	// node, with the believed-vs-true distance.
+	OnError(s Sample, v Variant, dist float64) error
+	// OnTick fires after every node has been processed for one sampling
+	// round.
+	OnTick(now float64) error
+}
+
+// BaseObserver is a no-op Observer for embedding, so sinks implement only
+// the events they care about.
+type BaseObserver struct{}
+
+// OnOffered implements Observer.
+func (BaseObserver) OnOffered(Sample) error { return nil }
+
+// OnTransmitted implements Observer.
+func (BaseObserver) OnTransmitted(Sample) error { return nil }
+
+// OnError implements Observer.
+func (BaseObserver) OnError(Sample, Variant, float64) error { return nil }
+
+// OnTick implements Observer.
+func (BaseObserver) OnTick(float64) error { return nil }
+
+// Observers fans each event out to every observer in slice order,
+// stopping at the first error.
+type Observers []Observer
+
+var _ Observer = Observers(nil)
+
+// OnOffered implements Observer.
+func (os Observers) OnOffered(s Sample) error {
+	for _, o := range os {
+		if err := o.OnOffered(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OnTransmitted implements Observer.
+func (os Observers) OnTransmitted(s Sample) error {
+	for _, o := range os {
+		if err := o.OnTransmitted(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OnError implements Observer.
+func (os Observers) OnError(s Sample, v Variant, dist float64) error {
+	for _, o := range os {
+		if err := o.OnError(s, v, dist); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OnTick implements Observer.
+func (os Observers) OnTick(now float64) error {
+	for _, o := range os {
+		if err := o.OnTick(now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Churn models nodes leaving and rejoining the grid (the paper's
+// "relocation" constraint). Decisions draw from a dedicated RNG stream in
+// node order, which keeps churned runs reproducible.
+type Churn struct {
+	leaveProb  float64
+	rejoinProb float64
+	rng        *sim.RNG
+	absent     map[int]bool
+}
+
+// NewChurn returns a churn model: an active node departs with leaveProb
+// per tick, a departed one returns with rejoinProb.
+func NewChurn(leaveProb, rejoinProb float64, rng *sim.RNG) *Churn {
+	return &Churn{
+		leaveProb:  leaveProb,
+		rejoinProb: rejoinProb,
+		rng:        rng,
+		absent:     make(map[int]bool),
+	}
+}
+
+// Step draws this tick's churn decision for one node: present reports
+// whether the node takes part in the tick, left that it departed just now
+// (so its filter and broker state must be forgotten). A rejoining node is
+// present in the same tick it returns.
+func (c *Churn) Step(id int) (present, left bool) {
+	if c.absent[id] {
+		if c.rng.Bool(c.rejoinProb) {
+			delete(c.absent, id)
+			return true, false
+		}
+		return false, false
+	}
+	if c.rng.Bool(c.leaveProb) {
+		c.absent[id] = true
+		return false, true
+	}
+	return true, false
+}
+
+// AbsentCount returns the number of currently departed nodes.
+func (c *Churn) AbsentCount() int { return len(c.absent) }
+
+// Pipeline wires one simulation's stages together. All fields except
+// Churn and Observers are required; Validate checks the wiring.
+type Pipeline struct {
+	// Nodes is the mobile population, advanced in slice order every tick
+	// (the fixed order pins RNG consumption, keeping runs reproducible).
+	Nodes []*node.Node
+	// Net is the per-region wireless gateway network.
+	Net *gateway.Network
+	// Filter decides which LUs reach the brokers.
+	Filter filter.Filter
+	// NoLE and WithLE are the two broker variants run in lockstep on
+	// identical inputs, so their error curves are directly comparable.
+	NoLE, WithLE *broker.Broker
+	// Churn, when non-nil, lets nodes leave and rejoin the grid.
+	Churn *Churn
+	// SamplePeriod is the sampling interval in virtual seconds.
+	SamplePeriod float64
+	// Observers receive the pipeline's events.
+	Observers Observers
+}
+
+// Validate reports wiring errors.
+func (p *Pipeline) Validate() error {
+	switch {
+	case len(p.Nodes) == 0:
+		return fmt.Errorf("engine: pipeline has no nodes")
+	case p.Net == nil:
+		return fmt.Errorf("engine: pipeline has no gateway network")
+	case p.Filter == nil:
+		return fmt.Errorf("engine: pipeline has no filter")
+	case p.NoLE == nil || p.WithLE == nil:
+		return fmt.Errorf("engine: pipeline needs both broker variants")
+	case p.SamplePeriod <= 0:
+		return fmt.Errorf("engine: non-positive sample period %v", p.SamplePeriod)
+	}
+	return nil
+}
+
+// Run schedules the pipeline on s at every sample period (first tick at
+// one period, like the paper's 1 Hz sampling) and executes until the
+// horizon, surfacing the first stage or observer error.
+func (p *Pipeline) Run(s *sim.Simulator, horizon float64) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if _, err := s.EveryErr(p.SamplePeriod, p.SamplePeriod, p.Tick); err != nil {
+		return err
+	}
+	return s.RunUntil(horizon)
+}
+
+// Tick processes one sampling round: every node flows through the stages
+// in slice order, then OnTick fires.
+func (p *Pipeline) Tick(now float64) error {
+	for _, n := range p.Nodes {
+		if err := p.tickNode(n, now); err != nil {
+			return err
+		}
+	}
+	return p.Observers.OnTick(now)
+}
+
+// tickNode runs one node through the stage sequence.
+func (p *Pipeline) tickNode(n *node.Node, now float64) error {
+	s := p.stageAdvance(n, now)
+	if !p.stageChurn(s) {
+		return nil
+	}
+	forwarded, connected, err := p.stageCollect(s)
+	if err != nil {
+		return err
+	}
+	transmitted := false
+	if connected {
+		if transmitted, err = p.stageFilter(s, forwarded); err != nil {
+			return err
+		}
+	}
+	if err := p.stageBroker(s, transmitted); err != nil {
+		return err
+	}
+	return p.stageMeasure(s)
+}
+
+// stageAdvance advances the node's mobility model one sample period.
+// Movement continues even while a node is absent from the grid (people
+// keep walking after closing their laptop).
+func (p *Pipeline) stageAdvance(n *node.Node, now float64) Sample {
+	pos := n.Advance(p.SamplePeriod)
+	return Sample{Node: n.ID(), Region: n.Region(), Time: now, Pos: pos}
+}
+
+// stageChurn applies leave/rejoin and reports whether the node takes part
+// in this tick. A departing node is forgotten by the filter and both
+// brokers, exercising the full forget/re-learn path on return.
+func (p *Pipeline) stageChurn(s Sample) bool {
+	if p.Churn == nil {
+		return true
+	}
+	present, left := p.Churn.Step(s.Node)
+	if left {
+		p.Filter.Forget(s.Node)
+		p.NoLE.Forget(s.Node)
+		p.WithLE.Forget(s.Node)
+	}
+	return present
+}
+
+// stageCollect passes the sample through its region's gateway; connected
+// is false when the wireless hop dropped it.
+func (p *Pipeline) stageCollect(s Sample) (filter.LU, bool, error) {
+	return p.Net.Collect(s.Region.ID, filter.LU{Node: s.Node, Time: s.Time, Pos: s.Pos})
+}
+
+// stageFilter notifies OnOffered and offers the forwarded LU to the
+// distance filter, returning the transmit decision.
+func (p *Pipeline) stageFilter(s Sample, forwarded filter.LU) (bool, error) {
+	if err := p.Observers.OnOffered(s); err != nil {
+		return false, err
+	}
+	return p.Filter.Offer(forwarded).Transmit, nil
+}
+
+// stageBroker delivers a transmitted LU to both brokers, or refreshes
+// their beliefs on a miss. The broker cannot tell a filtered LU from a
+// dropped one; either way it refreshes its belief. Nodes that have never
+// reported are skipped (no DB entry yet).
+func (p *Pipeline) stageBroker(s Sample, transmitted bool) error {
+	if transmitted {
+		if err := p.Observers.OnTransmitted(s); err != nil {
+			return err
+		}
+		p.NoLE.ReceiveLU(s.Node, s.Time, s.Pos)
+		p.WithLE.ReceiveLU(s.Node, s.Time, s.Pos)
+		return nil
+	}
+	_, _ = p.NoLE.MissLU(s.Node, s.Time)
+	_, _ = p.WithLE.MissLU(s.Node, s.Time)
+	return nil
+}
+
+// stageMeasure measures the believed-vs-true location error at both
+// broker variants for nodes the brokers know about.
+func (p *Pipeline) stageMeasure(s Sample) error {
+	if e, ok := p.NoLE.Location(s.Node); ok {
+		if err := p.Observers.OnError(s, NoLE, e.Pos.Dist(s.Pos)); err != nil {
+			return err
+		}
+	}
+	if e, ok := p.WithLE.Location(s.Node); ok {
+		if err := p.Observers.OnError(s, WithLE, e.Pos.Dist(s.Pos)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/mobilegrid/adf/internal/broker"
+	"github.com/mobilegrid/adf/internal/campus"
+	"github.com/mobilegrid/adf/internal/filter"
+	"github.com/mobilegrid/adf/internal/gateway"
+	"github.com/mobilegrid/adf/internal/node"
+	"github.com/mobilegrid/adf/internal/sim"
+)
+
+// countingObserver tallies every event and can be told to fail.
+type countingObserver struct {
+	offered, transmitted, errs, ticks int
+	failOffered                       error
+	failTick                          error
+}
+
+func (o *countingObserver) OnOffered(Sample) error { o.offered++; return o.failOffered }
+func (o *countingObserver) OnTransmitted(Sample) error {
+	o.transmitted++
+	return nil
+}
+func (o *countingObserver) OnError(Sample, Variant, float64) error { o.errs++; return nil }
+func (o *countingObserver) OnTick(float64) error                   { o.ticks++; return o.failTick }
+
+// newTestPipeline builds a one-per-group campus population (28 nodes)
+// behind an ideal filter.
+func newTestPipeline(t *testing.T, dropProb float64, churn *Churn, obs ...Observer) *Pipeline {
+	t.Helper()
+	world := campus.New()
+	streams := sim.NewStreams(7)
+	nodes, err := node.Population(campus.PopulationN(world, 1), world, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := gateway.NewNetwork(world, dropProb, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Pipeline{
+		Nodes:        nodes,
+		Net:          net,
+		Filter:       filter.NewIdealLU(),
+		NoLE:         broker.New(nil),
+		WithLE:       broker.New(nil),
+		Churn:        churn,
+		SamplePeriod: 1,
+		Observers:    obs,
+	}
+}
+
+func TestPipelineIdealNoDrop(t *testing.T) {
+	obs := &countingObserver{}
+	p := newTestPipeline(t, 0, nil, obs)
+	if err := p.Run(sim.New(), 10); err != nil {
+		t.Fatal(err)
+	}
+	nodes := len(p.Nodes)
+	if obs.ticks != 10 {
+		t.Errorf("ticks = %d, want 10", obs.ticks)
+	}
+	// With no drops every sample is offered, and the ideal filter
+	// transmits each one.
+	if obs.offered != nodes*10 || obs.transmitted != nodes*10 {
+		t.Errorf("offered/transmitted = %d/%d, want %d/%d",
+			obs.offered, obs.transmitted, nodes*10, nodes*10)
+	}
+	// Both broker variants hold a belief from the first tick on, so the
+	// measurement stage fires twice per node per tick.
+	if obs.errs != 2*nodes*10 {
+		t.Errorf("errs = %d, want %d", obs.errs, 2*nodes*10)
+	}
+	if got := p.NoLE.NodeCount(); got != nodes {
+		t.Errorf("broker tracks %d nodes, want %d", got, nodes)
+	}
+}
+
+func TestPipelineObserverErrorAborts(t *testing.T) {
+	boom := errors.New("boom")
+	obs := &countingObserver{failOffered: boom}
+	p := newTestPipeline(t, 0, nil, obs)
+	if err := p.Run(sim.New(), 10); !errors.Is(err, boom) {
+		t.Fatalf("Run err = %v, want boom", err)
+	}
+	if obs.offered != 1 {
+		t.Errorf("offered = %d, want 1 (abort on first event)", obs.offered)
+	}
+	if obs.ticks != 0 {
+		t.Errorf("ticks = %d, want 0 (tick aborted mid-round)", obs.ticks)
+	}
+}
+
+func TestPipelineTickErrorAborts(t *testing.T) {
+	boom := errors.New("tick boom")
+	obs := &countingObserver{failTick: boom}
+	p := newTestPipeline(t, 0, nil, obs)
+	if err := p.Run(sim.New(), 10); !errors.Is(err, boom) {
+		t.Fatalf("Run err = %v, want boom", err)
+	}
+	if obs.ticks != 1 {
+		t.Errorf("ticks = %d, want 1", obs.ticks)
+	}
+}
+
+func TestPipelineValidate(t *testing.T) {
+	p := newTestPipeline(t, 0, nil)
+	if err := p.Validate(); err != nil {
+		t.Errorf("valid pipeline rejected: %v", err)
+	}
+	breakages := []func(*Pipeline){
+		func(p *Pipeline) { p.Nodes = nil },
+		func(p *Pipeline) { p.Net = nil },
+		func(p *Pipeline) { p.Filter = nil },
+		func(p *Pipeline) { p.NoLE = nil },
+		func(p *Pipeline) { p.WithLE = nil },
+		func(p *Pipeline) { p.SamplePeriod = 0 },
+	}
+	for i, breakit := range breakages {
+		q := newTestPipeline(t, 0, nil)
+		breakit(q)
+		if err := q.Validate(); err == nil {
+			t.Errorf("breakage %d not rejected", i)
+		}
+		if err := q.Run(sim.New(), 1); err == nil {
+			t.Errorf("breakage %d: Run did not surface wiring error", i)
+		}
+	}
+}
+
+func TestChurnForgetAndRejoin(t *testing.T) {
+	// leaveProb 1 empties the grid on the first tick; rejoinProb 1 brings
+	// everyone back (and processed) on the next.
+	churn := NewChurn(1, 1, sim.NewRNG(1))
+	obs := &countingObserver{}
+	p := newTestPipeline(t, 0, churn, obs)
+	nodes := len(p.Nodes)
+
+	if err := p.Tick(1); err != nil {
+		t.Fatal(err)
+	}
+	if churn.AbsentCount() != nodes {
+		t.Fatalf("absent = %d after leave tick, want %d", churn.AbsentCount(), nodes)
+	}
+	if obs.offered != 0 {
+		t.Errorf("offered = %d during mass departure, want 0", obs.offered)
+	}
+	if got := p.NoLE.NodeCount(); got != 0 {
+		t.Errorf("broker still tracks %d nodes after departure", got)
+	}
+
+	if err := p.Tick(2); err != nil {
+		t.Fatal(err)
+	}
+	if churn.AbsentCount() != 0 {
+		t.Errorf("absent = %d after rejoin tick, want 0", churn.AbsentCount())
+	}
+	if obs.offered != nodes {
+		t.Errorf("offered = %d after rejoin, want %d (rejoiners report same tick)", obs.offered, nodes)
+	}
+}
+
+func TestChurnStepDeterministic(t *testing.T) {
+	a := NewChurn(0.3, 0.5, sim.NewRNG(42))
+	b := NewChurn(0.3, 0.5, sim.NewRNG(42))
+	for tick := 0; tick < 200; tick++ {
+		for id := 0; id < 10; id++ {
+			ap, al := a.Step(id)
+			bp, bl := b.Step(id)
+			if ap != bp || al != bl {
+				t.Fatalf("tick %d node %d: churn diverged", tick, id)
+			}
+		}
+	}
+	if a.AbsentCount() != b.AbsentCount() {
+		t.Errorf("absent counts diverged: %d vs %d", a.AbsentCount(), b.AbsentCount())
+	}
+}
+
+func TestObserversFanOutOrder(t *testing.T) {
+	var calls []string
+	mk := func(name string, fail bool) Observer {
+		return funcObserver{onTick: func(float64) error {
+			calls = append(calls, name)
+			if fail {
+				return errors.New(name)
+			}
+			return nil
+		}}
+	}
+	os := Observers{mk("a", false), mk("b", true), mk("c", false)}
+	if err := os.OnTick(0); err == nil || err.Error() != "b" {
+		t.Fatalf("err = %v, want b", err)
+	}
+	if len(calls) != 2 || calls[0] != "a" || calls[1] != "b" {
+		t.Errorf("calls = %v, want [a b] (stop at first error)", calls)
+	}
+}
+
+// funcObserver adapts a tick func to the Observer interface for tests.
+type funcObserver struct {
+	BaseObserver
+	onTick func(float64) error
+}
+
+func (f funcObserver) OnTick(now float64) error { return f.onTick(now) }
+
+func TestVariantString(t *testing.T) {
+	if NoLE.String() != "no-le" || WithLE.String() != "with-le" {
+		t.Errorf("variant names = %q/%q", NoLE.String(), WithLE.String())
+	}
+}

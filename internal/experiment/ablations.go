@@ -26,20 +26,25 @@ type ADFvsGeneralDFResult struct {
 }
 
 // RunAblationADFvsGeneralDF runs the ADF and the general DF at every
-// configured DTH factor and compares traffic and location error.
+// configured DTH factor and compares traffic and location error. The
+// interleaved (ADF, general) pairs all execute concurrently on the
+// worker pool.
 func RunAblationADFvsGeneralDF(cfg Config) (ADFvsGeneralDFResult, error) {
 	world := campus.New()
 	meanSpeed := PopulationMeanSpeed(campus.Table1Population(world))
-	var out ADFvsGeneralDFResult
+	var tasks []runTask
 	for _, factor := range cfg.DTHFactors {
-		adfRun, err := cfg.runFilter(cfg.adfFactory(factor))
-		if err != nil {
-			return ADFvsGeneralDFResult{}, err
-		}
-		gdfRun, err := cfg.runFilter(cfg.generalDFFactory(factor, meanSpeed))
-		if err != nil {
-			return ADFvsGeneralDFResult{}, err
-		}
+		tasks = append(tasks,
+			runTask{label: fmt.Sprintf("adf %.2fav", factor), cfg: cfg, mk: cfg.adfFactory(factor)},
+			runTask{label: fmt.Sprintf("general %.2fav", factor), cfg: cfg, mk: cfg.generalDFFactory(factor, meanSpeed)})
+	}
+	runs, err := runAll(cfg.workers(), tasks)
+	if err != nil {
+		return ADFvsGeneralDFResult{}, err
+	}
+	var out ADFvsGeneralDFResult
+	for i, factor := range cfg.DTHFactors {
+		adfRun, gdfRun := runs[2*i], runs[2*i+1]
 		out.Rows = append(out.Rows, AblationADFvsGeneralDFRow{
 			Factor:      factor,
 			ADFLUs:      adfRun.TotalLUs(),
@@ -92,17 +97,27 @@ func (r SweepResult) Table() *metrics.Table {
 }
 
 // sweep runs one full simulation per parameter value at the first
-// configured DTH factor.
+// configured DTH factor; the settings execute concurrently on the
+// worker pool.
 func (c Config) sweep(name, label string, params []float64, apply func(*Config, float64)) (SweepResult, error) {
-	out := SweepResult{Name: name, Label: label}
+	var tasks []runTask
 	for _, p := range params {
 		cfg := c
 		cfg.DTHFactors = append([]float64(nil), c.DTHFactors...)
 		apply(&cfg, p)
-		run, err := cfg.runFilter(cfg.adfFactory(cfg.DTHFactors[0]))
-		if err != nil {
-			return SweepResult{}, err
-		}
+		tasks = append(tasks, runTask{
+			label: fmt.Sprintf("%s %s=%g", name, label, p),
+			cfg:   cfg,
+			mk:    cfg.adfFactory(cfg.DTHFactors[0]),
+		})
+	}
+	runs, err := runAll(c.workers(), tasks)
+	if err != nil {
+		return SweepResult{}, err
+	}
+	out := SweepResult{Name: name, Label: label}
+	for i, p := range params {
+		run := runs[i]
 		out.Rows = append(out.Rows, SweepRow{
 			Param:    p,
 			TotalLUs: run.TotalLUs(),
@@ -166,16 +181,25 @@ type EstimatorShootoutResult struct {
 // when the node moves slowly; only the gap-aware estimator improves on
 // the no-LE baseline across the board.
 func RunAblationEstimators(cfg Config) (EstimatorShootoutResult, error) {
-	out := EstimatorShootoutResult{Factor: cfg.DTHFactors[0]}
-	for _, name := range EstimatorNames() {
+	names := EstimatorNames()
+	var tasks []runTask
+	for _, name := range names {
 		c := cfg
 		c.Estimator = name
-		run, err := c.runFilter(c.adfFactory(c.DTHFactors[0]))
-		if err != nil {
-			return EstimatorShootoutResult{}, err
-		}
-		noLE := run.RMSENoLE.Overall()
-		withLE := run.RMSEWithLE.Overall()
+		tasks = append(tasks, runTask{
+			label: "estimator " + name,
+			cfg:   c,
+			mk:    c.adfFactory(c.DTHFactors[0]),
+		})
+	}
+	runs, err := runAll(cfg.workers(), tasks)
+	if err != nil {
+		return EstimatorShootoutResult{}, err
+	}
+	out := EstimatorShootoutResult{Factor: cfg.DTHFactors[0]}
+	for i, name := range names {
+		noLE := runs[i].RMSENoLE.Overall()
+		withLE := runs[i].RMSEWithLE.Overall()
 		row := EstimatorRow{Estimator: name, RMSENoLE: noLE, RMSELE: withLE}
 		if noLE > 0 {
 			row.RatioPct = 100 * withLE / noLE
@@ -216,22 +240,25 @@ type SemanticsResult struct {
 }
 
 // RunAblationSemantics runs the ADF under both semantics at every
-// configured DTH factor.
+// configured DTH factor, all concurrently on the worker pool.
 func RunAblationSemantics(cfg Config) (SemanticsResult, error) {
-	var out SemanticsResult
+	var tasks []runTask
 	for _, factor := range cfg.DTHFactors {
 		perStep := cfg
 		perStep.ADF.Semantics = filter.PerStep
-		psRun, err := perStep.runFilter(perStep.adfFactory(factor))
-		if err != nil {
-			return SemanticsResult{}, err
-		}
 		anchored := cfg
 		anchored.ADF.Semantics = filter.Anchored
-		anRun, err := anchored.runFilter(anchored.adfFactory(factor))
-		if err != nil {
-			return SemanticsResult{}, err
-		}
+		tasks = append(tasks,
+			runTask{label: fmt.Sprintf("per-step %.2fav", factor), cfg: perStep, mk: perStep.adfFactory(factor)},
+			runTask{label: fmt.Sprintf("anchored %.2fav", factor), cfg: anchored, mk: anchored.adfFactory(factor)})
+	}
+	runs, err := runAll(cfg.workers(), tasks)
+	if err != nil {
+		return SemanticsResult{}, err
+	}
+	var out SemanticsResult
+	for i, factor := range cfg.DTHFactors {
+		psRun, anRun := runs[2*i], runs[2*i+1]
 		out.Rows = append(out.Rows, SemanticsRow{
 			Factor:           factor,
 			PerStepLUs:       psRun.TotalLUs(),
@@ -286,17 +313,16 @@ func RunAblationOutages(cfg Config) (OutageResult, error) {
 	bernoulli := cfg
 	bernoulli.Burst = nil
 	bernoulli.DropProb = burst.MeanLoss()
-	bRun, err := bernoulli.runFilter(bernoulli.adfFactory(cfg.DTHFactors[0]))
-	if err != nil {
-		return OutageResult{}, err
-	}
-
 	bursty := cfg
 	bursty.Burst = &burst
-	gRun, err := bursty.runFilter(bursty.adfFactory(cfg.DTHFactors[0]))
+	runs, err := runAll(cfg.workers(), []runTask{
+		{label: "bernoulli loss", cfg: bernoulli, mk: bernoulli.adfFactory(cfg.DTHFactors[0])},
+		{label: "gilbert-elliott loss", cfg: bursty, mk: bursty.adfFactory(cfg.DTHFactors[0])},
+	})
 	if err != nil {
 		return OutageResult{}, err
 	}
+	bRun, gRun := runs[0], runs[1]
 
 	return OutageResult{Rows: []OutageRow{
 		{
@@ -354,18 +380,26 @@ func RunAblationChurn(cfg Config) (ChurnResult, error) {
 		{"mild (≈200 s sessions)", &ChurnConfig{LeaveProb: 0.005, RejoinProb: 0.02}},
 		{"heavy (≈50 s sessions)", &ChurnConfig{LeaveProb: 0.02, RejoinProb: 0.05}},
 	}
-	var out ChurnResult
+	var tasks []runTask
 	for _, level := range levels {
 		c := cfg
 		c.Churn = level.churn
-		run, err := c.runFilter(c.adfFactory(c.DTHFactors[0]))
-		if err != nil {
-			return ChurnResult{}, err
-		}
+		tasks = append(tasks, runTask{
+			label: "churn " + level.label,
+			cfg:   c,
+			mk:    c.adfFactory(c.DTHFactors[0]),
+		})
+	}
+	runs, err := runAll(cfg.workers(), tasks)
+	if err != nil {
+		return ChurnResult{}, err
+	}
+	var out ChurnResult
+	for i, level := range levels {
 		out.Rows = append(out.Rows, ChurnRow{
 			Label:      level.label,
-			TotalLUs:   run.TotalLUs(),
-			RMSEWithLE: run.RMSEWithLE.Overall(),
+			TotalLUs:   runs[i].TotalLUs(),
+			RMSEWithLE: runs[i].RMSEWithLE.Overall(),
 		})
 	}
 	return out, nil

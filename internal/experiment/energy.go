@@ -28,7 +28,8 @@ type EnergyResult struct {
 	Rows []EnergyRow
 }
 
-// RunEnergy runs the campaign and derives the per-filter energy budget.
+// RunEnergy derives the per-filter energy budget from the shared
+// memoized campaign.
 func RunEnergy(cfg Config) (EnergyResult, error) {
 	res, err := cfg.Run()
 	if err != nil {

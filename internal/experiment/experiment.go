@@ -18,6 +18,7 @@ import (
 	"github.com/mobilegrid/adf/internal/broker"
 	"github.com/mobilegrid/adf/internal/campus"
 	"github.com/mobilegrid/adf/internal/core"
+	"github.com/mobilegrid/adf/internal/engine"
 	"github.com/mobilegrid/adf/internal/energy"
 	"github.com/mobilegrid/adf/internal/estimate"
 	"github.com/mobilegrid/adf/internal/filter"
@@ -63,6 +64,11 @@ type Config struct {
 	// ADF is the template configuration for the adaptive filter; its
 	// DTHFactor and SamplePeriod are overridden per run.
 	ADF core.Config
+	// Workers bounds the campaign worker pool that runs independent
+	// simulations concurrently: 0 means one worker per available CPU,
+	// 1 forces sequential execution. It never changes results — each run
+	// owns private random streams — only the execution schedule.
+	Workers int
 }
 
 // ChurnConfig parameterises node departure and return.
@@ -187,6 +193,9 @@ func (c Config) Validate() error {
 			return err
 		}
 	}
+	if c.Workers < 0 {
+		return fmt.Errorf("experiment: negative Workers %d", c.Workers)
+	}
 	adf := c.ADF
 	adf.DTHFactor = 1 // factor is overridden per run; validate the rest
 	adf.SamplePeriod = c.SamplePeriod
@@ -300,9 +309,13 @@ func PopulationMeanSpeed(specs []campus.NodeSpec) float64 {
 }
 
 // runFilter simulates the full campus once under the given filter and the
-// paper's LE configuration. Every run derives its node movement, gateway
-// drops and estimator behaviour from Config.Seed, so runs with different
-// filters see identical inputs and are directly comparable.
+// paper's LE configuration, by wiring the engine's staged pipeline
+// (mobility advance → churn → gateway collect → filter → brokers → error
+// measurement) to this Run's observer sinks. Every run derives its node
+// movement, gateway drops and estimator behaviour from Config.Seed
+// through private streams, so runs with different filters see identical
+// inputs, are directly comparable, and can execute concurrently with
+// other runs without changing results.
 func (c Config) runFilter(mk filterFactory) (*Run, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
@@ -365,115 +378,47 @@ func (c Config) runFilter(mk filterFactory) (*Run, error) {
 		return nil, err
 	}
 
-	// Churn state: nodes absent from the grid. Movement continues while
-	// absent (people keep walking after closing their laptop).
-	absent := make(map[int]bool)
-	churnRNG := streams.Stream("churn")
-
-	engine := sim.New()
-	var loopErr error
-	_, err = engine.Every(c.SamplePeriod, c.SamplePeriod, func(now float64) {
-		for _, n := range nodes {
-			pos := n.Advance(c.SamplePeriod)
-			if c.Churn != nil {
-				if absent[n.ID()] {
-					if churnRNG.Bool(c.Churn.RejoinProb) {
-						delete(absent, n.ID())
-					} else {
-						continue
-					}
-				} else if churnRNG.Bool(c.Churn.LeaveProb) {
-					absent[n.ID()] = true
-					f.Forget(n.ID())
-					noLE.Forget(n.ID())
-					withLE.Forget(n.ID())
-					continue
-				}
-			}
-			region := n.Region()
-			lu := filter.LU{Node: n.ID(), Time: now, Pos: pos}
-			forwarded, connected, cerr := net.Collect(region.ID, lu)
-			if cerr != nil {
-				loopErr = cerr
-				engine.Stop()
-				return
-			}
-			transmitted := false
-			if connected {
-				run.OfferedPerSecond.Incr(now)
-				run.OfferedByRegion.Add(string(region.ID), 1)
-				run.Energy.ChargeIdle(n.ID(), c.SamplePeriod)
-				if f.Offer(forwarded).Transmit {
-					transmitted = true
-					run.LUPerSecond.Incr(now)
-					run.SentByRegion.Add(string(region.ID), 1)
-					run.Energy.ChargeTx(n.ID())
-					noLE.ReceiveLU(n.ID(), now, pos)
-					withLE.ReceiveLU(n.ID(), now, pos)
-				}
-			}
-			if !transmitted {
-				// The broker cannot tell a filtered LU from a dropped one;
-				// either way it refreshes its belief. Nodes that have
-				// never reported are skipped (no DB entry yet).
-				_, _ = noLE.MissLU(n.ID(), now)
-				_, _ = withLE.MissLU(n.ID(), now)
-			}
-
-			// Measure the believed-vs-true location error for both broker
-			// variants.
-			kind := region.Kind.String()
-			if e, ok := noLE.Location(n.ID()); ok {
-				d := e.Pos.Dist(pos)
-				run.RMSENoLE.Add(now, d)
-				run.RMSENoLEByKind[kind].AddError(d)
-				run.ErrNoLE.Add(d)
-			}
-			if e, ok := withLE.Location(n.ID()); ok {
-				d := e.Pos.Dist(pos)
-				run.RMSEWithLE.Add(now, d)
-				run.RMSEWithLEByKind[kind].AddError(d)
-				run.ErrWithLE.Add(d)
-			}
-		}
-	})
-	if err != nil {
-		return nil, err
+	var churn *engine.Churn
+	if c.Churn != nil {
+		churn = engine.NewChurn(c.Churn.LeaveProb, c.Churn.RejoinProb, streams.Stream("churn"))
 	}
-	engine.RunUntil(c.Duration)
-	if loopErr != nil {
-		return nil, loopErr
+	pipeline := &engine.Pipeline{
+		Nodes:        nodes,
+		Net:          net,
+		Filter:       f,
+		NoLE:         noLE,
+		WithLE:       withLE,
+		Churn:        churn,
+		SamplePeriod: c.SamplePeriod,
+		Observers: engine.Observers{
+			trafficObserver{run: run},
+			energyObserver{acc: run.Energy, period: c.SamplePeriod},
+			errorObserver{run: run},
+		},
+	}
+
+	simulations.Add(1)
+	if err := pipeline.Run(sim.New(), c.Duration); err != nil {
+		return nil, err
 	}
 
 	if adf, ok := f.(*core.ADF); ok {
 		run.FinalClusters = adf.ClusterCount()
 	}
+	// Pre-sort the quantile summaries so a memoized Run shared across
+	// callers can be read concurrently without further mutation.
+	_ = run.ErrNoLE.Max()
+	_ = run.ErrWithLE.Max()
 	return run, nil
 }
 
 // Results bundles the paired runs every figure draws from: the ideal
-// baseline plus one ADF run per DTH factor.
+// baseline plus one ADF run per DTH factor. Completed Results are shared
+// through the campaign cache and must be treated as read-only — every
+// figure derivation already is.
 type Results struct {
 	Config Config
 	Ideal  *Run
 	// ADF holds one run per Config.DTHFactors entry, in order.
 	ADF []*Run
-}
-
-// Run executes the core campaign (ideal + ADF at each DTH factor) that
-// figures 4–9 are derived from.
-func (c Config) Run() (*Results, error) {
-	ideal, err := c.runFilter(idealFactory)
-	if err != nil {
-		return nil, err
-	}
-	res := &Results{Config: c, Ideal: ideal}
-	for _, factor := range c.DTHFactors {
-		r, err := c.runFilter(c.adfFactory(factor))
-		if err != nil {
-			return nil, err
-		}
-		res.ADF = append(res.ADF, r)
-	}
-	return res, nil
 }

@@ -132,7 +132,9 @@ func (r *Results) Fig4() Fig4Result {
 	return out
 }
 
-// RunFig4 runs the campaign and derives Figure 4.
+// RunFig4 derives Figure 4 from the shared memoized campaign: all of
+// RunFig4..RunFig9 (and RunEnergy) at the same config cost exactly one
+// campaign between them.
 func RunFig4(cfg Config) (Fig4Result, error) {
 	res, err := cfg.Run()
 	if err != nil {
@@ -198,7 +200,7 @@ func sampleEvery(series []float64, width int) []float64 {
 	return out
 }
 
-// RunFig5 runs the campaign and derives Figure 5.
+// RunFig5 derives Figure 5 from the shared memoized campaign.
 func RunFig5(cfg Config) (Fig5Result, error) {
 	res, err := cfg.Run()
 	if err != nil {
@@ -269,7 +271,7 @@ func (r *Results) Fig6() Fig6Result {
 	return out
 }
 
-// RunFig6 runs the campaign and derives Figure 6.
+// RunFig6 derives Figure 6 from the shared memoized campaign.
 func RunFig6(cfg Config) (Fig6Result, error) {
 	res, err := cfg.Run()
 	if err != nil {
@@ -330,7 +332,7 @@ func (r *Results) Fig7() Fig7Result {
 	return out
 }
 
-// RunFig7 runs the campaign and derives Figure 7.
+// RunFig7 derives Figure 7 from the shared memoized campaign.
 func RunFig7(cfg Config) (Fig7Result, error) {
 	res, err := cfg.Run()
 	if err != nil {
@@ -392,7 +394,7 @@ func (r *Results) fig89(withLE bool) Fig89Result {
 	return out
 }
 
-// RunFig8 runs the campaign and derives Figure 8.
+// RunFig8 derives Figure 8 from the shared memoized campaign.
 func RunFig8(cfg Config) (Fig89Result, error) {
 	res, err := cfg.Run()
 	if err != nil {
@@ -401,7 +403,7 @@ func RunFig8(cfg Config) (Fig89Result, error) {
 	return res.Fig8(), nil
 }
 
-// RunFig9 runs the campaign and derives Figure 9.
+// RunFig9 derives Figure 9 from the shared memoized campaign.
 func RunFig9(cfg Config) (Fig89Result, error) {
 	res, err := cfg.Run()
 	if err != nil {

@@ -1,0 +1,71 @@
+package experiment
+
+import (
+	"github.com/mobilegrid/adf/internal/energy"
+	"github.com/mobilegrid/adf/internal/engine"
+)
+
+// The experiment's metric sinks are engine.Observers plugged into the
+// staged pipeline: traffic tallies, radio energy accounting and location
+// error accumulation each live in their own sink instead of being inlined
+// in the tick loop, so new workloads can add sinks without touching the
+// stages.
+
+// trafficObserver tallies offered and transmitted LUs into the Run's
+// per-second series and per-region tallies.
+type trafficObserver struct {
+	engine.BaseObserver
+	run *Run
+}
+
+func (o trafficObserver) OnOffered(s engine.Sample) error {
+	o.run.OfferedPerSecond.Incr(s.Time)
+	o.run.OfferedByRegion.Add(string(s.Region.ID), 1)
+	return nil
+}
+
+func (o trafficObserver) OnTransmitted(s engine.Sample) error {
+	o.run.LUPerSecond.Incr(s.Time)
+	o.run.SentByRegion.Add(string(s.Region.ID), 1)
+	return nil
+}
+
+// energyObserver charges the first-order radio model: idle listening for
+// every connected sample, one transmission burst per forwarded LU.
+type energyObserver struct {
+	engine.BaseObserver
+	acc    *energy.Accountant
+	period float64
+}
+
+func (o energyObserver) OnOffered(s engine.Sample) error {
+	o.acc.ChargeIdle(s.Node, o.period)
+	return nil
+}
+
+func (o energyObserver) OnTransmitted(s engine.Sample) error {
+	o.acc.ChargeTx(s.Node)
+	return nil
+}
+
+// errorObserver accumulates the believed-vs-true location error into the
+// Run's RMSE series, per-region-kind accumulators and quantile summaries.
+type errorObserver struct {
+	engine.BaseObserver
+	run *Run
+}
+
+func (o errorObserver) OnError(s engine.Sample, v engine.Variant, d float64) error {
+	kind := s.Region.Kind.String()
+	switch v {
+	case engine.NoLE:
+		o.run.RMSENoLE.Add(s.Time, d)
+		o.run.RMSENoLEByKind[kind].AddError(d)
+		o.run.ErrNoLE.Add(d)
+	case engine.WithLE:
+		o.run.RMSEWithLE.Add(s.Time, d)
+		o.run.RMSEWithLEByKind[kind].AddError(d)
+		o.run.ErrWithLE.Add(d)
+	}
+	return nil
+}

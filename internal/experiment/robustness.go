@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"github.com/mobilegrid/adf/internal/engine"
 	"github.com/mobilegrid/adf/internal/metrics"
 )
 
@@ -27,22 +28,37 @@ type SeedsResult struct {
 }
 
 // RunSeeds repeats the campaign once per seed and aggregates the
-// traffic-reduction and with-LE RMSE metrics per DTH factor.
+// traffic-reduction and with-LE RMSE metrics per DTH factor. Every
+// (seed × filter) run is independent, so they all share one flat worker
+// pool instead of nesting per-seed campaigns.
 func RunSeeds(cfg Config, seeds []int64) (SeedsResult, error) {
 	if len(seeds) == 0 {
 		seeds = []int64{1, 2, 3, 4, 5}
 	}
-	reductions := make([][]float64, len(cfg.DTHFactors))
-	rmses := make([][]float64, len(cfg.DTHFactors))
+	if err := cfg.Validate(); err != nil {
+		return SeedsResult{}, err
+	}
+	var tasks []runTask
 	for _, seed := range seeds {
 		c := cfg
 		c.Seed = seed
-		res, err := c.Run()
-		if err != nil {
-			return SeedsResult{}, fmt.Errorf("seed %d: %w", seed, err)
+		for _, t := range c.campaignTasks() {
+			t.label = fmt.Sprintf("seed %d: %s", seed, t.label)
+			tasks = append(tasks, t)
 		}
-		for i, run := range res.ADF {
-			reductions[i] = append(reductions[i], 100*run.ReductionVersus(res.Ideal))
+	}
+	runs, err := runAll(cfg.workers(), tasks)
+	if err != nil {
+		return SeedsResult{}, err
+	}
+	per := 1 + len(cfg.DTHFactors)
+	reductions := make([][]float64, len(cfg.DTHFactors))
+	rmses := make([][]float64, len(cfg.DTHFactors))
+	for si := range seeds {
+		ideal := runs[si*per]
+		for i := range cfg.DTHFactors {
+			run := runs[si*per+1+i]
+			reductions[i] = append(reductions[i], 100*run.ReductionVersus(ideal))
 			rmses[i] = append(rmses[i], run.RMSEWithLE.Overall())
 		}
 	}
@@ -113,38 +129,54 @@ type ScaleResult struct {
 
 // RunScale runs the ADF at the first configured DTH factor for each
 // per-group population size (default 5, 10, 20, 40 → 140 to 1120 nodes).
+// Scale points execute concurrently on the worker pool; each point's
+// ideal/ADF pair stays sequential inside its task so the row's wall-clock
+// per simulated second remains a per-point throughput number (with
+// Workers > 1 it reports throughput under concurrent load).
 func RunScale(cfg Config, perGroups []int) (ScaleResult, error) {
 	if len(perGroups) == 0 {
 		perGroups = []int{5, 10, 20, 40}
 	}
-	var out ScaleResult
+	if err := cfg.Validate(); err != nil {
+		return ScaleResult{}, err
+	}
 	for _, pg := range perGroups {
 		if pg <= 0 {
 			return ScaleResult{}, fmt.Errorf("experiment: per-group size %d not positive", pg)
 		}
-		c := cfg
-		c.PerGroup = pg
+	}
+	rows := make([]ScaleRow, len(perGroups))
+	g := engine.NewGroup(cfg.workers())
+	for i, pg := range perGroups {
+		g.Go(func() error {
+			c := cfg
+			c.PerGroup = pg
 
-		start := time.Now()
-		ideal, err := c.runFilter(idealFactory)
-		if err != nil {
-			return ScaleResult{}, err
-		}
-		run, err := c.runFilter(c.adfFactory(c.DTHFactors[0]))
-		if err != nil {
-			return ScaleResult{}, err
-		}
-		elapsed := time.Since(start)
+			start := time.Now()
+			ideal, err := c.runFilter(idealFactory)
+			if err != nil {
+				return fmt.Errorf("scale %d nodes: %w", pg*28, err)
+			}
+			run, err := c.runFilter(c.adfFactory(c.DTHFactors[0]))
+			if err != nil {
+				return fmt.Errorf("scale %d nodes: %w", pg*28, err)
+			}
+			elapsed := time.Since(start)
 
-		out.Rows = append(out.Rows, ScaleRow{
-			Nodes:            pg * 28,
-			TotalLUs:         run.TotalLUs(),
-			ReductionPct:     100 * run.ReductionVersus(ideal),
-			RMSELE:           run.RMSEWithLE.Overall(),
-			WallPerSimSecond: time.Duration(float64(elapsed) / (2 * c.Duration)),
+			rows[i] = ScaleRow{
+				Nodes:            pg * 28,
+				TotalLUs:         run.TotalLUs(),
+				ReductionPct:     100 * run.ReductionVersus(ideal),
+				RMSELE:           run.RMSEWithLE.Overall(),
+				WallPerSimSecond: time.Duration(float64(elapsed) / (2 * c.Duration)),
+			}
+			return nil
 		})
 	}
-	return out, nil
+	if err := g.Wait(); err != nil {
+		return ScaleResult{}, err
+	}
+	return ScaleResult{Rows: rows}, nil
 }
 
 // Table renders the scalability experiment.

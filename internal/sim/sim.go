@@ -17,6 +17,11 @@ import (
 // clock set to the event's timestamp.
 type Handler func(now float64)
 
+// ErrHandler is a Handler that can fail. The first error an ErrHandler
+// returns stops the run and is surfaced by Run/RunUntil, so callers never
+// need shared mutable error state next to the event loop.
+type ErrHandler func(now float64) error
+
 // ErrPastEvent is returned when an event is scheduled before the current
 // virtual time.
 var ErrPastEvent = errors.New("sim: event scheduled in the past")
@@ -69,6 +74,9 @@ type Simulator struct {
 	seq     uint64
 	queue   eventQueue
 	stopped bool
+	// firstErr latches the first error a fallible handler reported; the
+	// run stops there and Run/RunUntil surface it.
+	firstErr error
 	// processed counts handlers that have run, for diagnostics and tests.
 	processed uint64
 }
@@ -121,9 +129,31 @@ func (s *Simulator) Cancel(e Event) bool {
 	return true
 }
 
+// ScheduleErr enqueues a fallible handler to run at absolute virtual time
+// t. If the handler returns an error the run stops and Run/RunUntil
+// surface it.
+func (s *Simulator) ScheduleErr(t float64, h ErrHandler) (Event, error) {
+	return s.Schedule(t, func(now float64) {
+		if err := h(now); err != nil {
+			s.fail(err)
+		}
+	})
+}
+
 // Stop makes the current Run/RunUntil call return after the in-flight
 // handler finishes. Pending events stay queued.
 func (s *Simulator) Stop() { s.stopped = true }
+
+// Err returns the first error a fallible handler reported, or nil.
+func (s *Simulator) Err() error { return s.firstErr }
+
+// fail records the first handler error and stops the run.
+func (s *Simulator) fail(err error) {
+	if s.firstErr == nil {
+		s.firstErr = err
+	}
+	s.Stop()
+}
 
 // step pops and executes the earliest event. It reports whether an event
 // ran.
@@ -142,16 +172,21 @@ func (s *Simulator) step() bool {
 	return false
 }
 
-// Run executes events until the queue drains or Stop is called.
-func (s *Simulator) Run() {
+// Run executes events until the queue drains or Stop is called. It
+// returns the first error a fallible handler reported (latched across
+// calls), or nil.
+func (s *Simulator) Run() error {
 	s.stopped = false
 	for !s.stopped && s.step() {
 	}
+	return s.firstErr
 }
 
 // RunUntil executes events with timestamps <= horizon, then advances the
-// clock to the horizon. Events beyond the horizon remain queued.
-func (s *Simulator) RunUntil(horizon float64) {
+// clock to the horizon. Events beyond the horizon remain queued. It
+// returns the first error a fallible handler reported (latched across
+// calls), or nil.
+func (s *Simulator) RunUntil(horizon float64) error {
 	s.stopped = false
 	for !s.stopped {
 		next, ok := s.peekTime()
@@ -163,6 +198,7 @@ func (s *Simulator) RunUntil(horizon float64) {
 	if !s.stopped && horizon > s.now {
 		s.now = horizon
 	}
+	return s.firstErr
 }
 
 func (s *Simulator) peekTime() (float64, bool) {
@@ -190,6 +226,37 @@ func (s *Simulator) Every(start, interval float64, h Handler) (stop func(), err 
 			return
 		}
 		h(now)
+		if done {
+			return
+		}
+		// Scheduling from inside a handler cannot be in the past.
+		_, _ = s.Schedule(now+interval, tick)
+	}
+	if _, err := s.Schedule(start, tick); err != nil {
+		return nil, err
+	}
+	return func() { done = true }, nil
+}
+
+// EveryErr schedules a fallible handler to run first at start and then
+// every interval seconds. The first error any invocation returns stops
+// the run, cancels further ticks, and is surfaced by Run/RunUntil.
+// interval must be positive.
+func (s *Simulator) EveryErr(start, interval float64, h ErrHandler) (stop func(), err error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("sim: non-positive interval %v", interval)
+	}
+	done := false
+	var tick Handler
+	tick = func(now float64) {
+		if done {
+			return
+		}
+		if err := h(now); err != nil {
+			done = true
+			s.fail(err)
+			return
+		}
 		if done {
 			return
 		}

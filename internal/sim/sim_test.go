@@ -224,6 +224,101 @@ func TestEveryInvalidInterval(t *testing.T) {
 	}
 }
 
+func TestEveryErrSurfacesFirstError(t *testing.T) {
+	s := New()
+	boom := errors.New("boom")
+	var ticks int
+	if _, err := s.EveryErr(0, 1, func(now float64) error {
+		ticks++
+		if now >= 2 {
+			return boom
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunUntil(100); !errors.Is(err, boom) {
+		t.Errorf("RunUntil err = %v, want boom", err)
+	}
+	if ticks != 3 {
+		t.Errorf("ticks = %v, want 3 (error stops the ticker)", ticks)
+	}
+	if s.Now() != 2 {
+		t.Errorf("Now = %v, want 2 (clock stops at the failing event)", s.Now())
+	}
+	if !errors.Is(s.Err(), boom) {
+		t.Errorf("Err = %v, want boom", s.Err())
+	}
+	// The failed ticker stays cancelled: resuming runs no further ticks
+	// and keeps surfacing the latched error.
+	if err := s.RunUntil(200); !errors.Is(err, boom) {
+		t.Errorf("resumed RunUntil err = %v, want boom", err)
+	}
+	if ticks != 3 {
+		t.Errorf("ticks = %v after resume, want 3", ticks)
+	}
+}
+
+func TestEveryErrStopFunc(t *testing.T) {
+	s := New()
+	var ticks int
+	stop, err := s.EveryErr(0, 1, func(float64) error {
+		ticks++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunUntil(2); err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	if err := s.RunUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 3 {
+		t.Errorf("ticks = %v, want 3 (stop cancels the ticker)", ticks)
+	}
+}
+
+func TestEveryErrInvalidInterval(t *testing.T) {
+	s := New()
+	if _, err := s.EveryErr(0, 0, func(float64) error { return nil }); err == nil {
+		t.Error("EveryErr(interval=0) should error")
+	}
+}
+
+func TestScheduleErr(t *testing.T) {
+	s := New()
+	boom := errors.New("boom")
+	var after int
+	if _, err := s.ScheduleErr(1, func(float64) error { return boom }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Schedule(2, func(float64) { after++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); !errors.Is(err, boom) {
+		t.Errorf("Run err = %v, want boom", err)
+	}
+	if after != 0 {
+		t.Error("event after the failure still ran")
+	}
+}
+
+func TestRunNilErrorWithoutFailures(t *testing.T) {
+	s := New()
+	if _, err := s.Schedule(1, func(float64) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Errorf("Run err = %v, want nil", err)
+	}
+	if s.Err() != nil {
+		t.Errorf("Err = %v, want nil", s.Err())
+	}
+}
+
 func TestEventOrderingProperty(t *testing.T) {
 	// Whatever timestamps we push, events pop in non-decreasing time order.
 	f := func(raw []float64) bool {
