@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race ci bench-runner
+.PHONY: build test vet race ci bench-runner bench profile
 
 build:
 	$(GO) build ./...
@@ -22,3 +22,18 @@ ci: build vet test race
 # regeneration) and write BENCH_runner.json.
 bench-runner:
 	$(GO) run ./cmd/adfbench -json
+
+# Run the hot-path microbenchmarks (cluster assignment, geometry, tick
+# loop) and regenerate BENCH_hotpath.json at the baseline protocol
+# (duration 300, seed 1) so the speedup columns are populated.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem \
+		./internal/cluster/... ./internal/geo/... ./internal/experiment/...
+	$(GO) run ./cmd/adfbench -hotpath -duration 300 -seed 1
+
+# Capture CPU and heap profiles of a ~1k-node run; inspect with
+# `go tool pprof cpu.out` / `go tool pprof mem.out`.
+profile:
+	$(GO) run ./cmd/adfbench -hotpath -duration 300 -seed 1 \
+		-hotpath-out /dev/null -cpuprofile cpu.out -memprofile mem.out
+	@echo "wrote cpu.out and mem.out; inspect with: go tool pprof cpu.out"

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/mobilegrid/adf/internal/experiment"
+)
+
+// hotpathPerGroups are the population scale points the hot-path benchmark
+// measures: the paper's Table-1 population (140 nodes) plus ~1k and ~5k
+// node scale-ups.
+var hotpathPerGroups = []int{5, 36, 179}
+
+// hotpathBaselines records the pre-optimization throughput in ticks/sec,
+// measured at commit 295e3d8 (before the hot-path work: per-call cluster
+// statistics, hashed per-tick lookups, allocating tick loop) with exactly
+// the protocol runHotpath uses at its reference settings: one full ADF run
+// at DTH factor 1.0, Duration 300 s, seed 1, setup included. Speedups in
+// BENCH_hotpath.json are relative to these numbers, so they are only
+// reported when the current invocation matches that protocol.
+var hotpathBaselines = map[int]float64{
+	5:   5379.5,
+	36:  736.4,
+	179: 130.9,
+}
+
+// hotpathBaselineProtocol reports whether cfg matches the settings the
+// baselines were recorded under.
+func hotpathBaselineProtocol(cfg experiment.Config) bool {
+	return cfg.Duration == 300 && cfg.Seed == 1 && cfg.SamplePeriod == 1 &&
+		len(cfg.DTHFactors) == 1 && cfg.DTHFactors[0] == 1.0
+}
+
+// HotpathReport is the -hotpath output: per-scale throughput and
+// allocation rate of the per-tick pipeline, with speedups against the
+// recorded pre-optimization baselines when the protocol matches.
+type HotpathReport struct {
+	DurationSeconds float64 `json:"duration_seconds"`
+	Seed            int64   `json:"seed"`
+	DTHFactor       float64 `json:"dth_factor"`
+	// BaselineCommit identifies the revision the baselines were measured at.
+	BaselineCommit string         `json:"baseline_commit"`
+	Scales         []HotpathScale `json:"scales"`
+}
+
+// HotpathScale is one population scale point.
+type HotpathScale struct {
+	// PerGroup is the population scale: nodes per (region, pattern, type)
+	// group of Table 1.
+	PerGroup int `json:"per_group"`
+	experiment.HotpathStats
+	// BaselineTicksPerSec and Speedup compare against the recorded
+	// pre-optimization baseline; both are 0 when the invocation's protocol
+	// differs from the baseline's.
+	BaselineTicksPerSec float64 `json:"baseline_ticks_per_sec,omitempty"`
+	Speedup             float64 `json:"speedup,omitempty"`
+}
+
+// runHotpath measures the tick pipeline at each scale point and writes
+// the JSON report to path (and a per-scale summary to w).
+func runHotpath(w io.Writer, cfg experiment.Config, path string) error {
+	report := HotpathReport{
+		DurationSeconds: cfg.Duration,
+		Seed:            cfg.Seed,
+		DTHFactor:       cfg.DTHFactors[0],
+		BaselineCommit:  "295e3d8",
+	}
+	comparable := hotpathBaselineProtocol(cfg)
+	for _, pg := range hotpathPerGroups {
+		c := cfg
+		c.PerGroup = pg
+		stats, err := c.MeasureHotpath()
+		if err != nil {
+			return fmt.Errorf("per-group %d: %w", pg, err)
+		}
+		s := HotpathScale{PerGroup: pg, HotpathStats: stats}
+		if base, ok := hotpathBaselines[pg]; ok && comparable {
+			s.BaselineTicksPerSec = base
+			s.Speedup = stats.TicksPerSec / base
+		}
+		report.Scales = append(report.Scales, s)
+		if s.Speedup > 0 {
+			fmt.Fprintf(w, "%5d nodes: %8.1f ticks/sec, %6.2f allocs/tick (%.2fx vs baseline %.1f)\n",
+				stats.Nodes, stats.TicksPerSec, stats.AllocsPerTick, s.Speedup, s.BaselineTicksPerSec)
+		} else {
+			fmt.Fprintf(w, "%5d nodes: %8.1f ticks/sec, %6.2f allocs/tick\n",
+				stats.Nodes, stats.TicksPerSec, stats.AllocsPerTick)
+		}
+	}
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "wrote %s\n", path)
+	return err
+}

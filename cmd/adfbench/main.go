@@ -6,13 +6,24 @@
 // Usage:
 //
 //	adfbench [-ablation all|adf-vs-gdf|alpha|estimators|recluster|smoothing|semantics|outages|churn]
-//	         [-duration 600] [-seed 1] [-factor 1.0] [-workers 0]
+//	         [-duration 600] [-seed 1] [-factor 1.0] [-workers 0] [-mobility-workers 0]
 //	adfbench -json [-json-out BENCH_runner.json] [-duration 600] [-seed 1]
+//	adfbench -hotpath [-hotpath-out BENCH_hotpath.json] [-duration 300] [-seed 1]
+//	adfbench -cpuprofile cpu.out -memprofile mem.out ...
 //
 // With -json the ablations are skipped; instead the campaign runner
 // itself is benchmarked — every campaign-derived figure regenerated
 // sequentially and in parallel from a cold cache — and the wall-clock,
 // simulation-count and allocation report is written as JSON.
+//
+// With -hotpath the per-tick pipeline is benchmarked instead: one full ADF
+// run at 140, ~1k and ~5k mobile nodes, reporting ticks/sec, ns/tick and
+// allocs/tick per scale, with speedups against the recorded
+// pre-optimization baselines (use -duration 300 -seed 1, the baseline
+// protocol, to get the comparison).
+//
+// -cpuprofile and -memprofile write pprof profiles covering whichever mode
+// runs; inspect them with `go tool pprof`.
 package main
 
 import (
@@ -21,6 +32,8 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"github.com/mobilegrid/adf/internal/experiment"
 )
@@ -33,30 +46,83 @@ func main() {
 	}
 }
 
+// startProfiles starts the requested pprof captures and returns a stop
+// function that finalises them. Empty paths disable the corresponding
+// profile.
+func startProfiles(cpu, mem string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		cpuFile, err = os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				log.Printf("cpuprofile: %v", err)
+			}
+		}
+		if mem == "" {
+			return
+		}
+		f, err := os.Create(mem)
+		if err != nil {
+			log.Printf("memprofile: %v", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Printf("memprofile: %v", err)
+		}
+	}, nil
+}
+
 func run(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("adfbench", flag.ContinueOnError)
 	var (
-		ablation = fs.String("ablation", "all", "which ablation to run")
-		duration = fs.Float64("duration", 600, "simulated horizon in seconds")
-		seed     = fs.Int64("seed", 1, "run seed")
-		factor   = fs.Float64("factor", 1.0, "DTH factor the sweeps run at")
-		workers  = fs.Int("workers", 0, "worker pool size: 0 = one per CPU, 1 = sequential (never changes results)")
-		jsonOut  = fs.Bool("json", false, "benchmark the campaign runner (sequential vs parallel) and write a JSON report instead of running ablations")
-		jsonPath = fs.String("json-out", "BENCH_runner.json", "where -json writes the report")
+		ablation    = fs.String("ablation", "all", "which ablation to run")
+		duration    = fs.Float64("duration", 600, "simulated horizon in seconds")
+		seed        = fs.Int64("seed", 1, "run seed")
+		factor      = fs.Float64("factor", 1.0, "DTH factor the sweeps run at")
+		workers     = fs.Int("workers", 0, "worker pool size: 0 = one per CPU, 1 = sequential (never changes results)")
+		mobWorkers  = fs.Int("mobility-workers", 0, "mobility-advance goroutines per simulation; results are identical at any count")
+		jsonOut     = fs.Bool("json", false, "benchmark the campaign runner (sequential vs parallel) and write a JSON report instead of running ablations")
+		jsonPath    = fs.String("json-out", "BENCH_runner.json", "where -json writes the report")
+		hotpath     = fs.Bool("hotpath", false, "benchmark the per-tick pipeline at 140/~1k/~5k nodes and write a JSON report instead of running ablations")
+		hotpathPath = fs.String("hotpath-out", "BENCH_hotpath.json", "where -hotpath writes the report")
+		cpuprofile  = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprofile  = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 
 	cfg := experiment.DefaultConfig()
 	cfg.Duration = *duration
 	cfg.Seed = *seed
 	cfg.DTHFactors = []float64{*factor}
 	cfg.Workers = *workers
+	cfg.MobilityWorkers = *mobWorkers
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
 
+	if *hotpath {
+		return runHotpath(w, cfg, *hotpathPath)
+	}
 	if *jsonOut {
 		// Benchmark the paper's own campaign: the ideal baseline plus the
 		// three default DTH factors, not the single-factor ablation config.

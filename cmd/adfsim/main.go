@@ -4,7 +4,7 @@
 // Usage:
 //
 //	adfsim [-figure all|table1|4|5|6|7|8|9] [-duration 1800] [-seed 1]
-//	       [-estimator gap-aware] [-series] [-workers 0]
+//	       [-estimator gap-aware] [-series] [-workers 0] [-mobility-workers 0]
 //
 // With -series the per-second curves behind Figures 4, 5 and 7 are
 // printed (averaged into 60-second buckets).
@@ -41,6 +41,7 @@ func run(w io.Writer, args []string) error {
 		factors   = fs.String("factors", "0.75,1.0,1.25", "comma-separated DTH factors")
 		series    = fs.Bool("series", false, "also print the time series behind figures 4, 5 and 7")
 		workers   = fs.Int("workers", 0, "campaign worker pool size: 0 = one per CPU, 1 = sequential (never changes results)")
+		mobility  = fs.Int("mobility-workers", 0, "mobility-advance goroutines per simulation; results are identical at any count")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -51,6 +52,7 @@ func run(w io.Writer, args []string) error {
 	cfg.Seed = *seed
 	cfg.Estimator = *estimator
 	cfg.Workers = *workers
+	cfg.MobilityWorkers = *mobility
 	parsed, err := parseFactors(*factors)
 	if err != nil {
 		return err

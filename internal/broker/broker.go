@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/mobilegrid/adf/internal/dense"
 	"github.com/mobilegrid/adf/internal/estimate"
 	"github.com/mobilegrid/adf/internal/geo"
 )
@@ -38,7 +39,10 @@ type record struct {
 // Broker is the grid broker.
 type Broker struct {
 	newEstimator estimate.Factory
-	records      map[int]*record
+	// records is keyed by node ID. Node IDs are assigned densely from
+	// zero, so the per-tick record lookups — the broker is touched for
+	// every node every sampling period — resolve to a slice index.
+	records dense.Map[*record]
 
 	// Counters for experiment reporting.
 	received  uint64
@@ -52,17 +56,14 @@ func New(factory estimate.Factory) *Broker {
 	if factory == nil {
 		factory = func() estimate.PositionEstimator { return estimate.NewLastKnown() }
 	}
-	return &Broker{
-		newEstimator: factory,
-		records:      make(map[int]*record),
-	}
+	return &Broker{newEstimator: factory}
 }
 
 func (b *Broker) record(node int) *record {
-	r, ok := b.records[node]
+	r, ok := b.records.Get(node)
 	if !ok {
 		r = &record{est: b.newEstimator()}
-		b.records[node] = r
+		b.records.Put(node, r)
 	}
 	return r
 }
@@ -70,7 +71,10 @@ func (b *Broker) record(node int) *record {
 // ReceiveLU stores a received location update in the location DB and
 // feeds the node's estimator.
 func (b *Broker) ReceiveLU(node int, t float64, p geo.Point) {
-	r := b.record(node)
+	b.receive(b.record(node), node, t, p)
+}
+
+func (b *Broker) receive(r *record, node int, t float64, p geo.Point) {
 	r.lastReported = p
 	r.lastReportT = t
 	r.hasReport = true
@@ -79,15 +83,7 @@ func (b *Broker) ReceiveLU(node int, t float64, p geo.Point) {
 	b.received++
 }
 
-// MissLU tells the broker that node's LU for time t was filtered. The
-// broker refreshes the node's DB entry with the estimator's forecast (or
-// keeps the last report when the estimator is not ready yet). It returns
-// the refreshed entry.
-func (b *Broker) MissLU(node int, t float64) (Entry, error) {
-	r, ok := b.records[node]
-	if !ok || !r.hasReport {
-		return Entry{}, fmt.Errorf("broker: no location on record for node %d", node)
-	}
+func (b *Broker) miss(r *record, node int, t float64) Entry {
 	pos := r.lastReported
 	estimated := false
 	if r.est.Ready() {
@@ -96,12 +92,43 @@ func (b *Broker) MissLU(node int, t float64) (Entry, error) {
 		b.estimated++
 	}
 	r.believed = Entry{Node: node, Pos: pos, Time: t, Estimated: estimated}
-	return r.believed, nil
+	return r.believed
+}
+
+// MissLU tells the broker that node's LU for time t was filtered. The
+// broker refreshes the node's DB entry with the estimator's forecast (or
+// keeps the last report when the estimator is not ready yet). It returns
+// the refreshed entry.
+func (b *Broker) MissLU(node int, t float64) (Entry, error) {
+	r, ok := b.records.Get(node)
+	if !ok || !r.hasReport {
+		return Entry{}, fmt.Errorf("broker: no location on record for node %d", node)
+	}
+	return b.miss(r, node, t), nil
+}
+
+// Step processes one sampling period for a node with a single record
+// lookup: a received LU is stored (like ReceiveLU), a filtered or dropped
+// one refreshes the belief (like MissLU, but without constructing an
+// error for unknown nodes). It returns the broker's resulting belief, or
+// false when the node has never reported. This is the simulation engine's
+// hot path.
+func (b *Broker) Step(node int, t float64, p geo.Point, received bool) (Entry, bool) {
+	if received {
+		r := b.record(node)
+		b.receive(r, node, t, p)
+		return r.believed, true
+	}
+	r, ok := b.records.Get(node)
+	if !ok || !r.hasReport {
+		return Entry{}, false
+	}
+	return b.miss(r, node, t), true
 }
 
 // Location returns the broker's current belief about a node.
 func (b *Broker) Location(node int) (Entry, bool) {
-	r, ok := b.records[node]
+	r, ok := b.records.Get(node)
 	if !ok || !r.hasReport {
 		return Entry{}, false
 	}
@@ -111,30 +138,32 @@ func (b *Broker) Location(node int) (Entry, bool) {
 // Locations returns a snapshot of the whole location DB ordered by node
 // ID.
 func (b *Broker) Locations() []Entry {
-	out := make([]Entry, 0, len(b.records))
-	for node, r := range b.records {
+	out := make([]Entry, 0, b.records.Len())
+	b.records.Range(func(node int, r *record) bool {
 		if !r.hasReport {
-			continue
+			return true
 		}
 		e := r.believed
 		e.Node = node
 		out = append(out, e)
-	}
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
 	return out
 }
 
 // Forget drops a node from the location DB.
-func (b *Broker) Forget(node int) { delete(b.records, node) }
+func (b *Broker) Forget(node int) { b.records.Delete(node) }
 
 // NodeCount returns the number of nodes with a DB entry.
 func (b *Broker) NodeCount() int {
 	n := 0
-	for _, r := range b.records {
+	b.records.Range(func(_ int, r *record) bool {
 		if r.hasReport {
 			n++
 		}
-	}
+		return true
+	})
 	return n
 }
 

@@ -63,14 +63,15 @@ func (b *Broker) Within(p geo.Point, radius float64) ([]Candidate, error) {
 }
 
 func (b *Broker) candidates(p geo.Point) []Candidate {
-	out := make([]Candidate, 0, len(b.records))
-	for node, r := range b.records {
+	out := make([]Candidate, 0, b.records.Len())
+	b.records.Range(func(node int, r *record) bool {
 		if !r.hasReport {
-			continue
+			return true
 		}
 		e := r.believed
 		e.Node = node
 		out = append(out, Candidate{Entry: e, Dist: e.Pos.Dist(p)})
-	}
+		return true
+	})
 	return out
 }

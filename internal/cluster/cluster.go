@@ -9,13 +9,24 @@
 // it, otherwise a new cluster is created. Because a node's mobility changes
 // over time, memberships can be updated incrementally and the whole
 // clustering can be rebuilt (the ADF's step-(6) "reconstruction").
+//
+// Assign is the inner loop of the ADF's hot path — it runs once per node
+// per sampling period — so the manager keeps every per-candidate quantity
+// incremental: each cluster caches its representative (mean speed and
+// circular mean heading recomputed in O(1) from running sums on every
+// membership change), the nearest-cluster scan is pruned through a
+// speed-bucketed index instead of a full scan, and all scratch storage
+// (member snapshots, ordered views, rebuild buffers, retired cluster
+// structs) is pooled so a steady-state Assign performs no allocations.
 package cluster
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
+	"github.com/mobilegrid/adf/internal/dense"
 	"github.com/mobilegrid/adf/internal/geo"
 )
 
@@ -70,15 +81,34 @@ func DefaultConfig() Config {
 	return Config{Alpha: 1.0, HeadingWeight: 0.25}
 }
 
+// member is one node's stored feature plus the trigonometric terms it
+// contributed to the running sums, so removal subtracts exactly what
+// addition added without recomputing cos/sin.
+type member struct {
+	f        Feature
+	cos, sin float64
+}
+
 // Cluster is one group of similar nodes. Its representative is the running
-// mean of the members' features.
+// mean of the members' features, cached so reads are O(1).
 type Cluster struct {
 	id      ID
-	members map[NodeID]Feature
+	members map[NodeID]member
 	// Running sums for the representative.
 	speedSum float64
 	cosSum   float64
 	sinSum   float64
+	// Cached representative, refreshed on every membership change.
+	meanSpeed   float64
+	meanHeading float64
+	// bucket is the speed-bucket index key the manager filed this cluster
+	// under; inBucket is false while the cluster is detached.
+	bucket   int
+	inBucket bool
+	// memberIDs is the cached sorted member view; membersDirty marks it
+	// stale after a membership change.
+	memberIDs    []NodeID
+	membersDirty bool
 }
 
 // ID returns the cluster's identifier.
@@ -88,52 +118,80 @@ func (c *Cluster) ID() ID { return c.id }
 func (c *Cluster) Size() int { return len(c.members) }
 
 // MeanSpeed returns the mean speed of the members, the quantity the ADF
-// sizes its distance threshold from.
-func (c *Cluster) MeanSpeed() float64 {
-	if len(c.members) == 0 {
-		return 0
-	}
-	return c.speedSum / float64(len(c.members))
-}
+// sizes its distance threshold from. It is O(1): the value is cached and
+// refreshed incrementally on membership changes.
+func (c *Cluster) MeanSpeed() float64 { return c.meanSpeed }
 
-// MeanHeading returns the circular mean heading of the members.
-func (c *Cluster) MeanHeading() float64 {
-	if c.cosSum == 0 && c.sinSum == 0 {
-		return 0
-	}
-	return geo.NormalizeAngle(math.Atan2(c.sinSum, c.cosSum))
-}
+// MeanHeading returns the circular mean heading of the members. Like
+// MeanSpeed it reads a cached value in O(1).
+func (c *Cluster) MeanHeading() float64 { return c.meanHeading }
 
-// Members returns the member IDs in ascending order.
+// Members returns the member IDs in ascending order. The returned slice is
+// reused across calls and is only valid until the next membership change;
+// callers that retain it must copy.
 func (c *Cluster) Members() []NodeID {
-	ids := make([]NodeID, 0, len(c.members))
-	for id := range c.members {
-		ids = append(ids, id)
+	if c.membersDirty {
+		c.memberIDs = c.memberIDs[:0]
+		for id := range c.members {
+			c.memberIDs = append(c.memberIDs, id)
+		}
+		slices.Sort(c.memberIDs)
+		c.membersDirty = false
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+	return c.memberIDs
+}
+
+// refresh recomputes the cached representative from the running sums. The
+// arithmetic matches a from-scratch mean over the same sums bit for bit.
+func (c *Cluster) refresh() {
+	if len(c.members) == 0 {
+		c.meanSpeed = 0
+	} else {
+		c.meanSpeed = c.speedSum / float64(len(c.members))
+	}
+	if c.cosSum == 0 && c.sinSum == 0 {
+		c.meanHeading = 0
+	} else {
+		c.meanHeading = geo.NormalizeAngle(math.Atan2(c.sinSum, c.cosSum))
+	}
 }
 
 func (c *Cluster) add(id NodeID, f Feature) {
-	c.members[id] = f
+	m := member{f: f, cos: math.Cos(f.Heading), sin: math.Sin(f.Heading)}
+	c.members[id] = m
 	c.speedSum += f.Speed
-	c.cosSum += math.Cos(f.Heading)
-	c.sinSum += math.Sin(f.Heading)
+	c.cosSum += m.cos
+	c.sinSum += m.sin
+	c.membersDirty = true
+	c.refresh()
 }
 
 func (c *Cluster) remove(id NodeID) bool {
-	f, ok := c.members[id]
+	m, ok := c.members[id]
 	if !ok {
 		return false
 	}
 	delete(c.members, id)
-	c.speedSum -= f.Speed
-	c.cosSum -= math.Cos(f.Heading)
-	c.sinSum -= math.Sin(f.Heading)
+	c.speedSum -= m.f.Speed
+	c.cosSum -= m.cos
+	c.sinSum -= m.sin
 	if len(c.members) == 0 {
 		c.speedSum, c.cosSum, c.sinSum = 0, 0, 0
 	}
+	c.membersDirty = true
+	c.refresh()
 	return true
+}
+
+// reset returns a retired cluster to its empty state so the manager can
+// pool and reuse the struct (and its member map) for a later cluster.
+func (c *Cluster) reset() {
+	clear(c.members)
+	c.speedSum, c.cosSum, c.sinSum = 0, 0, 0
+	c.meanSpeed, c.meanHeading = 0, 0
+	c.inBucket = false
+	c.memberIDs = c.memberIDs[:0]
+	c.membersDirty = false
 }
 
 // Manager maintains the live clustering. It is not safe for concurrent
@@ -141,8 +199,38 @@ func (c *Cluster) remove(id NodeID) bool {
 type Manager struct {
 	cfg      Config
 	clusters map[ID]*Cluster
-	byNode   map[NodeID]ID
-	nextID   ID
+	// byNode maps a node straight to its cluster. Node IDs are dense, so
+	// the per-tick membership and mean-speed reads (ClusterOf, MeanSpeedOf)
+	// are slice indexes, not hashed lookups.
+	byNode dense.Map[*Cluster]
+	nextID ID
+
+	// Speed-bucketed nearest index: clusters filed by
+	// floor(meanSpeed/bucketWidth). The heading term of the distance is
+	// non-negative, so |f.Speed − meanSpeed| lower-bounds the distance and
+	// the ring scan in nearest can stop early.
+	bucketWidth float64
+	buckets     map[int][]*Cluster
+	// loBucket/hiBucket bound the occupied bucket range. They only widen
+	// (a stale bound costs empty map probes, never correctness).
+	loBucket, hiBucket int
+	hasBuckets         bool
+
+	// ordered is the cached ID-ascending view behind Clusters().
+	ordered      []*Cluster
+	orderedDirty bool
+
+	// free pools retired cluster structs for reuse, so the periodic
+	// rebuild allocates nothing in steady state.
+	free []*Cluster
+
+	// rebuildIDs is the scratch key buffer for Rebuild's deterministic
+	// node ordering.
+	rebuildIDs []NodeID
+
+	// scans counts candidate distance evaluations inside nearest; tests
+	// use it to pin the index's pruning behaviour.
+	scans uint64
 }
 
 // NewManager returns an empty clustering with the given configuration.
@@ -151,41 +239,157 @@ func NewManager(cfg Config) (*Manager, error) {
 		return nil, err
 	}
 	return &Manager{
-		cfg:      cfg,
-		clusters: make(map[ID]*Cluster),
-		byNode:   make(map[NodeID]ID),
-		nextID:   1,
+		cfg:         cfg,
+		clusters:    make(map[ID]*Cluster),
+		nextID:      1,
+		bucketWidth: cfg.Alpha,
+		buckets:     make(map[int][]*Cluster),
 	}, nil
 }
 
 // distance is the similarity difference d(MN, C) between a feature and a
-// cluster representative.
+// cluster representative. Both representative means are cached, so this is
+// O(1) regardless of cluster size.
 func (m *Manager) distance(f Feature, c *Cluster) float64 {
-	d := math.Abs(f.Speed - c.MeanSpeed())
+	d := math.Abs(f.Speed - c.meanSpeed)
 	if m.cfg.HeadingWeight > 0 {
-		d += m.cfg.HeadingWeight * geo.AngleDiff(f.Heading, c.MeanHeading())
+		d += m.cfg.HeadingWeight * geo.AngleDiff(f.Heading, c.meanHeading)
 	}
 	return d
 }
 
+// bucketOf returns the index key for a mean speed.
+func (m *Manager) bucketOf(speed float64) int {
+	return int(math.Floor(speed / m.bucketWidth))
+}
+
+// fileCluster inserts a detached cluster into the speed index.
+func (m *Manager) fileCluster(c *Cluster) {
+	b := m.bucketOf(c.meanSpeed)
+	c.bucket = b
+	c.inBucket = true
+	m.buckets[b] = append(m.buckets[b], c)
+	if !m.hasBuckets {
+		m.loBucket, m.hiBucket = b, b
+		m.hasBuckets = true
+		return
+	}
+	if b < m.loBucket {
+		m.loBucket = b
+	}
+	if b > m.hiBucket {
+		m.hiBucket = b
+	}
+}
+
+// unfileCluster removes a cluster from the speed index (order within a
+// bucket does not matter; nearest selects by (distance, ID)).
+func (m *Manager) unfileCluster(c *Cluster) {
+	if !c.inBucket {
+		return
+	}
+	bs := m.buckets[c.bucket]
+	for i, other := range bs {
+		if other == c {
+			bs[i] = bs[len(bs)-1]
+			bs[len(bs)-1] = nil
+			m.buckets[c.bucket] = bs[:len(bs)-1]
+			break
+		}
+	}
+	c.inBucket = false
+}
+
+// refileCluster moves a cluster between buckets after its representative
+// changed, if the bucket key actually moved.
+func (m *Manager) refileCluster(c *Cluster) {
+	if c.inBucket && m.bucketOf(c.meanSpeed) == c.bucket {
+		return
+	}
+	m.unfileCluster(c)
+	m.fileCluster(c)
+}
+
 // nearest returns the closest cluster and its distance, or nil when there
-// are no clusters. Ties break towards the lowest cluster ID so runs are
-// deterministic.
+// are no clusters. The winner minimises (distance, ID) — exactly the
+// cluster a full ID-ordered scan would pick, ties breaking towards the
+// lowest cluster ID so runs are deterministic — but only buckets whose
+// speed gap can still beat the current best are examined.
 func (m *Manager) nearest(f Feature) (*Cluster, float64) {
+	if len(m.clusters) == 0 {
+		return nil, math.Inf(1)
+	}
 	var best *Cluster
 	bestD := math.Inf(1)
-	ids := make([]ID, 0, len(m.clusters))
-	for id := range m.clusters {
-		ids = append(ids, id)
+	qb := m.bucketOf(f.Speed)
+	scan := func(b int) {
+		for _, c := range m.buckets[b] {
+			m.scans++
+			d := m.distance(f, c)
+			if d < bestD || (d == bestD && (best == nil || c.id < best.id)) {
+				best, bestD = c, d
+			}
+		}
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		c := m.clusters[id]
-		if d := m.distance(f, c); d < bestD {
-			best, bestD = c, d
+	scan(qb)
+	for r := 1; ; r++ {
+		lo, hi := qb-r, qb+r
+		loLive := lo >= m.loBucket
+		hiLive := hi <= m.hiBucket
+		if !loLive && !hiLive {
+			break
+		}
+		// The tightest speed gap any cluster in this ring can have. Nudged
+		// one ulp down so float rounding in the bucket keys can never
+		// prune a cluster that ties the current best.
+		ringLB := math.Inf(1)
+		if loLive {
+			ringLB = f.Speed - float64(lo+1)*m.bucketWidth
+		}
+		if hiLive {
+			if d := float64(hi)*m.bucketWidth - f.Speed; d < ringLB {
+				ringLB = d
+			}
+		}
+		if math.Nextafter(ringLB, math.Inf(-1)) > bestD {
+			break
+		}
+		if loLive {
+			scan(lo)
+		}
+		if hiLive {
+			scan(hi)
 		}
 	}
 	return best, bestD
+}
+
+// newCluster returns a fresh (or pooled) empty cluster registered under
+// the next ID. The caller files it into the speed index after the first
+// member is added.
+func (m *Manager) newCluster() *Cluster {
+	var c *Cluster
+	if n := len(m.free); n > 0 {
+		c = m.free[n-1]
+		m.free[n-1] = nil
+		m.free = m.free[:n-1]
+	} else {
+		c = &Cluster{members: make(map[NodeID]member)}
+	}
+	c.id = m.nextID
+	m.nextID++
+	m.clusters[c.id] = c
+	m.orderedDirty = true
+	return c
+}
+
+// retireCluster drops an empty cluster and pools its struct for reuse.
+func (m *Manager) retireCluster(c *Cluster) {
+	m.unfileCluster(c)
+	delete(m.clusters, c.id)
+	m.orderedDirty = true
+	c.reset()
+	m.free = append(m.free, c)
 }
 
 // Assign places (or re-places) a node according to the sequential scheme
@@ -199,35 +403,41 @@ func (m *Manager) Assign(id NodeID, f Feature) ID {
 		join = true // capped: accept the nearest even beyond α
 	}
 	if !join {
-		c = &Cluster{id: m.nextID, members: make(map[NodeID]Feature)}
-		m.nextID++
-		m.clusters[c.id] = c
+		c = m.newCluster()
+		c.add(id, f)
+		m.fileCluster(c)
+	} else {
+		c.add(id, f)
+		m.refileCluster(c)
 	}
-	c.add(id, f)
-	m.byNode[id] = c.id
+	m.byNode.Put(int(id), c)
 	return c.id
 }
 
 // Remove deletes a node from the clustering, dropping its cluster if it
 // becomes empty. It reports whether the node was present.
 func (m *Manager) Remove(id NodeID) bool {
-	cid, ok := m.byNode[id]
+	c, ok := m.byNode.Get(int(id))
 	if !ok {
 		return false
 	}
-	delete(m.byNode, id)
-	c := m.clusters[cid]
+	m.byNode.Delete(int(id))
 	c.remove(id)
 	if c.Size() == 0 {
-		delete(m.clusters, cid)
+		m.retireCluster(c)
+	} else {
+		m.refileCluster(c)
 	}
 	return true
 }
 
 // ClusterOf returns the cluster a node belongs to, or (None, false).
 func (m *Manager) ClusterOf(id NodeID) (ID, bool) {
-	cid, ok := m.byNode[id]
-	return cid, ok
+	c, ok := m.byNode.Get(int(id))
+	if !ok {
+		return None, false
+	}
+	return c.id, true
 }
 
 // Cluster returns the cluster with the given ID, or nil.
@@ -236,45 +446,53 @@ func (m *Manager) Cluster(id ID) *Cluster { return m.clusters[id] }
 // MeanSpeedOf returns the mean speed of the node's cluster, or (0, false)
 // for unclustered nodes.
 func (m *Manager) MeanSpeedOf(id NodeID) (float64, bool) {
-	cid, ok := m.byNode[id]
+	c, ok := m.byNode.Get(int(id))
 	if !ok {
 		return 0, false
 	}
-	return m.clusters[cid].MeanSpeed(), true
+	return c.meanSpeed, true
 }
 
 // Len returns the number of clusters.
 func (m *Manager) Len() int { return len(m.clusters) }
 
 // NodeCount returns the number of clustered nodes.
-func (m *Manager) NodeCount() int { return len(m.byNode) }
+func (m *Manager) NodeCount() int { return m.byNode.Len() }
 
-// Clusters returns the clusters ordered by ID.
+// Clusters returns the clusters ordered by ID. The returned slice is
+// cached, invalidated when clusters are created or dropped, and only valid
+// until the next mutation; callers that retain it must copy.
 func (m *Manager) Clusters() []*Cluster {
-	ids := make([]ID, 0, len(m.clusters))
-	for id := range m.clusters {
-		ids = append(ids, id)
+	if m.orderedDirty {
+		m.ordered = m.ordered[:0]
+		for _, c := range m.clusters {
+			m.ordered = append(m.ordered, c)
+		}
+		slices.SortFunc(m.ordered, func(a, b *Cluster) int { return cmp.Compare(a.id, b.id) })
+		m.orderedDirty = false
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	out := make([]*Cluster, len(ids))
-	for i, id := range ids {
-		out[i] = m.clusters[id]
-	}
-	return out
+	return m.ordered
 }
 
 // Rebuild discards the current clustering and re-runs the sequential pass
 // over the given features in ascending node-ID order (the ADF's periodic
-// cluster reconstruction). It returns the number of clusters formed.
+// cluster reconstruction). It returns the number of clusters formed. All
+// internal storage is reused, so steady-state rebuilds do not allocate.
 func (m *Manager) Rebuild(features map[NodeID]Feature) int {
-	m.clusters = make(map[ID]*Cluster)
-	m.byNode = make(map[NodeID]ID)
-	ids := make([]NodeID, 0, len(features))
-	for id := range features {
-		ids = append(ids, id)
+	for _, c := range m.clusters {
+		m.unfileCluster(c)
+		c.reset()
+		m.free = append(m.free, c)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
+	clear(m.clusters)
+	m.byNode.Clear()
+	m.orderedDirty = true
+	m.rebuildIDs = m.rebuildIDs[:0]
+	for id := range features {
+		m.rebuildIDs = append(m.rebuildIDs, id)
+	}
+	slices.Sort(m.rebuildIDs)
+	for _, id := range m.rebuildIDs {
 		m.Assign(id, features[id])
 	}
 	return len(m.clusters)

@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// populate fills m with k singleton clusters at well-separated speeds
+// (spacing 2α with α = 1), anchored at speed 1 so growing k only adds
+// clusters farther away from a probe near the anchor.
+func populate(tb testing.TB, m *Manager, k int) {
+	tb.Helper()
+	for i := 0; i < k; i++ {
+		m.Assign(NodeID(i), Feature{Speed: 1.0 + 2.0*float64(i)})
+	}
+	if m.Len() != k {
+		tb.Fatalf("expected %d singleton clusters, got %d", k, m.Len())
+	}
+}
+
+// TestAssignScansIndependentOfClusterCount pins the speed-bucketed
+// nearest index: the number of candidate distance evaluations one Assign
+// performs must not grow with the number of clusters. Before the index,
+// Assign scanned every cluster (O(K)); with it, only the buckets whose
+// speed gap can still beat the running best are examined.
+func TestAssignScansIndependentOfClusterCount(t *testing.T) {
+	counts := map[int]uint64{}
+	for _, k := range []int{8, 64, 512} {
+		t.Run(fmt.Sprintf("clusters=%d", k), func(t *testing.T) {
+			m, err := NewManager(Config{Alpha: 1.0})
+			if err != nil {
+				t.Fatal(err)
+			}
+			populate(t, m, k)
+
+			probe := NodeID(100000)
+			m.scans = 0
+			if id := m.Assign(probe, Feature{Speed: 1.1}); id == None {
+				t.Fatal("probe not assigned")
+			}
+			counts[k] = m.scans
+			// The probe's bucket holds one cluster and every farther ring is
+			// pruned by the speed lower bound; a handful of evaluations is the
+			// ceiling no matter how many clusters exist.
+			if m.scans > 4 {
+				t.Fatalf("Assign with %d clusters evaluated %d candidates, want <= 4", k, m.scans)
+			}
+		})
+	}
+	if counts[8] != counts[64] || counts[64] != counts[512] {
+		t.Fatalf("candidate evaluations grow with cluster count: %v", counts)
+	}
+}
+
+// BenchmarkAssign measures the steady-state cost of re-assigning one node
+// against a large standing clustering; it must not allocate.
+func BenchmarkAssign(b *testing.B) {
+	m, err := NewManager(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	populate(b, m, 100)
+	probe := NodeID(100000)
+	features := [2]Feature{
+		{Speed: 1.05, Heading: 0.1},
+		{Speed: 3.10, Heading: 0.3},
+	}
+	m.Assign(probe, features[0])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Assign(probe, features[i&1])
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"github.com/mobilegrid/adf/internal/cluster"
+	"github.com/mobilegrid/adf/internal/dense"
 	"github.com/mobilegrid/adf/internal/filter"
 	"github.com/mobilegrid/adf/internal/geo"
 )
@@ -96,11 +97,14 @@ type nodeState struct {
 // ReclusterInterval of virtual time.
 type ADF struct {
 	cfg      Config
-	nodes    map[int]*nodeState
+	nodes    dense.Map[*nodeState]
 	clusters *cluster.Manager
 	// lastRebuild is the virtual time of the last cluster reconstruction.
 	lastRebuild float64
 	started     bool
+	// featScratch is the reusable feature buffer for rebuild, so periodic
+	// reconstruction does not allocate once its capacity is established.
+	featScratch map[cluster.NodeID]cluster.Feature
 }
 
 var _ filter.Filter = (*ADF)(nil)
@@ -115,9 +119,9 @@ func New(cfg Config) (*ADF, error) {
 		return nil, err
 	}
 	return &ADF{
-		cfg:      cfg,
-		nodes:    make(map[int]*nodeState),
-		clusters: cm,
+		cfg:         cfg,
+		clusters:    cm,
+		featScratch: make(map[cluster.NodeID]cluster.Feature),
 	}, nil
 }
 
@@ -133,7 +137,7 @@ func (a *ADF) Config() Config { return a.cfg }
 // the clustering current, sizes the node's DTH from its cluster's mean
 // speed, and applies the distance filter.
 func (a *ADF) Offer(lu filter.LU) filter.Decision {
-	st, ok := a.nodes[lu.Node]
+	st, ok := a.nodes.Get(lu.Node)
 	if !ok {
 		cl, err := NewClassifier(a.cfg.Classifier)
 		if err != nil {
@@ -141,7 +145,7 @@ func (a *ADF) Offer(lu filter.LU) filter.Decision {
 			panic(fmt.Sprintf("core: classifier config invalidated: %v", err))
 		}
 		st = &nodeState{classifier: cl}
-		a.nodes[lu.Node] = st
+		a.nodes.Put(lu.Node, st)
 	}
 	st.classifier.Observe(lu.Time, lu.Pos)
 	a.maintainClustering(lu.Time, lu.Node, st)
@@ -198,14 +202,14 @@ func (a *ADF) maintainClustering(now float64, node int, st *nodeState) {
 // rebuild re-runs the sequential clustering over every non-stop node's
 // current feature (the paper's step 6).
 func (a *ADF) rebuild() {
-	features := make(map[cluster.NodeID]cluster.Feature, len(a.nodes))
-	for id, st := range a.nodes {
-		if !st.classifier.Ready() || st.pattern == PatternStop {
-			continue
+	clear(a.featScratch)
+	a.nodes.Range(func(id int, st *nodeState) bool {
+		if st.classifier.Ready() && st.pattern != PatternStop {
+			a.featScratch[cluster.NodeID(id)] = st.classifier.Feature()
 		}
-		features[cluster.NodeID(id)] = st.classifier.Feature()
-	}
-	a.clusters.Rebuild(features)
+		return true
+	})
+	a.clusters.Rebuild(a.featScratch)
 }
 
 // dthFor sizes the node's distance threshold. Until the node's window
@@ -230,13 +234,13 @@ func (a *ADF) dthFor(node int, st *nodeState) float64 {
 
 // Forget implements filter.Filter.
 func (a *ADF) Forget(node int) {
-	delete(a.nodes, node)
+	a.nodes.Delete(node)
 	a.clusters.Remove(cluster.NodeID(node))
 }
 
 // PatternOf returns the current mobility pattern of a node.
 func (a *ADF) PatternOf(node int) MobilityPattern {
-	st, ok := a.nodes[node]
+	st, ok := a.nodes.Get(node)
 	if !ok {
 		return PatternUnknown
 	}
@@ -275,4 +279,4 @@ func (a *ADF) Clusters() []ClusterStats {
 }
 
 // NodeCount returns the number of nodes the ADF is tracking.
-func (a *ADF) NodeCount() int { return len(a.nodes) }
+func (a *ADF) NodeCount() int { return a.nodes.Len() }

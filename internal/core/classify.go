@@ -6,6 +6,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/mobilegrid/adf/internal/cluster"
 	"github.com/mobilegrid/adf/internal/geo"
@@ -92,14 +93,24 @@ func (c ClassifierConfig) Validate() error {
 
 // Classifier implements the Figure-2 mobility-pattern classification for
 // one mobile node from its raw position samples.
+//
+// Observe runs once per node per sampling period, so the window is
+// maintained incrementally: each per-step speed, heading and its cos/sin
+// are computed exactly once when the step enters the window, and the fixed
+// buffers are shifted in place — a steady-state Observe performs no
+// allocations and no redundant trigonometry.
 type Classifier struct {
 	cfg ClassifierConfig
-	// Ring buffers of the most recent WindowSize samples.
+	// Sliding windows of the most recent WindowSize samples, shifted in
+	// place so the backing arrays are allocated once.
 	times  []float64
 	points []geo.Point
 	// Derived per-step motion (len = len(times)-1 when full).
 	speeds   []float64
 	headings []float64 // only steps with actual movement contribute
+	// Cached cos/sin of each heading, in heading order, so circular
+	// statistics never recompute trigonometry for steps already seen.
+	hcos, hsin []float64
 }
 
 // NewClassifier returns a classifier for one node.
@@ -117,27 +128,42 @@ func (c *Classifier) Observe(t float64, p geo.Point) {
 	if n > 0 && t <= c.times[n-1] {
 		return
 	}
-	c.times = append(c.times, t)
-	c.points = append(c.points, p)
-	if len(c.times) > c.cfg.WindowSize {
-		c.times = c.times[1:]
-		c.points = c.points[1:]
+	if n == c.cfg.WindowSize {
+		// Window full: the oldest sample leaves, and with it the oldest
+		// step (and its heading, if that step was moving).
+		if c.speeds[0] > c.cfg.StopSpeed {
+			c.headings = shiftOut(c.headings)
+			c.hcos = shiftOut(c.hcos)
+			c.hsin = shiftOut(c.hsin)
+		}
+		c.speeds = shiftOut(c.speeds)
+		copy(c.times, c.times[1:])
+		c.times[n-1] = t
+		copy(c.points, c.points[1:])
+		c.points[n-1] = p
+	} else {
+		c.times = append(c.times, t)
+		c.points = append(c.points, p)
 	}
-	c.recompute()
-}
-
-func (c *Classifier) recompute() {
-	c.speeds = c.speeds[:0]
-	c.headings = c.headings[:0]
-	for i := 1; i < len(c.times); i++ {
-		dt := c.times[i] - c.times[i-1]
-		d := c.points[i].Sub(c.points[i-1])
+	if n := len(c.times); n >= 2 {
+		// Derive the newly completed step exactly once.
+		dt := c.times[n-1] - c.times[n-2]
+		d := c.points[n-1].Sub(c.points[n-2])
 		speed := d.Len() / dt
 		c.speeds = append(c.speeds, speed)
 		if speed > c.cfg.StopSpeed {
-			c.headings = append(c.headings, d.Heading())
+			h := d.Heading()
+			c.headings = append(c.headings, h)
+			c.hcos = append(c.hcos, math.Cos(h))
+			c.hsin = append(c.hsin, math.Sin(h))
 		}
 	}
+}
+
+// shiftOut drops the first element in place, keeping the backing array.
+func shiftOut(xs []float64) []float64 {
+	copy(xs, xs[1:])
+	return xs[:len(xs)-1]
 }
 
 // Ready reports whether enough samples have arrived to classify.
@@ -152,9 +178,25 @@ func (c *Classifier) Samples() int { return len(c.times) }
 // paper's notation.
 func (c *Classifier) MeanSpeed() float64 { return geo.Mean(c.speeds) }
 
+// headingSums returns Σcos and Σsin over the window's moving-step
+// headings, from the cached per-step terms, in heading order — the same
+// values and summation order a fresh geo.CircularMean pass would use.
+func (c *Classifier) headingSums() (sx, sy float64) {
+	for _, v := range c.hcos {
+		sx += v
+	}
+	for _, v := range c.hsin {
+		sy += v
+	}
+	return sx, sy
+}
+
 // MeanHeading returns the circular mean heading over the window's moving
 // steps, D_mn in the paper's notation.
-func (c *Classifier) MeanHeading() float64 { return geo.CircularMean(c.headings) }
+func (c *Classifier) MeanHeading() float64 {
+	sx, sy := c.headingSums()
+	return geo.CircularMeanFromSums(sx, sy, len(c.headings))
+}
 
 // Feature returns the clustering feature derived from the window.
 func (c *Classifier) Feature() cluster.Feature {
@@ -181,7 +223,8 @@ func (c *Classifier) Pattern() MobilityPattern {
 		return PatternLinear
 	default:
 		speedStable := geo.StdDev(c.speeds) <= c.cfg.SpeedStability
-		headingStable := geo.CircularVariance(c.headings) <= c.cfg.HeadingStability
+		sx, sy := c.headingSums()
+		headingStable := geo.CircularVarianceFromSums(sx, sy, len(c.headings)) <= c.cfg.HeadingStability
 		if speedStable && headingStable {
 			return PatternLinear
 		}

@@ -1,0 +1,110 @@
+package dense
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	var m Map[string]
+	if _, ok := m.Get(0); ok {
+		t.Fatal("empty map reports presence")
+	}
+	m.Put(3, "c")
+	m.Put(0, "a")
+	m.Put(3, "c2")
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	if v, ok := m.Get(3); !ok || v != "c2" {
+		t.Fatalf("Get(3) = %q, %v", v, ok)
+	}
+	if !m.Delete(3) || m.Delete(3) {
+		t.Fatal("Delete semantics wrong")
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len after delete = %d, want 1", m.Len())
+	}
+}
+
+func TestSparseFallback(t *testing.T) {
+	var m Map[int]
+	for _, k := range []int{-5, maxDense, maxDense + 7, 1 << 40} {
+		m.Put(k, k*2)
+	}
+	m.Put(4, 8)
+	if m.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", m.Len())
+	}
+	for _, k := range []int{-5, 4, maxDense, maxDense + 7, 1 << 40} {
+		if v, ok := m.Get(k); !ok || v != k*2 {
+			t.Fatalf("Get(%d) = %d, %v", k, v, ok)
+		}
+	}
+	if !m.Delete(-5) {
+		t.Fatal("sparse delete failed")
+	}
+	if _, ok := m.Get(-5); ok {
+		t.Fatal("deleted sparse key still present")
+	}
+}
+
+func TestRangeOrderAndClear(t *testing.T) {
+	var m Map[int]
+	for _, k := range []int{5, 1, 3} {
+		m.Put(k, k)
+	}
+	var got []int
+	m.Range(func(k, _ int) bool { got = append(got, k); return true })
+	want := []int{1, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range visited %v, want ascending %v", got, want)
+		}
+	}
+	m.Clear()
+	if m.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", m.Len())
+	}
+	m.Range(func(int, int) bool { t.Fatal("Range on cleared map"); return false })
+}
+
+// TestMatchesMap drives Map and a builtin map with the same operation
+// sequence and checks they agree.
+func TestMatchesMap(t *testing.T) {
+	type op struct {
+		Key    int16
+		Val    int
+		Delete bool
+	}
+	f := func(ops []op) bool {
+		var m Map[int]
+		ref := map[int]int{}
+		for _, o := range ops {
+			k := int(o.Key)
+			if o.Delete {
+				if m.Delete(k) != (func() bool { _, ok := ref[k]; delete(ref, k); return ok })() {
+					return false
+				}
+			} else {
+				m.Put(k, o.Val)
+				ref[k] = o.Val
+			}
+		}
+		if m.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			if got, ok := m.Get(k); !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

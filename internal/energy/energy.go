@@ -12,6 +12,8 @@ package energy
 import (
 	"fmt"
 	"sort"
+
+	"github.com/mobilegrid/adf/internal/dense"
 )
 
 // Model is the per-node radio energy model.
@@ -72,7 +74,7 @@ func (m Model) Lifetime(lusPerSecond float64) float64 {
 // Accountant tracks per-node energy during a simulation run.
 type Accountant struct {
 	model Model
-	spent map[int]float64
+	spent dense.Map[float64]
 }
 
 // NewAccountant returns an accountant for the given model.
@@ -80,65 +82,77 @@ func NewAccountant(model Model) (*Accountant, error) {
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
-	return &Accountant{model: model, spent: make(map[int]float64)}, nil
+	return &Accountant{model: model}, nil
 }
 
 // Model returns the accountant's radio model.
 func (a *Accountant) Model() Model { return a.model }
 
+// charge adds joules to a node's tally.
+func (a *Accountant) charge(node int, joules float64) {
+	j, _ := a.spent.Get(node)
+	a.spent.Put(node, j+joules)
+}
+
 // ChargeTx records one transmitted LU for a node.
 func (a *Accountant) ChargeTx(node int) {
-	a.spent[node] += a.model.TxJoulesPerLU
+	a.charge(node, a.model.TxJoulesPerLU)
 }
 
 // ChargeIdle records connected time for a node.
 func (a *Accountant) ChargeIdle(node int, seconds float64) {
-	a.spent[node] += a.model.IdleWatts * seconds
+	a.charge(node, a.model.IdleWatts*seconds)
 }
 
 // Spent returns a node's consumed energy in joules.
-func (a *Accountant) Spent(node int) float64 { return a.spent[node] }
+func (a *Accountant) Spent(node int) float64 {
+	j, _ := a.spent.Get(node)
+	return j
+}
 
 // Total returns the fleet-wide consumed energy in joules.
 func (a *Accountant) Total() float64 {
 	var sum float64
-	for _, j := range a.spent {
+	a.spent.Range(func(_ int, j float64) bool {
 		sum += j
-	}
+		return true
+	})
 	return sum
 }
 
 // Nodes returns the tracked node IDs in ascending order.
 func (a *Accountant) Nodes() []int {
-	out := make([]int, 0, len(a.spent))
-	for n := range a.spent {
+	out := make([]int, 0, a.spent.Len())
+	a.spent.Range(func(n int, _ float64) bool {
 		out = append(out, n)
-	}
+		return true
+	})
 	sort.Ints(out)
 	return out
 }
 
 // MeanSpent returns the average consumed energy per tracked node.
 func (a *Accountant) MeanSpent() float64 {
-	if len(a.spent) == 0 {
+	if a.spent.Len() == 0 {
 		return 0
 	}
-	return a.Total() / float64(len(a.spent))
+	return a.Total() / float64(a.spent.Len())
 }
 
 // RemainingFraction returns the mean remaining battery fraction across
 // tracked nodes, clamped to [0, 1].
 func (a *Accountant) RemainingFraction() float64 {
-	if len(a.spent) == 0 {
+	if a.spent.Len() == 0 {
 		return 1
 	}
 	var sum float64
-	for _, j := range a.spent {
+	a.spent.Range(func(_ int, j float64) bool {
 		frac := 1 - j/a.model.BatteryJoules
 		if frac < 0 {
 			frac = 0
 		}
 		sum += frac
-	}
-	return sum / float64(len(a.spent))
+		return true
+	})
+	return sum / float64(a.spent.Len())
 }

@@ -13,9 +13,11 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/mobilegrid/adf/internal/broker"
 	"github.com/mobilegrid/adf/internal/campus"
+	"github.com/mobilegrid/adf/internal/dense"
 	"github.com/mobilegrid/adf/internal/filter"
 	"github.com/mobilegrid/adf/internal/gateway"
 	"github.com/mobilegrid/adf/internal/geo"
@@ -141,7 +143,7 @@ type Churn struct {
 	leaveProb  float64
 	rejoinProb float64
 	rng        *sim.RNG
-	absent     map[int]bool
+	absent     dense.Map[bool]
 }
 
 // NewChurn returns a churn model: an active node departs with leaveProb
@@ -151,7 +153,6 @@ func NewChurn(leaveProb, rejoinProb float64, rng *sim.RNG) *Churn {
 		leaveProb:  leaveProb,
 		rejoinProb: rejoinProb,
 		rng:        rng,
-		absent:     make(map[int]bool),
 	}
 }
 
@@ -160,22 +161,22 @@ func NewChurn(leaveProb, rejoinProb float64, rng *sim.RNG) *Churn {
 // (so its filter and broker state must be forgotten). A rejoining node is
 // present in the same tick it returns.
 func (c *Churn) Step(id int) (present, left bool) {
-	if c.absent[id] {
+	if away, _ := c.absent.Get(id); away {
 		if c.rng.Bool(c.rejoinProb) {
-			delete(c.absent, id)
+			c.absent.Delete(id)
 			return true, false
 		}
 		return false, false
 	}
 	if c.rng.Bool(c.leaveProb) {
-		c.absent[id] = true
+		c.absent.Put(id, true)
 		return false, true
 	}
 	return true, false
 }
 
 // AbsentCount returns the number of currently departed nodes.
-func (c *Churn) AbsentCount() int { return len(c.absent) }
+func (c *Churn) AbsentCount() int { return c.absent.Len() }
 
 // Pipeline wires one simulation's stages together. All fields except
 // Churn and Observers are required; Validate checks the wiring.
@@ -196,6 +197,22 @@ type Pipeline struct {
 	SamplePeriod float64
 	// Observers receive the pipeline's events.
 	Observers Observers
+	// MobilityWorkers > 1 shards the mobility-advance stage over that many
+	// goroutines. Every node owns a private RNG stream, so advancing nodes
+	// concurrently consumes exactly the same random numbers as advancing
+	// them in slice order: results are bit-for-bit identical at any worker
+	// count. The later stages (churn, gateway, filter, brokers) share RNG
+	// streams and observer state and always run sequentially in node order.
+	MobilityWorkers int
+
+	// samples is the reused per-tick buffer the advance stage fills.
+	samples []Sample
+	// collectors caches each node's home-region gateway, resolved once on
+	// the first tick, replacing a map lookup per node per tick.
+	collectors []gateway.Collector
+	// pool is the lazily started mobility worker pool (nil when
+	// MobilityWorkers <= 1).
+	pool *advancePool
 }
 
 // Validate reports wiring errors.
@@ -211,63 +228,151 @@ func (p *Pipeline) Validate() error {
 		return fmt.Errorf("engine: pipeline needs both broker variants")
 	case p.SamplePeriod <= 0:
 		return fmt.Errorf("engine: non-positive sample period %v", p.SamplePeriod)
+	case p.MobilityWorkers < 0:
+		return fmt.Errorf("engine: negative MobilityWorkers %d", p.MobilityWorkers)
 	}
 	return nil
 }
 
 // Run schedules the pipeline on s at every sample period (first tick at
 // one period, like the paper's 1 Hz sampling) and executes until the
-// horizon, surfacing the first stage or observer error.
+// horizon, surfacing the first stage or observer error. Any mobility
+// worker pool is released before Run returns.
 func (p *Pipeline) Run(s *sim.Simulator, horizon float64) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
+	defer p.Close()
 	if _, err := s.EveryErr(p.SamplePeriod, p.SamplePeriod, p.Tick); err != nil {
 		return err
 	}
 	return s.RunUntil(horizon)
 }
 
-// Tick processes one sampling round: every node flows through the stages
-// in slice order, then OnTick fires.
+// Close releases the mobility worker pool, if one was started. It is safe
+// to call repeatedly; a later Tick simply restarts the pool. Callers that
+// drive Tick directly with MobilityWorkers > 1 should Close when done.
+func (p *Pipeline) Close() {
+	if p.pool != nil {
+		p.pool.close()
+		p.pool = nil
+	}
+}
+
+// Tick processes one sampling round: the advance stage positions every
+// node (in parallel when MobilityWorkers > 1), then each node flows
+// through the sequential stages in slice order, then OnTick fires.
 func (p *Pipeline) Tick(now float64) error {
-	for _, n := range p.Nodes {
-		if err := p.tickNode(n, now); err != nil {
+	if p.collectors == nil {
+		if err := p.buildCollectors(); err != nil {
+			return err
+		}
+	}
+	p.stageAdvance(now)
+	for i := range p.samples {
+		if err := p.tickNode(i, p.samples[i]); err != nil {
 			return err
 		}
 	}
 	return p.Observers.OnTick(now)
 }
 
-// tickNode runs one node through the stage sequence.
-func (p *Pipeline) tickNode(n *node.Node, now float64) error {
-	s := p.stageAdvance(n, now)
+// tickNode runs one node's sample through the sequential stage chain.
+func (p *Pipeline) tickNode(i int, s Sample) error {
 	if !p.stageChurn(s) {
 		return nil
 	}
-	forwarded, connected, err := p.stageCollect(s)
-	if err != nil {
-		return err
-	}
+	forwarded, connected := p.stageCollect(i, s)
 	transmitted := false
 	if connected {
+		var err error
 		if transmitted, err = p.stageFilter(s, forwarded); err != nil {
 			return err
 		}
 	}
-	if err := p.stageBroker(s, transmitted); err != nil {
-		return err
-	}
-	return p.stageMeasure(s)
+	return p.stageDeliver(s, transmitted)
 }
 
-// stageAdvance advances the node's mobility model one sample period.
-// Movement continues even while a node is absent from the grid (people
-// keep walking after closing their laptop).
-func (p *Pipeline) stageAdvance(n *node.Node, now float64) Sample {
-	pos := n.Advance(p.SamplePeriod)
-	return Sample{Node: n.ID(), Region: n.Region(), Time: now, Pos: pos}
+// stageAdvance advances every node's mobility model one sample period and
+// records the resulting samples. Movement continues even while a node is
+// absent from the grid (people keep walking after closing their laptop).
+func (p *Pipeline) stageAdvance(now float64) {
+	if cap(p.samples) < len(p.Nodes) {
+		p.samples = make([]Sample, len(p.Nodes))
+	}
+	p.samples = p.samples[:len(p.Nodes)]
+	if p.MobilityWorkers > 1 && p.pool == nil {
+		p.pool = newAdvancePool(p.MobilityWorkers)
+	}
+	if p.pool != nil {
+		p.pool.advance(p.Nodes, p.samples, p.SamplePeriod, now)
+		return
+	}
+	advanceRange(p.Nodes, p.samples, p.SamplePeriod, now, 0, len(p.Nodes))
 }
+
+// advanceRange advances the nodes in [lo, hi) and writes their samples.
+// Each node's mobility draws only from its private RNG stream, so disjoint
+// ranges can advance concurrently with sequential-identical results.
+func advanceRange(nodes []*node.Node, samples []Sample, period, now float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		n := nodes[i]
+		pos := n.Advance(period)
+		samples[i] = Sample{Node: n.ID(), Region: n.Region(), Time: now, Pos: pos}
+	}
+}
+
+// advancePool is a persistent worker pool for the mobility-advance stage:
+// the goroutines are started once and fed contiguous node ranges through a
+// channel, so a steady-state tick dispatches with no allocation.
+type advancePool struct {
+	workers int
+	work    chan [2]int
+	wg      sync.WaitGroup
+
+	// Per-dispatch inputs, published before wg.Add/sends and read by
+	// workers only between receiving a range and wg.Done.
+	nodes   []*node.Node
+	samples []Sample
+	period  float64
+	now     float64
+}
+
+func newAdvancePool(workers int) *advancePool {
+	p := &advancePool{workers: workers, work: make(chan [2]int)}
+	for w := 0; w < workers; w++ {
+		go func() {
+			for r := range p.work {
+				advanceRange(p.nodes, p.samples, p.period, p.now, r[0], r[1])
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// advance shards [0, len(nodes)) into one contiguous range per worker and
+// blocks until every node has been advanced.
+func (p *advancePool) advance(nodes []*node.Node, samples []Sample, period, now float64) {
+	p.nodes, p.samples, p.period, p.now = nodes, samples, period, now
+	n := len(nodes)
+	shards := p.workers
+	if shards > n {
+		shards = n
+	}
+	if shards == 0 {
+		return
+	}
+	p.wg.Add(shards)
+	for s := 0; s < shards; s++ {
+		lo := s * n / shards
+		hi := (s + 1) * n / shards
+		p.work <- [2]int{lo, hi}
+	}
+	p.wg.Wait()
+}
+
+func (p *advancePool) close() { close(p.work) }
 
 // stageChurn applies leave/rejoin and reports whether the node takes part
 // in this tick. A departing node is forgotten by the filter and both
@@ -285,10 +390,25 @@ func (p *Pipeline) stageChurn(s Sample) bool {
 	return present
 }
 
+// buildCollectors resolves each node's home-region gateway once, so the
+// per-tick collect stage indexes a slice instead of hashing a region key.
+func (p *Pipeline) buildCollectors() error {
+	cs := make([]gateway.Collector, len(p.Nodes))
+	for i, n := range p.Nodes {
+		g, err := p.Net.Gateway(n.Region().ID)
+		if err != nil {
+			return err
+		}
+		cs[i] = g
+	}
+	p.collectors = cs
+	return nil
+}
+
 // stageCollect passes the sample through its region's gateway; connected
 // is false when the wireless hop dropped it.
-func (p *Pipeline) stageCollect(s Sample) (filter.LU, bool, error) {
-	return p.Net.Collect(s.Region.ID, filter.LU{Node: s.Node, Time: s.Time, Pos: s.Pos})
+func (p *Pipeline) stageCollect(i int, s Sample) (filter.LU, bool) {
+	return p.collectors[i].Collect(filter.LU{Node: s.Node, Time: s.Time, Pos: s.Pos})
 }
 
 // stageFilter notifies OnOffered and offers the forwarded LU to the
@@ -300,33 +420,24 @@ func (p *Pipeline) stageFilter(s Sample, forwarded filter.LU) (bool, error) {
 	return p.Filter.Offer(forwarded).Transmit, nil
 }
 
-// stageBroker delivers a transmitted LU to both brokers, or refreshes
-// their beliefs on a miss. The broker cannot tell a filtered LU from a
-// dropped one; either way it refreshes its belief. Nodes that have never
-// reported are skipped (no DB entry yet).
-func (p *Pipeline) stageBroker(s Sample, transmitted bool) error {
+// stageDeliver is the broker-delivery and error-measurement stage: each
+// broker variant takes the tick's outcome through one Step call — a
+// transmitted LU is stored, a filtered or dropped one refreshes the
+// belief — and the believed-vs-true distance is measured for nodes the
+// broker knows about. The broker cannot tell a filtered LU from a dropped
+// one; either way it refreshes its belief.
+func (p *Pipeline) stageDeliver(s Sample, transmitted bool) error {
 	if transmitted {
 		if err := p.Observers.OnTransmitted(s); err != nil {
 			return err
 		}
-		p.NoLE.ReceiveLU(s.Node, s.Time, s.Pos)
-		p.WithLE.ReceiveLU(s.Node, s.Time, s.Pos)
-		return nil
 	}
-	_, _ = p.NoLE.MissLU(s.Node, s.Time)
-	_, _ = p.WithLE.MissLU(s.Node, s.Time)
-	return nil
-}
-
-// stageMeasure measures the believed-vs-true location error at both
-// broker variants for nodes the brokers know about.
-func (p *Pipeline) stageMeasure(s Sample) error {
-	if e, ok := p.NoLE.Location(s.Node); ok {
+	if e, ok := p.NoLE.Step(s.Node, s.Time, s.Pos, transmitted); ok {
 		if err := p.Observers.OnError(s, NoLE, e.Pos.Dist(s.Pos)); err != nil {
 			return err
 		}
 	}
-	if e, ok := p.WithLE.Location(s.Node); ok {
+	if e, ok := p.WithLE.Step(s.Node, s.Time, s.Pos, transmitted); ok {
 		if err := p.Observers.OnError(s, WithLE, e.Pos.Dist(s.Pos)); err != nil {
 			return err
 		}

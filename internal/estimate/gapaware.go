@@ -39,9 +39,13 @@ type GapAwareLE struct {
 	tracker  motionTracker
 	nSamples int
 
-	// recent holds the last few observed headings; their mean resultant
-	// length gauges how trustworthy directional extrapolation is.
-	recent []float64
+	// recent is a fixed ring of the last few observed headings; their mean
+	// resultant length gauges how trustworthy directional extrapolation is.
+	// A ring (rather than an append/reslice window) keeps Observe
+	// allocation-free on the simulator's hot path.
+	recent  [headingWindow]float64
+	recentN int // headings stored, saturating at headingWindow
+	recentI int // next ring write index
 
 	// Exponentially weighted sums of the (gap, net) regression.
 	sw, sx, sy, sxx, sxy float64
@@ -119,9 +123,10 @@ func (e *GapAwareLE) Observe(t float64, p geo.Point) {
 	// Heading on the unit circle.
 	e.dirCos.Observe(math.Cos(heading))
 	e.dirSin.Observe(math.Sin(heading))
-	e.recent = append(e.recent, heading)
-	if len(e.recent) > headingWindow {
-		e.recent = e.recent[1:]
+	e.recent[e.recentI] = heading
+	e.recentI = (e.recentI + 1) % headingWindow
+	if e.recentN < headingWindow {
+		e.recentN++
 	}
 
 	// Drift regression update.
@@ -176,8 +181,8 @@ func (e *GapAwareLE) Predict(t float64) geo.Point {
 // rejected — it sacrifices more mid-leg accuracy than it saves at
 // reversals (see EXPERIMENTS.md).
 func (e *GapAwareLE) Confidence() float64 {
-	if len(e.recent) == 0 {
+	if e.recentN == 0 {
 		return 0
 	}
-	return 1 - geo.CircularVariance(e.recent)
+	return 1 - geo.CircularVariance(e.recent[:e.recentN])
 }

@@ -94,10 +94,12 @@ func (c Config) RunUncached() (*Results, error) {
 }
 
 // fingerprint canonicalises every result-affecting field of the config.
-// Workers is excluded: it changes the execution schedule, never the
-// results, so sequential and parallel campaigns share one cache entry.
+// Workers and MobilityWorkers are excluded: they change the execution
+// schedule, never the results, so sequential and parallel campaigns share
+// one cache entry.
 func (c Config) fingerprint() (string, error) {
 	c.Workers = 0
+	c.MobilityWorkers = 0
 	b, err := json.Marshal(c)
 	if err != nil {
 		return "", err

@@ -69,6 +69,11 @@ type Config struct {
 	// 1 forces sequential execution. It never changes results — each run
 	// owns private random streams — only the execution schedule.
 	Workers int
+	// MobilityWorkers > 1 shards each simulation's mobility-advance stage
+	// over that many goroutines (engine.Pipeline.MobilityWorkers). Every
+	// node draws from a private RNG stream, so results are bit-for-bit
+	// identical at any worker count; only the execution schedule changes.
+	MobilityWorkers int
 }
 
 // ChurnConfig parameterises node departure and return.
@@ -196,6 +201,9 @@ func (c Config) Validate() error {
 	if c.Workers < 0 {
 		return fmt.Errorf("experiment: negative Workers %d", c.Workers)
 	}
+	if c.MobilityWorkers < 0 {
+		return fmt.Errorf("experiment: negative MobilityWorkers %d", c.MobilityWorkers)
+	}
 	adf := c.ADF
 	adf.DTHFactor = 1 // factor is overridden per run; validate the rest
 	adf.SamplePeriod = c.SamplePeriod
@@ -317,12 +325,38 @@ func PopulationMeanSpeed(specs []campus.NodeSpec) float64 {
 // inputs, are directly comparable, and can execute concurrently with
 // other runs without changing results.
 func (c Config) runFilter(mk filterFactory) (*Run, error) {
-	if err := c.Validate(); err != nil {
+	pipeline, run, f, err := c.buildRun(mk)
+	if err != nil {
 		return nil, err
+	}
+
+	simulations.Add(1)
+	if err := pipeline.Run(sim.New(), c.Duration); err != nil {
+		return nil, err
+	}
+
+	if adf, ok := f.(*core.ADF); ok {
+		run.FinalClusters = adf.ClusterCount()
+	}
+	// Pre-sort the quantile summaries so a memoized Run shared across
+	// callers can be read concurrently without further mutation.
+	_ = run.ErrNoLE.Max()
+	_ = run.ErrWithLE.Max()
+	return run, nil
+}
+
+// buildRun wires one simulation: the filter under test, the campus
+// population, gateways, brokers, metric sinks and the staged pipeline.
+// Callers that need tick-level control (benchmarks, allocation tests)
+// drive the returned pipeline directly; runFilter executes it to the
+// horizon.
+func (c Config) buildRun(mk filterFactory) (*engine.Pipeline, *Run, filter.Filter, error) {
+	if err := c.Validate(); err != nil {
+		return nil, nil, nil, err
 	}
 	f, name, factor, err := mk()
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 
 	world := campus.New()
@@ -334,7 +368,7 @@ func (c Config) runFilter(mk filterFactory) (*Run, error) {
 	streams := sim.NewStreams(c.Seed)
 	nodes, err := node.Population(specs, world, streams)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	var net *gateway.Network
 	if c.Burst != nil {
@@ -343,12 +377,12 @@ func (c Config) runFilter(mk filterFactory) (*Run, error) {
 		net, err = gateway.NewNetwork(world, c.DropProb, streams)
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 
 	leFactory, err := c.estimatorFactory(c.Estimator)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	noLE := broker.New(nil)
 	withLE := broker.New(leFactory)
@@ -375,41 +409,40 @@ func (c Config) runFilter(mk filterFactory) (*Run, error) {
 	}
 	run.Energy, err = energy.NewAccountant(energy.DefaultModel())
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
+
+	// The horizon and population are known up front: pre-size every series
+	// and summary so the tick loop records without growth allocations.
+	seconds := int(c.Duration) + 1
+	ticks := int(c.Duration / c.SamplePeriod)
+	run.LUPerSecond.Reserve(seconds)
+	run.OfferedPerSecond.Reserve(seconds)
+	run.RMSENoLE.Reserve(seconds)
+	run.RMSEWithLE.Reserve(seconds)
+	run.ErrNoLE.Reserve(ticks * len(nodes))
+	run.ErrWithLE.Reserve(ticks * len(nodes))
 
 	var churn *engine.Churn
 	if c.Churn != nil {
 		churn = engine.NewChurn(c.Churn.LeaveProb, c.Churn.RejoinProb, streams.Stream("churn"))
 	}
 	pipeline := &engine.Pipeline{
-		Nodes:        nodes,
-		Net:          net,
-		Filter:       f,
-		NoLE:         noLE,
-		WithLE:       withLE,
-		Churn:        churn,
-		SamplePeriod: c.SamplePeriod,
+		Nodes:           nodes,
+		Net:             net,
+		Filter:          f,
+		NoLE:            noLE,
+		WithLE:          withLE,
+		Churn:           churn,
+		SamplePeriod:    c.SamplePeriod,
+		MobilityWorkers: c.MobilityWorkers,
 		Observers: engine.Observers{
-			trafficObserver{run: run},
+			&trafficObserver{run: run},
 			energyObserver{acc: run.Energy, period: c.SamplePeriod},
-			errorObserver{run: run},
+			newErrorObserver(run),
 		},
 	}
-
-	simulations.Add(1)
-	if err := pipeline.Run(sim.New(), c.Duration); err != nil {
-		return nil, err
-	}
-
-	if adf, ok := f.(*core.ADF); ok {
-		run.FinalClusters = adf.ClusterCount()
-	}
-	// Pre-sort the quantile summaries so a memoized Run shared across
-	// callers can be read concurrently without further mutation.
-	_ = run.ErrNoLE.Max()
-	_ = run.ErrWithLE.Max()
-	return run, nil
+	return pipeline, run, f, nil
 }
 
 // Results bundles the paired runs every figure draws from: the ideal

@@ -1,0 +1,57 @@
+package experiment
+
+import (
+	"runtime"
+	"time"
+
+	"github.com/mobilegrid/adf/internal/campus"
+)
+
+// HotpathStats is one scale point of the hot-path benchmark: end-to-end
+// wall-clock throughput and allocation rate of a full simulation.
+type HotpathStats struct {
+	Nodes         int     `json:"nodes"`
+	Ticks         int     `json:"ticks"`
+	ElapsedMS     float64 `json:"elapsed_ms"`
+	NsPerTick     float64 `json:"ns_per_tick"`
+	TicksPerSec   float64 `json:"ticks_per_sec"`
+	AllocsPerTick float64 `json:"allocs_per_tick"`
+	TotalLU       float64 `json:"total_lu"`
+}
+
+// MeasureHotpath executes one ADF run (DTH factor 1.0) under c and
+// reports its end-to-end throughput: virtual ticks per wall-clock
+// second, nanoseconds per tick and heap allocations per tick
+// (runtime.MemStats.Mallocs delta across the run). The protocol matches
+// the pre-optimization baselines recorded in BENCH_hotpath.json: the
+// whole simulation is timed, setup and summary sorting included.
+func (c Config) MeasureHotpath() (HotpathStats, error) {
+	world := campus.New()
+	perGroup := c.PerGroup
+	if perGroup == 0 {
+		perGroup = campus.PerGroup
+	}
+	nodes := len(campus.PopulationN(world, perGroup))
+	ticks := int(c.Duration / c.SamplePeriod)
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	run, err := c.runFilter(c.adfFactory(1.0))
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return HotpathStats{}, err
+	}
+
+	return HotpathStats{
+		Nodes:         nodes,
+		Ticks:         ticks,
+		ElapsedMS:     float64(elapsed.Nanoseconds()) / 1e6,
+		NsPerTick:     float64(elapsed.Nanoseconds()) / float64(ticks),
+		TicksPerSec:   float64(ticks) / elapsed.Seconds(),
+		AllocsPerTick: float64(after.Mallocs-before.Mallocs) / float64(ticks),
+		TotalLU:       run.TotalLUs(),
+	}, nil
+}

@@ -1,0 +1,127 @@
+package experiment
+
+import (
+	"slices"
+	"testing"
+)
+
+// TestZeroAllocTick proves the per-tick pipeline reaches a zero-allocation
+// steady state: after warming past the classifier window, the estimator
+// creation for every node and several 10-second cluster rebuilds, driving
+// further ticks allocates nothing. The large Duration only sizes the
+// reserved metric series; the test drives the pipeline tick by tick.
+func TestZeroAllocTick(t *testing.T) {
+	c := DefaultConfig()
+	c.Duration = 4000
+	pipeline, _, _, err := c.buildRun(c.adfFactory(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pipeline.Close()
+
+	now := 0.0
+	tick := func() {
+		now += c.SamplePeriod
+		if err := pipeline.Tick(now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 600; i++ {
+		tick()
+	}
+	if allocs := testing.AllocsPerRun(200, tick); allocs != 0 {
+		t.Fatalf("steady-state tick allocates: %v allocs/tick, want 0", allocs)
+	}
+}
+
+// TestMobilityWorkersDeterminism proves the parallel mobility-advance
+// stage is bit-for-bit identical to sequential execution: every metric a
+// run produces — traffic series, RMSE curves, energy — matches exactly
+// between MobilityWorkers=1 and MobilityWorkers=8 across seeds. Each node
+// draws movement from a private RNG stream, so advancement order cannot
+// change the numbers.
+func TestMobilityWorkersDeterminism(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		c := DefaultConfig()
+		c.Seed = seed
+		c.Duration = 150
+
+		seq := c
+		seq.MobilityWorkers = 1
+		par := c
+		par.MobilityWorkers = 8
+
+		a, err := seq.runFilter(seq.adfFactory(1.0))
+		if err != nil {
+			t.Fatalf("seed %d sequential: %v", seed, err)
+		}
+		b, err := par.runFilter(par.adfFactory(1.0))
+		if err != nil {
+			t.Fatalf("seed %d parallel: %v", seed, err)
+		}
+
+		if !slices.Equal(a.LUPerSecond.Series(), b.LUPerSecond.Series()) {
+			t.Errorf("seed %d: LU series differ between 1 and 8 mobility workers", seed)
+		}
+		if !slices.Equal(a.OfferedPerSecond.Series(), b.OfferedPerSecond.Series()) {
+			t.Errorf("seed %d: offered series differ", seed)
+		}
+		if !slices.Equal(a.RMSENoLE.Series(), b.RMSENoLE.Series()) {
+			t.Errorf("seed %d: no-LE RMSE series differ", seed)
+		}
+		if !slices.Equal(a.RMSEWithLE.Series(), b.RMSEWithLE.Series()) {
+			t.Errorf("seed %d: with-LE RMSE series differ", seed)
+		}
+		if at, bt := a.Energy.Total(), b.Energy.Total(); at != bt {
+			t.Errorf("seed %d: energy totals differ: %v vs %v", seed, at, bt)
+		}
+		if af, bf := a.FinalClusters, b.FinalClusters; af != bf {
+			t.Errorf("seed %d: final cluster counts differ: %d vs %d", seed, af, bf)
+		}
+	}
+}
+
+// benchmarkTick measures the steady-state cost of one pipeline tick at a
+// given population scale, allocation-counted.
+func benchmarkTick(b *testing.B, perGroup int) {
+	c := DefaultConfig()
+	c.PerGroup = perGroup
+	const warmup = 200
+	c.Duration = float64(b.N + warmup + 1)
+	pipeline, _, _, err := c.buildRun(c.adfFactory(1.0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pipeline.Close()
+	now := 0.0
+	for i := 0; i < warmup; i++ {
+		now += c.SamplePeriod
+		if err := pipeline.Tick(now); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += c.SamplePeriod
+		if err := pipeline.Tick(now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTick140MN(b *testing.B)  { benchmarkTick(b, 5) }
+func BenchmarkTick1008MN(b *testing.B) { benchmarkTick(b, 36) }
+
+// BenchmarkFullRun1800s140MN times the paper's full 1800-second run at the
+// Table-1 population, setup and summary sorting included — the end-to-end
+// number the campaign layer pays per simulation.
+func BenchmarkFullRun1800s140MN(b *testing.B) {
+	c := DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.runFilter(c.adfFactory(1.0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

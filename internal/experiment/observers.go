@@ -1,8 +1,10 @@
 package experiment
 
 import (
+	"github.com/mobilegrid/adf/internal/campus"
 	"github.com/mobilegrid/adf/internal/energy"
 	"github.com/mobilegrid/adf/internal/engine"
+	"github.com/mobilegrid/adf/internal/estimate"
 )
 
 // The experiment's metric sinks are engine.Observers plugged into the
@@ -10,23 +12,44 @@ import (
 // error accumulation each live in their own sink instead of being inlined
 // in the tick loop, so new workloads can add sinks without touching the
 // stages.
+//
+// The sinks run once or twice per node per tick, so they avoid hashed
+// lookups on the hot path: the traffic observer memoizes the per-region
+// counters of the region it last saw (node order groups same-region nodes
+// together), and the error observer resolves the per-region-kind
+// accumulators through a small array indexed by campus.RegionKind.
 
 // trafficObserver tallies offered and transmitted LUs into the Run's
 // per-second series and per-region tallies.
 type trafficObserver struct {
 	engine.BaseObserver
 	run *Run
+
+	// Memoized counters of the most recently seen region.
+	memoRegion  *campus.Region
+	memoOffered *float64
+	memoSent    *float64
 }
 
-func (o trafficObserver) OnOffered(s engine.Sample) error {
+func (o *trafficObserver) memo(r *campus.Region) {
+	if o.memoRegion != r {
+		o.memoRegion = r
+		o.memoOffered = o.run.OfferedByRegion.Counter(string(r.ID))
+		o.memoSent = o.run.SentByRegion.Counter(string(r.ID))
+	}
+}
+
+func (o *trafficObserver) OnOffered(s engine.Sample) error {
 	o.run.OfferedPerSecond.Incr(s.Time)
-	o.run.OfferedByRegion.Add(string(s.Region.ID), 1)
+	o.memo(s.Region)
+	*o.memoOffered++
 	return nil
 }
 
-func (o trafficObserver) OnTransmitted(s engine.Sample) error {
+func (o *trafficObserver) OnTransmitted(s engine.Sample) error {
 	o.run.LUPerSecond.Incr(s.Time)
-	o.run.SentByRegion.Add(string(s.Region.ID), 1)
+	o.memo(s.Region)
+	*o.memoSent++
 	return nil
 }
 
@@ -53,18 +76,31 @@ func (o energyObserver) OnTransmitted(s engine.Sample) error {
 type errorObserver struct {
 	engine.BaseObserver
 	run *Run
+	// Per-kind accumulators indexed by campus.RegionKind (Road=1,
+	// Building=2), resolved once at construction.
+	noLEByKind   [3]*estimate.RMSEAccumulator
+	withLEByKind [3]*estimate.RMSEAccumulator
 }
 
-func (o errorObserver) OnError(s engine.Sample, v engine.Variant, d float64) error {
-	kind := s.Region.Kind.String()
+// newErrorObserver wires the observer to run's accumulators.
+func newErrorObserver(run *Run) *errorObserver {
+	o := &errorObserver{run: run}
+	for _, k := range []campus.RegionKind{campus.Road, campus.Building} {
+		o.noLEByKind[k] = run.RMSENoLEByKind[k.String()]
+		o.withLEByKind[k] = run.RMSEWithLEByKind[k.String()]
+	}
+	return o
+}
+
+func (o *errorObserver) OnError(s engine.Sample, v engine.Variant, d float64) error {
 	switch v {
 	case engine.NoLE:
 		o.run.RMSENoLE.Add(s.Time, d)
-		o.run.RMSENoLEByKind[kind].AddError(d)
+		o.noLEByKind[s.Region.Kind].AddError(d)
 		o.run.ErrNoLE.Add(d)
 	case engine.WithLE:
 		o.run.RMSEWithLE.Add(s.Time, d)
-		o.run.RMSEWithLEByKind[kind].AddError(d)
+		o.withLEByKind[s.Region.Kind].AddError(d)
 		o.run.ErrWithLE.Add(d)
 	}
 	return nil

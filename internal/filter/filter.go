@@ -8,6 +8,7 @@ package filter
 import (
 	"fmt"
 
+	"github.com/mobilegrid/adf/internal/dense"
 	"github.com/mobilegrid/adf/internal/geo"
 )
 
@@ -47,14 +48,14 @@ type Filter interface {
 // IdealLU is the unfiltered baseline: every offered LU is transmitted.
 // The paper calls the resulting stream "the ideal LU".
 type IdealLU struct {
-	lastSent map[int]geo.Point
+	lastSent dense.Map[geo.Point]
 }
 
 var _ Filter = (*IdealLU)(nil)
 
 // NewIdealLU returns the pass-through baseline filter.
 func NewIdealLU() *IdealLU {
-	return &IdealLU{lastSent: make(map[int]geo.Point)}
+	return &IdealLU{}
 }
 
 // Name implements Filter.
@@ -63,15 +64,15 @@ func (f *IdealLU) Name() string { return "ideal" }
 // Offer implements Filter.
 func (f *IdealLU) Offer(lu LU) Decision {
 	var dist float64
-	if prev, ok := f.lastSent[lu.Node]; ok {
+	if prev, ok := f.lastSent.Get(lu.Node); ok {
 		dist = lu.Pos.Dist(prev)
 	}
-	f.lastSent[lu.Node] = lu.Pos
+	f.lastSent.Put(lu.Node, lu.Pos)
 	return Decision{Transmit: true, Distance: dist}
 }
 
 // Forget implements Filter.
-func (f *IdealLU) Forget(node int) { delete(f.lastSent, node) }
+func (f *IdealLU) Forget(node int) { f.lastSent.Delete(node) }
 
 // Semantics selects what "the MN's moving distance" is compared against
 // the DTH.
@@ -122,7 +123,7 @@ type GeneralDF struct {
 	semantics Semantics
 	// anchor is the reference point per node: the last transmitted
 	// location (Anchored) or the previous sample (PerStep).
-	anchor map[int]geo.Point
+	anchor dense.Map[geo.Point]
 }
 
 var _ Filter = (*GeneralDF)(nil)
@@ -142,7 +143,7 @@ func NewGeneralDFWithSemantics(dth float64, semantics Semantics) (*GeneralDF, er
 	if err := semantics.Validate(); err != nil {
 		return nil, err
 	}
-	return &GeneralDF{dth: dth, semantics: semantics, anchor: make(map[int]geo.Point)}, nil
+	return &GeneralDF{dth: dth, semantics: semantics}, nil
 }
 
 // Name implements Filter.
@@ -156,18 +157,18 @@ func (f *GeneralDF) Semantics() Semantics { return f.semantics }
 
 // Offer implements Filter.
 func (f *GeneralDF) Offer(lu LU) Decision {
-	prev, seen := f.anchor[lu.Node]
+	prev, seen := f.anchor.Get(lu.Node)
 	if !seen {
-		f.anchor[lu.Node] = lu.Pos
+		f.anchor.Put(lu.Node, lu.Pos)
 		return Decision{Transmit: true, Threshold: f.dth}
 	}
 	dist := lu.Pos.Dist(prev)
 	transmit := dist >= f.dth
 	if transmit || f.semantics == PerStep {
-		f.anchor[lu.Node] = lu.Pos
+		f.anchor.Put(lu.Node, lu.Pos)
 	}
 	return Decision{Transmit: transmit, Distance: dist, Threshold: f.dth}
 }
 
 // Forget implements Filter.
-func (f *GeneralDF) Forget(node int) { delete(f.anchor, node) }
+func (f *GeneralDF) Forget(node int) { f.anchor.Delete(node) }

@@ -6,13 +6,21 @@ import "math"
 // standard vector-sum definition, normalised to [0, 2π). The mean of an
 // empty set is 0.
 func CircularMean(angles []float64) float64 {
-	if len(angles) == 0 {
-		return 0
-	}
 	var sx, sy float64
 	for _, a := range angles {
 		sx += math.Cos(a)
 		sy += math.Sin(a)
+	}
+	return CircularMeanFromSums(sx, sy, len(angles))
+}
+
+// CircularMeanFromSums returns the circular mean for precomputed Σcos and
+// Σsin over n angles, for hot paths that cache the per-angle trigonometric
+// terms. It matches CircularMean bit for bit given sums accumulated in the
+// same order.
+func CircularMeanFromSums(sx, sy float64, n int) float64 {
+	if n == 0 {
+		return 0
 	}
 	if sx == 0 && sy == 0 {
 		return 0
@@ -25,15 +33,22 @@ func CircularMean(angles []float64) float64 {
 // all angles are identical, 1 means the angles cancel out completely.
 // The variance of an empty set is 0.
 func CircularVariance(angles []float64) float64 {
-	if len(angles) == 0 {
-		return 0
-	}
 	var sx, sy float64
 	for _, a := range angles {
 		sx += math.Cos(a)
 		sy += math.Sin(a)
 	}
-	r := math.Hypot(sx, sy) / float64(len(angles))
+	return CircularVarianceFromSums(sx, sy, len(angles))
+}
+
+// CircularVarianceFromSums returns the circular variance for precomputed
+// Σcos and Σsin over n angles. It matches CircularVariance bit for bit
+// given sums accumulated in the same order.
+func CircularVarianceFromSums(sx, sy float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	r := math.Hypot(sx, sy) / float64(n)
 	v := 1 - r
 	// Guard against negative zero and tiny negative rounding artefacts.
 	if v < 0 {

@@ -24,6 +24,16 @@ func (s *CountSeries) grow(bucket int) {
 	}
 }
 
+// Reserve pre-allocates capacity for seconds one-second buckets, so a run
+// of known horizon records without growth allocations.
+func (s *CountSeries) Reserve(seconds int) {
+	if seconds > cap(s.counts) {
+		counts := make([]float64, len(s.counts), seconds)
+		copy(counts, s.counts)
+		s.counts = counts
+	}
+}
+
 // Add records n events at virtual time t (t >= 0).
 func (s *CountSeries) Add(t float64, n float64) {
 	if t < 0 || math.IsNaN(t) {
@@ -103,6 +113,19 @@ type RMSESeries struct {
 	n     []int
 }
 
+// Reserve pre-allocates capacity for seconds one-second buckets, so a run
+// of known horizon records without growth allocations.
+func (s *RMSESeries) Reserve(seconds int) {
+	if seconds > cap(s.sumSq) {
+		sumSq := make([]float64, len(s.sumSq), seconds)
+		copy(sumSq, s.sumSq)
+		s.sumSq = sumSq
+		n := make([]int, len(s.n), seconds)
+		copy(n, s.n)
+		s.n = n
+	}
+}
+
 // Add records one scalar error distance at time t.
 func (s *RMSESeries) Add(t float64, err float64) {
 	if t < 0 || math.IsNaN(t) || math.IsNaN(err) {
@@ -146,21 +169,40 @@ func (s *RMSESeries) Overall() float64 {
 func (s *RMSESeries) Len() int { return len(s.sumSq) }
 
 // GroupTally counts events per string key (e.g. per region or per region
-// kind). The zero value is not ready; construct with NewGroupTally.
+// kind). Counts are stored behind stable pointers so hot paths can resolve
+// a key once with Counter and increment without re-hashing. The zero value
+// is not ready; construct with NewGroupTally.
 type GroupTally struct {
-	counts map[string]float64
+	counts map[string]*float64
 }
 
 // NewGroupTally returns an empty tally.
 func NewGroupTally() *GroupTally {
-	return &GroupTally{counts: make(map[string]float64)}
+	return &GroupTally{counts: make(map[string]*float64)}
+}
+
+// Counter returns a pointer to a key's count, inserting a zero entry if
+// absent. The pointer stays valid for the tally's lifetime; incrementing
+// through it is equivalent to Add.
+func (g *GroupTally) Counter(key string) *float64 {
+	c, ok := g.counts[key]
+	if !ok {
+		c = new(float64)
+		g.counts[key] = c
+	}
+	return c
 }
 
 // Add adds n to a key's count.
-func (g *GroupTally) Add(key string, n float64) { g.counts[key] += n }
+func (g *GroupTally) Add(key string, n float64) { *g.Counter(key) += n }
 
 // Get returns a key's count.
-func (g *GroupTally) Get(key string) float64 { return g.counts[key] }
+func (g *GroupTally) Get(key string) float64 {
+	if c, ok := g.counts[key]; ok {
+		return *c
+	}
+	return 0
+}
 
 // Keys returns the keys in sorted order.
 func (g *GroupTally) Keys() []string {
@@ -176,7 +218,7 @@ func (g *GroupTally) Keys() []string {
 func (g *GroupTally) Total() float64 {
 	var sum float64
 	for _, v := range g.counts {
-		sum += v
+		sum += *v
 	}
 	return sum
 }
@@ -287,6 +329,16 @@ func (t *Table) String() string {
 type Summary struct {
 	samples []float64
 	sorted  bool
+}
+
+// Reserve pre-allocates capacity for n samples, so a run with a known
+// sample budget records without growth allocations.
+func (s *Summary) Reserve(n int) {
+	if n > cap(s.samples) {
+		samples := make([]float64, len(s.samples), n)
+		copy(samples, s.samples)
+		s.samples = samples
+	}
 }
 
 // Add records one sample; NaNs are ignored.

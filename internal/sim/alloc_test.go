@@ -1,0 +1,58 @@
+package sim
+
+import "testing"
+
+// TestSteadyStateScheduleAllocs proves the event freelist works: once the
+// first tick's event struct exists, a periodic handler reposting itself
+// (the engine's per-tick scheduling pattern) recycles it forever and the
+// event loop runs without allocating.
+func TestSteadyStateScheduleAllocs(t *testing.T) {
+	s := New()
+	ticks := 0
+	if _, err := s.Every(1, 1, func(float64) { ticks++ }); err != nil {
+		t.Fatal(err)
+	}
+	// Warm up: first events allocate, then the freelist takes over.
+	horizon := 100.0
+	if err := s.RunUntil(horizon); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		horizon += 10
+		if err := s.RunUntil(horizon); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state periodic scheduling allocates: %v allocs per 10 ticks", allocs)
+	}
+	if ticks < 1000 {
+		t.Fatalf("expected >= 1000 ticks, got %d", ticks)
+	}
+}
+
+// TestScheduleCancelRecycles proves cancelled events return their storage
+// to the freelist: a schedule/cancel cycle in steady state is allocation
+// free.
+func TestScheduleCancelRecycles(t *testing.T) {
+	s := New()
+	h := func(float64) {}
+	// Warm up one event struct.
+	e, err := s.Schedule(1, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Cancel(e)
+	allocs := testing.AllocsPerRun(100, func() {
+		e, err := s.Schedule(1, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s.Cancel(e) {
+			t.Fatal("cancel failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule/cancel cycle allocates: %v allocs", allocs)
+	}
+}

@@ -32,6 +32,9 @@ type event struct {
 	handler Handler
 	index   int // heap bookkeeping
 	dead    bool
+	// gen is bumped every time the event struct is recycled through the
+	// freelist, so a stale Event handle can never cancel the wrong event.
+	gen uint64
 }
 
 type eventQueue []*event
@@ -79,6 +82,9 @@ type Simulator struct {
 	firstErr error
 	// processed counts handlers that have run, for diagnostics and tests.
 	processed uint64
+	// free recycles executed and cancelled event structs, so steady-state
+	// scheduling (e.g. Every reposting the next tick) allocates nothing.
+	free []*event
 }
 
 // New returns a simulator with the clock at zero and an empty event queue.
@@ -95,8 +101,37 @@ func (s *Simulator) Processed() uint64 { return s.processed }
 // Pending returns the number of events waiting in the queue.
 func (s *Simulator) Pending() int { return len(s.queue) }
 
-// Event is an opaque handle to a scheduled event, usable with Cancel.
-type Event struct{ ev *event }
+// Event is an opaque handle to a scheduled event, usable with Cancel. The
+// handle stays valid after the event runs or is cancelled: Cancel then
+// simply reports false, even though the underlying storage may already be
+// serving a newer event.
+type Event struct {
+	ev  *event
+	gen uint64
+}
+
+// newEvent takes an event struct from the freelist, or allocates one.
+func (s *Simulator) newEvent(t float64, h Handler) *event {
+	var ev *event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free = s.free[:n-1]
+		ev.time, ev.handler, ev.dead = t, h, false
+	} else {
+		ev = &event{time: t, handler: h}
+	}
+	ev.seq = s.seq
+	s.seq++
+	return ev
+}
+
+// recycle returns an event struct to the freelist, invalidating any
+// outstanding handles to it.
+func (s *Simulator) recycle(ev *event) {
+	ev.gen++
+	ev.handler = nil
+	s.free = append(s.free, ev)
+}
 
 // Schedule enqueues h to run at absolute virtual time t. It returns an
 // error if t is earlier than Now.
@@ -107,10 +142,9 @@ func (s *Simulator) Schedule(t float64, h Handler) (Event, error) {
 	if t < s.now {
 		return Event{}, fmt.Errorf("%w: at %v, now %v", ErrPastEvent, t, s.now)
 	}
-	ev := &event{time: t, seq: s.seq, handler: h}
-	s.seq++
+	ev := s.newEvent(t, h)
 	heap.Push(&s.queue, ev)
-	return Event{ev: ev}, nil
+	return Event{ev: ev, gen: ev.gen}, nil
 }
 
 // ScheduleAfter enqueues h to run delay seconds after Now.
@@ -121,11 +155,12 @@ func (s *Simulator) ScheduleAfter(delay float64, h Handler) (Event, error) {
 // Cancel removes a scheduled event. Cancelling an already-run or
 // already-cancelled event is a no-op and returns false.
 func (s *Simulator) Cancel(e Event) bool {
-	if e.ev == nil || e.ev.dead || e.ev.index < 0 {
+	if e.ev == nil || e.ev.gen != e.gen || e.ev.dead || e.ev.index < 0 {
 		return false
 	}
 	e.ev.dead = true
 	heap.Remove(&s.queue, e.ev.index)
+	s.recycle(e.ev)
 	return true
 }
 
@@ -161,12 +196,15 @@ func (s *Simulator) step() bool {
 	for len(s.queue) > 0 {
 		ev := heap.Pop(&s.queue).(*event)
 		if ev.dead {
+			// Cancelled events are recycled by Cancel itself.
 			continue
 		}
 		s.now = ev.time
 		ev.dead = true
 		s.processed++
-		ev.handler(s.now)
+		h := ev.handler
+		s.recycle(ev)
+		h(s.now)
 		return true
 	}
 	return false
