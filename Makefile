@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race ci bench-runner bench profile
+.PHONY: build test vet lint race race-core ci bench-runner bench profile
 
 build:
 	$(GO) build ./...
@@ -10,13 +10,30 @@ test:
 
 vet:
 	$(GO) vet ./...
+	# copylocks is part of go vet's default suite; this second pass names it
+	# explicitly so a toolchain default change can never silently drop the
+	# one analyzer the engine's mutex-bearing types depend on.
+	$(GO) vet -copylocks ./...
 
-# The engine and campaign layers are the concurrency-bearing code; run
-# them under the race detector.
+# adflint is the project's own static-analysis pass (internal/lint): the
+# determinism, maporder, hotpath, and exhaustive rules. The shipped tree
+# must lint clean; any violation exits non-zero and fails ci.
+lint:
+	$(GO) run ./cmd/adflint
+
+# Run the whole module under the race detector.
 race:
+	$(GO) test -race ./...
+
+# Fast alias covering just the concurrency-bearing engine and campaign
+# layers (the old `make race` scope), for quick iteration.
+race-core:
 	$(GO) test -race ./internal/engine/... ./internal/experiment/...
 
-ci: build vet test race
+# ci builds with -trimpath so artifacts are reproducible regardless of
+# the checkout location.
+ci: export GOFLAGS += -trimpath
+ci: build vet lint test race
 
 # Benchmark the campaign runner (sequential vs parallel figure
 # regeneration) and write BENCH_runner.json.

@@ -1,0 +1,84 @@
+// Command adflint runs the repository's static-analysis pass (see
+// internal/lint): determinism, maporder, hotpath and exhaustive. It walks
+// the whole module, prints one file:line:col diagnostic per violation and
+// exits 1 when anything is found, so `make ci` fails fast on a stray
+// time.Now(), an order-dependent map range, an allocation in an
+// //adf:hotpath function, or a non-exhaustive enum switch.
+//
+// Usage:
+//
+//	adflint [-dir module-root] [-rules determinism,maporder,...] [-list]
+//
+// Violations that are deliberate (benchmark timing, the sanctioned worker
+// pools) are silenced in the source with an //adf:allow <rule> comment;
+// the tree is expected to lint clean.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/mobilegrid/adf/internal/lint"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "directory inside the module to lint (the module root is found via go.mod)")
+	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	list := flag.Bool("list", false, "list the available rules and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	n, err := run(*dir, *rules, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adflint:", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "adflint: %d violation(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+// run lints the module containing dir, writing diagnostics (with paths
+// relative to the module root) to out, and returns how many there were.
+func run(dir, rules string, out io.Writer) (int, error) {
+	loader, err := lint.NewLoader(dir)
+	if err != nil {
+		return 0, err
+	}
+	cfg := lint.Config{}
+	if rules != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range lint.All() {
+			byName[a.Name] = a
+		}
+		for _, name := range strings.Split(rules, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				return 0, fmt.Errorf("unknown rule %q (try -list)", name)
+			}
+			cfg.Analyzers = append(cfg.Analyzers, a)
+		}
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		return 0, err
+	}
+	diags := lint.Run(pkgs, cfg)
+	for _, d := range diags {
+		if rel, err := filepath.Rel(loader.ModuleDir, d.Pos.Filename); err == nil {
+			d.Pos.Filename = rel
+		}
+		fmt.Fprintln(out, d)
+	}
+	return len(diags), nil
+}

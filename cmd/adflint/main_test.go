@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRealModuleIsClean runs the driver over this repository: the shipped
+// tree must lint clean.
+func TestRealModuleIsClean(t *testing.T) {
+	var out strings.Builder
+	n, err := run(".", "", &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if n != 0 {
+		t.Errorf("module has %d lint violations:\n%s", n, out.String())
+	}
+}
+
+// TestViolationFailsTheRun checks the CI contract end to end: a scratch
+// module with a wall-clock read in internal/engine yields a diagnostic
+// with a module-relative path and a non-zero count.
+func TestViolationFailsTheRun(t *testing.T) {
+	dir := t.TempDir()
+	mustWrite(t, filepath.Join(dir, "go.mod"), "module github.com/mobilegrid/adf\n\ngo 1.24\n")
+	mustWrite(t, filepath.Join(dir, "internal", "engine", "engine.go"), `package engine
+
+import "time"
+
+// Now leaks the wall clock.
+func Now() int64 { return time.Now().UnixNano() }
+`)
+	var out strings.Builder
+	n, err := run(dir, "", &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("got %d violations, want 1; output:\n%s", n, out.String())
+	}
+	got := out.String()
+	want := filepath.Join("internal", "engine", "engine.go")
+	if !strings.Contains(got, want) || !strings.Contains(got, "determinism") {
+		t.Errorf("diagnostic missing relative path or rule:\n%s", got)
+	}
+}
+
+// TestRuleSelection runs only the exhaustive rule over a module that
+// violates determinism: nothing may be reported.
+func TestRuleSelection(t *testing.T) {
+	dir := t.TempDir()
+	mustWrite(t, filepath.Join(dir, "go.mod"), "module github.com/mobilegrid/adf\n\ngo 1.24\n")
+	mustWrite(t, filepath.Join(dir, "internal", "engine", "engine.go"), `package engine
+
+import "time"
+
+// Now leaks the wall clock.
+func Now() int64 { return time.Now().UnixNano() }
+`)
+	var out strings.Builder
+	n, err := run(dir, "exhaustive", &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if n != 0 {
+		t.Errorf("exhaustive-only run reported %d violations:\n%s", n, out.String())
+	}
+	if _, err := run(dir, "nosuchrule", &out); err == nil {
+		t.Error("unknown rule name did not error")
+	}
+}
+
+func mustWrite(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -74,6 +74,7 @@ func (b *Broker) ReceiveLU(node int, t float64, p geo.Point) {
 	b.receive(b.record(node), node, t, p)
 }
 
+//adf:hotpath
 func (b *Broker) receive(r *record, node int, t float64, p geo.Point) {
 	r.lastReported = p
 	r.lastReportT = t
@@ -83,6 +84,7 @@ func (b *Broker) receive(r *record, node int, t float64, p geo.Point) {
 	b.received++
 }
 
+//adf:hotpath
 func (b *Broker) miss(r *record, node int, t float64) Entry {
 	pos := r.lastReported
 	estimated := false
@@ -113,6 +115,8 @@ func (b *Broker) MissLU(node int, t float64) (Entry, error) {
 // error for unknown nodes). It returns the broker's resulting belief, or
 // false when the node has never reported. This is the simulation engine's
 // hot path.
+//
+//adf:hotpath
 func (b *Broker) Step(node int, t float64, p geo.Point, received bool) (Entry, bool) {
 	if received {
 		r := b.record(node)

@@ -250,6 +250,8 @@ func NewManager(cfg Config) (*Manager, error) {
 // distance is the similarity difference d(MN, C) between a feature and a
 // cluster representative. Both representative means are cached, so this is
 // O(1) regardless of cluster size.
+//
+//adf:hotpath
 func (m *Manager) distance(f Feature, c *Cluster) float64 {
 	d := math.Abs(f.Speed - c.meanSpeed)
 	if m.cfg.HeadingWeight > 0 {
@@ -310,11 +312,28 @@ func (m *Manager) refileCluster(c *Cluster) {
 	m.fileCluster(c)
 }
 
+// scanBucket evaluates every cluster filed in bucket b against f and
+// returns the updated (best, bestD) running minimum of (distance, ID).
+//
+//adf:hotpath
+func (m *Manager) scanBucket(f Feature, b int, best *Cluster, bestD float64) (*Cluster, float64) {
+	for _, c := range m.buckets[b] {
+		m.scans++
+		d := m.distance(f, c)
+		if d < bestD || (d == bestD && (best == nil || c.id < best.id)) {
+			best, bestD = c, d
+		}
+	}
+	return best, bestD
+}
+
 // nearest returns the closest cluster and its distance, or nil when there
 // are no clusters. The winner minimises (distance, ID) — exactly the
 // cluster a full ID-ordered scan would pick, ties breaking towards the
 // lowest cluster ID so runs are deterministic — but only buckets whose
 // speed gap can still beat the current best are examined.
+//
+//adf:hotpath
 func (m *Manager) nearest(f Feature) (*Cluster, float64) {
 	if len(m.clusters) == 0 {
 		return nil, math.Inf(1)
@@ -322,16 +341,7 @@ func (m *Manager) nearest(f Feature) (*Cluster, float64) {
 	var best *Cluster
 	bestD := math.Inf(1)
 	qb := m.bucketOf(f.Speed)
-	scan := func(b int) {
-		for _, c := range m.buckets[b] {
-			m.scans++
-			d := m.distance(f, c)
-			if d < bestD || (d == bestD && (best == nil || c.id < best.id)) {
-				best, bestD = c, d
-			}
-		}
-	}
-	scan(qb)
+	best, bestD = m.scanBucket(f, qb, best, bestD)
 	for r := 1; ; r++ {
 		lo, hi := qb-r, qb+r
 		loLive := lo >= m.loBucket
@@ -355,10 +365,10 @@ func (m *Manager) nearest(f Feature) (*Cluster, float64) {
 			break
 		}
 		if loLive {
-			scan(lo)
+			best, bestD = m.scanBucket(f, lo, best, bestD)
 		}
 		if hiLive {
-			scan(hi)
+			best, bestD = m.scanBucket(f, hi, best, bestD)
 		}
 	}
 	return best, bestD
@@ -395,6 +405,8 @@ func (m *Manager) retireCluster(c *Cluster) {
 // Assign places (or re-places) a node according to the sequential scheme
 // and returns the cluster it ends up in. Updating an existing node first
 // removes it from its old cluster so the representative stays exact.
+//
+//adf:hotpath
 func (m *Manager) Assign(id NodeID, f Feature) ID {
 	m.Remove(id)
 	c, d := m.nearest(f)
@@ -416,6 +428,8 @@ func (m *Manager) Assign(id NodeID, f Feature) ID {
 
 // Remove deletes a node from the clustering, dropping its cluster if it
 // becomes empty. It reports whether the node was present.
+//
+//adf:hotpath
 func (m *Manager) Remove(id NodeID) bool {
 	c, ok := m.byNode.Get(int(id))
 	if !ok {
@@ -479,6 +493,9 @@ func (m *Manager) Clusters() []*Cluster {
 // cluster reconstruction). It returns the number of clusters formed. All
 // internal storage is reused, so steady-state rebuilds do not allocate.
 func (m *Manager) Rebuild(features map[NodeID]Feature) int {
+	//adf:allow maporder — retirement order only permutes the free pool;
+	// pooled structs are interchangeable after reset, so results are
+	// bit-for-bit identical either way.
 	for _, c := range m.clusters {
 		m.unfileCluster(c)
 		c.reset()

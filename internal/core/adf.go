@@ -136,6 +136,8 @@ func (a *ADF) Config() Config { return a.cfg }
 // Offer implements filter.Filter: it feeds the node's classifier, keeps
 // the clustering current, sizes the node's DTH from its cluster's mean
 // speed, and applies the distance filter.
+//
+//adf:hotpath
 func (a *ADF) Offer(lu filter.LU) filter.Decision {
 	st, ok := a.nodes.Get(lu.Node)
 	if !ok {
@@ -144,6 +146,8 @@ func (a *ADF) Offer(lu filter.LU) filter.Decision {
 			// Config was validated at construction; this cannot happen.
 			panic(fmt.Sprintf("core: classifier config invalidated: %v", err))
 		}
+		//adf:allow hotpath — first sight of a node; every later tick hits
+		// the dense-map fast path above.
 		st = &nodeState{classifier: cl}
 		a.nodes.Put(lu.Node, st)
 	}
@@ -167,6 +171,8 @@ func (a *ADF) Offer(lu filter.LU) filter.Decision {
 
 // maintainClustering updates the node's pattern and membership, and runs
 // the periodic reconstruction.
+//
+//adf:hotpath
 func (a *ADF) maintainClustering(now float64, node int, st *nodeState) {
 	if !st.classifier.Ready() {
 		return
@@ -216,6 +222,8 @@ func (a *ADF) rebuild() {
 // fills the ADF behaves like the ideal LU (threshold 0 transmits
 // everything), matching the paper's observation that "the number of LUs of
 // the ADF is similar to the ideal LU at initial".
+//
+//adf:hotpath
 func (a *ADF) dthFor(node int, st *nodeState) float64 {
 	if !st.classifier.Ready() {
 		return 0

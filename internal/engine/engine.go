@@ -160,6 +160,8 @@ func NewChurn(leaveProb, rejoinProb float64, rng *sim.RNG) *Churn {
 // whether the node takes part in the tick, left that it departed just now
 // (so its filter and broker state must be forgotten). A rejoining node is
 // present in the same tick it returns.
+//
+//adf:hotpath
 func (c *Churn) Step(id int) (present, left bool) {
 	if away, _ := c.absent.Get(id); away {
 		if c.rng.Bool(c.rejoinProb) {
@@ -278,6 +280,8 @@ func (p *Pipeline) Tick(now float64) error {
 }
 
 // tickNode runs one node's sample through the sequential stage chain.
+//
+//adf:hotpath
 func (p *Pipeline) tickNode(i int, s Sample) error {
 	if !p.stageChurn(s) {
 		return nil
@@ -314,6 +318,8 @@ func (p *Pipeline) stageAdvance(now float64) {
 // advanceRange advances the nodes in [lo, hi) and writes their samples.
 // Each node's mobility draws only from its private RNG stream, so disjoint
 // ranges can advance concurrently with sequential-identical results.
+//
+//adf:hotpath
 func advanceRange(nodes []*node.Node, samples []Sample, period, now float64, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		n := nodes[i]
@@ -341,6 +347,9 @@ type advancePool struct {
 func newAdvancePool(workers int) *advancePool {
 	p := &advancePool{workers: workers, work: make(chan [2]int)}
 	for w := 0; w < workers; w++ {
+		//adf:allow determinism — the mobility pool's workers advance
+		// disjoint node ranges over private RNG streams; results are
+		// bit-for-bit identical to the sequential order.
 		go func() {
 			for r := range p.work {
 				advanceRange(p.nodes, p.samples, p.period, p.now, r[0], r[1])
@@ -377,6 +386,8 @@ func (p *advancePool) close() { close(p.work) }
 // stageChurn applies leave/rejoin and reports whether the node takes part
 // in this tick. A departing node is forgotten by the filter and both
 // brokers, exercising the full forget/re-learn path on return.
+//
+//adf:hotpath
 func (p *Pipeline) stageChurn(s Sample) bool {
 	if p.Churn == nil {
 		return true
@@ -407,12 +418,16 @@ func (p *Pipeline) buildCollectors() error {
 
 // stageCollect passes the sample through its region's gateway; connected
 // is false when the wireless hop dropped it.
+//
+//adf:hotpath
 func (p *Pipeline) stageCollect(i int, s Sample) (filter.LU, bool) {
 	return p.collectors[i].Collect(filter.LU{Node: s.Node, Time: s.Time, Pos: s.Pos})
 }
 
 // stageFilter notifies OnOffered and offers the forwarded LU to the
 // distance filter, returning the transmit decision.
+//
+//adf:hotpath
 func (p *Pipeline) stageFilter(s Sample, forwarded filter.LU) (bool, error) {
 	if err := p.Observers.OnOffered(s); err != nil {
 		return false, err
@@ -426,6 +441,8 @@ func (p *Pipeline) stageFilter(s Sample, forwarded filter.LU) (bool, error) {
 // belief — and the believed-vs-true distance is measured for nodes the
 // broker knows about. The broker cannot tell a filtered LU from a dropped
 // one; either way it refreshes its belief.
+//
+//adf:hotpath
 func (p *Pipeline) stageDeliver(s Sample, transmitted bool) error {
 	if transmitted {
 		if err := p.Observers.OnTransmitted(s); err != nil {

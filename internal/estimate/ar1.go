@@ -39,6 +39,7 @@ type ar1 struct {
 	last     float64
 }
 
+//adf:hotpath
 func (a *ar1) observe(d float64) {
 	if a.havePrev {
 		a.sumXY = a.lambda*a.sumXY + a.prev*d
@@ -49,6 +50,7 @@ func (a *ar1) observe(d float64) {
 	a.last = d
 }
 
+//adf:hotpath
 func (a *ar1) forecast() float64 {
 	if a.sumXX == 0 {
 		return a.last
@@ -61,6 +63,8 @@ func (a *ar1) forecast() float64 {
 }
 
 // Observe implements PositionEstimator.
+//
+//adf:hotpath
 func (e *AR1LE) Observe(t float64, p geo.Point) {
 	n := e.tracker.n
 	lastT, lastP := e.tracker.lastT, e.tracker.lastP
@@ -80,6 +84,8 @@ func (e *AR1LE) Observe(t float64, p geo.Point) {
 func (e *AR1LE) Ready() bool { return e.samples >= 2 }
 
 // Predict implements PositionEstimator.
+//
+//adf:hotpath
 func (e *AR1LE) Predict(t float64) geo.Point {
 	if e.tracker.n == 0 {
 		return geo.Point{}

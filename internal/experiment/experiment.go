@@ -18,8 +18,8 @@ import (
 	"github.com/mobilegrid/adf/internal/broker"
 	"github.com/mobilegrid/adf/internal/campus"
 	"github.com/mobilegrid/adf/internal/core"
-	"github.com/mobilegrid/adf/internal/engine"
 	"github.com/mobilegrid/adf/internal/energy"
+	"github.com/mobilegrid/adf/internal/engine"
 	"github.com/mobilegrid/adf/internal/estimate"
 	"github.com/mobilegrid/adf/internal/filter"
 	"github.com/mobilegrid/adf/internal/gateway"

@@ -37,9 +37,9 @@ func (c Config) MeasureHotpath() (HotpathStats, error) {
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
-	start := time.Now()
+	start := time.Now() //adf:allow determinism — measures wall-clock throughput, not simulation state
 	run, err := c.runFilter(c.adfFactory(1.0))
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //adf:allow determinism — measures wall-clock throughput
 	runtime.ReadMemStats(&after)
 	if err != nil {
 		return HotpathStats{}, err

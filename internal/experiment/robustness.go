@@ -152,7 +152,7 @@ func RunScale(cfg Config, perGroups []int) (ScaleResult, error) {
 			c := cfg
 			c.PerGroup = pg
 
-			start := time.Now()
+			start := time.Now() //adf:allow determinism — wall-clock scaling measurement only
 			ideal, err := c.runFilter(idealFactory)
 			if err != nil {
 				return fmt.Errorf("scale %d nodes: %w", pg*28, err)
@@ -161,7 +161,7 @@ func RunScale(cfg Config, perGroups []int) (ScaleResult, error) {
 			if err != nil {
 				return fmt.Errorf("scale %d nodes: %w", pg*28, err)
 			}
-			elapsed := time.Since(start)
+			elapsed := time.Since(start) //adf:allow determinism — wall-clock scaling measurement only
 
 			rows[i] = ScaleRow{
 				Nodes:            pg * 28,

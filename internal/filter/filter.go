@@ -156,6 +156,8 @@ func (f *GeneralDF) DTH() float64 { return f.dth }
 func (f *GeneralDF) Semantics() Semantics { return f.semantics }
 
 // Offer implements Filter.
+//
+//adf:hotpath
 func (f *GeneralDF) Offer(lu LU) Decision {
 	prev, seen := f.anchor.Get(lu.Node)
 	if !seen {

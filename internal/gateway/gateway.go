@@ -41,6 +41,8 @@ func (g *Gateway) Region() campus.RegionID { return g.region }
 
 // Collect offers one node sample to the gateway. It returns false when
 // the node was disconnected this period and the LU was lost.
+//
+//adf:hotpath
 func (g *Gateway) Collect(lu filter.LU) (filter.LU, bool) {
 	g.received++
 	if g.dropProb > 0 && g.rng.Bool(g.dropProb) {

@@ -53,6 +53,9 @@ func deliverSync(c callback, amb Ambassador) {
 		sync.AnnounceSynchronizationPoint(c.name, tag)
 	case cbFederationSynced:
 		sync.FederationSynchronized(c.name)
+	default:
+		// Plain callbacks are dispatched by callback.deliver; nothing to
+		// do here.
 	}
 }
 

@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism enforces the reproduction's bit-for-bit reproducibility
+// contract. Module wide, code may not read the wall clock (time.Now,
+// time.Since, time.Until) or draw from math/rand's global source — virtual
+// time comes from sim.Simulator and randomness from injected *sim.RNG
+// streams. Inside the simulation packages it additionally forbids bare go
+// statements: concurrency there must go through the engine's worker pools
+// (engine.Group, the mobility advance pool), whose sharding is designed to
+// consume RNG streams identically to a sequential run.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock reads, the global math/rand source, and bare goroutines in simulation packages",
+	Run:  runDeterminism,
+}
+
+// bannedClockFuncs are the package-level time functions that read the wall
+// clock. time.Sleep is deliberately absent: it delays but never injects a
+// nondeterministic value into a result.
+var bannedClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// allowedRandFuncs are the math/rand package-level functions that only
+// construct private sources and are therefore deterministic per seed.
+var allowedRandFuncs = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runDeterminism(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if p.Sim {
+					p.Reportf(n.Pos(), "bare go statement in a simulation package: schedule through the engine's worker pool (engine.Group) so RNG-stream consumption stays deterministic")
+				}
+			case *ast.SelectorExpr:
+				obj := p.Pkg.Info.Uses[n.Sel]
+				fn, ok := obj.(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				// Only package-level functions: methods such as
+				// (*rand.Rand).Float64 on an injected source are fine.
+				if fn.Signature().Recv() != nil {
+					return true
+				}
+				switch fn.Pkg().Path() {
+				case "time":
+					if bannedClockFuncs[fn.Name()] {
+						p.Reportf(n.Pos(), "call to time.%s reads the wall clock: use virtual time from sim.Simulator (or //adf:allow determinism for measurement-only code)", fn.Name())
+					}
+				case "math/rand", "math/rand/v2":
+					if !allowedRandFuncs[fn.Name()] {
+						p.Reportf(n.Pos(), "use of global %s.%s: draw from an injected *sim.RNG stream so runs are reproducible per seed", fn.Pkg().Name(), fn.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Exhaustive checks that every switch over a project enum — a named
+// integer or string type declared in this module with at least two
+// package-level constants — either covers all of the constants or
+// carries a default clause. The mobility-state machines (campus.Mobility's
+// SS/RMS/LMS, core.MobilityPattern) and the HLA callback kinds are exactly
+// the switches where a silently ignored new state corrupts results instead
+// of failing loudly.
+var Exhaustive = &Analyzer{
+	Name: "exhaustive",
+	Doc:  "require switches over project enums to cover every constant or have a default",
+	Run:  runExhaustive,
+}
+
+func runExhaustive(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			p.checkSwitch(sw)
+			return true
+		})
+	}
+}
+
+func (p *Pass) checkSwitch(sw *ast.SwitchStmt) {
+	tagType := p.TypeOf(sw.Tag)
+	if tagType == nil {
+		return
+	}
+	named, ok := types.Unalias(tagType).(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	// Only project enums: the type must be declared in the package under
+	// analysis or elsewhere in its module.
+	if obj.Pkg() != p.Pkg.Types && !sameModule(obj.Pkg().Path(), p.Pkg.Path) {
+		return
+	}
+	if b, ok := named.Underlying().(*types.Basic); !ok || b.Info()&(types.IsInteger|types.IsString) == 0 {
+		return
+	}
+	consts := enumConstants(named, obj.Pkg(), p.Pkg.Types)
+	if len(consts) < 2 {
+		return
+	}
+
+	var covered []constant.Value
+	for _, stmt := range sw.Body.List {
+		clause, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if clause.List == nil {
+			return // default clause: the switch is total by construction
+		}
+		for _, e := range clause.List {
+			if tv, ok := p.Pkg.Info.Types[e]; ok && tv.Value != nil {
+				covered = append(covered, tv.Value)
+			}
+		}
+	}
+
+	var missing []string
+	for _, c := range consts {
+		found := false
+		for _, v := range covered {
+			if constant.Compare(v, token.EQL, c.Val()) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) > 0 {
+		p.Reportf(sw.Pos(), "switch over %s misses %s: add the missing cases or a default clause", named.Obj().Name(), strings.Join(missing, ", "))
+	}
+}
+
+// sameModule reports whether two import paths share a module: one is a
+// prefix of the other at a path boundary, or they share the first path
+// element chain up to the module path. Within this repository every
+// package path starts with the module path, so prefix comparison is
+// enough; for fixture packages loaded under a synthetic path the enum and
+// the switch live in the same package and never reach this check.
+func sameModule(declPath, usePath string) bool {
+	shorter, longer := declPath, usePath
+	if len(shorter) > len(longer) {
+		shorter, longer = longer, shorter
+	}
+	return longer == shorter || strings.HasPrefix(longer, shorter+"/")
+}
+
+// enumConstants returns the declared package-level constants of exactly
+// the named type, restricted to those visible from the using package.
+// Scope.Names is sorted, so the result order is deterministic.
+func enumConstants(named *types.Named, declPkg, usePkg *types.Package) []*types.Const {
+	var out []*types.Const
+	scope := declPkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || c.Name() == "_" {
+			continue
+		}
+		if !types.Identical(c.Type(), named) {
+			continue
+		}
+		if declPkg != usePkg && !c.Exported() {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}

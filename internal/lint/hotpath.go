@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPath checks functions annotated //adf:hotpath — the per-tick stage
+// and cluster-assignment entry points whose zero-allocation behaviour
+// TestZeroAllocTick asserts at runtime. Their bodies may not contain the
+// constructs that allocate or capture: append, make, new, &T{...} and
+// slice/map composite literals, func literals (closures), go and defer
+// statements. Struct and array *value* literals are allowed — they live in
+// registers or on the stack. Genuine cold paths inside a hot function
+// (first-touch growth, pool refills) carry //adf:allow hotpath with a
+// reason.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "forbid allocating constructs in //adf:hotpath-annotated functions",
+	Run:  runHotPath,
+}
+
+func runHotPath(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isHotPath(fn) {
+				continue
+			}
+			p.checkHotBody(fn)
+		}
+	}
+}
+
+func (p *Pass) checkHotBody(fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			p.Reportf(n.Pos(), "closure in //adf:hotpath function %s: captured variables escape; hoist the func to a method or //adf:allow hotpath", name)
+			return false
+		case *ast.GoStmt:
+			p.Reportf(n.Pos(), "go statement in //adf:hotpath function %s spawns per-call: use a persistent worker pool", name)
+		case *ast.DeferStmt:
+			p.Reportf(n.Pos(), "defer in //adf:hotpath function %s: run the epilogue inline on the hot path", name)
+		case *ast.UnaryExpr:
+			if lit, ok := n.X.(*ast.CompositeLit); ok {
+				p.Reportf(n.Pos(), "&%s{...} in //adf:hotpath function %s heap-allocates: reuse pooled storage or //adf:allow hotpath", litTypeString(p, lit), name)
+				return false
+			}
+		case *ast.CompositeLit:
+			t := p.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				p.Reportf(n.Pos(), "slice literal in //adf:hotpath function %s allocates: reuse a preallocated buffer or //adf:allow hotpath", name)
+			case *types.Map:
+				p.Reportf(n.Pos(), "map literal in //adf:hotpath function %s allocates: reuse a preallocated map or //adf:allow hotpath", name)
+			}
+		case *ast.CallExpr:
+			ident, ok := n.Fun.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if _, isBuiltin := p.Pkg.Info.Uses[ident].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			switch ident.Name {
+			case "append", "make", "new":
+				p.Reportf(n.Pos(), "%s in //adf:hotpath function %s allocates: hoist the growth to a cold path or //adf:allow hotpath", ident.Name, name)
+			}
+		}
+		return true
+	})
+}
+
+// litTypeString renders a composite literal's type for the diagnostic.
+func litTypeString(p *Pass, lit *ast.CompositeLit) string {
+	if lit.Type != nil {
+		return types.ExprString(lit.Type)
+	}
+	if t := p.TypeOf(lit); t != nil {
+		return t.String()
+	}
+	return "T"
+}

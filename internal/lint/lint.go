@@ -1,0 +1,302 @@
+// Package lint is a small static-analysis framework, built only on the
+// standard library's go/ast, go/parser, go/types and go/token, that
+// enforces the repository's simulation invariants at compile time:
+//
+//   - determinism: simulation code may not read the wall clock
+//     (time.Now, time.Since, time.Until), draw from the global math/rand
+//     source, or — inside the simulation packages — spawn bare
+//     goroutines. Randomness comes from injected *sim.RNG streams and
+//     concurrency from the engine's worker pools, so parallel runs stay
+//     bit-for-bit identical to sequential ones.
+//   - maporder: ranging over a Go map yields a random order; in the
+//     simulation packages any map iteration whose effects are order
+//     dependent is flagged unless the keys are collected and sorted
+//     first or the body is provably commutative.
+//   - hotpath: functions annotated //adf:hotpath (the per-tick stage and
+//     cluster-assignment entry points) may not contain allocating
+//     constructs — append, make, new, &T{...}, slice or map literals,
+//     closures, go or defer statements — keeping the zero-allocs-per-tick
+//     guarantee honest at the source level.
+//   - exhaustive: every switch over a project enum (a named integer or
+//     string type with two or more package-level constants) must either
+//     cover all constants or carry a default clause.
+//
+// False positives are silenced with an escape-hatch comment
+//
+//	//adf:allow <rule> [<rule>...] — reason
+//
+// placed on the offending line or on the line(s) immediately above it.
+// The trailing reason is free text; everything after the rule names is
+// ignored by the matcher, but please say why.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Position
+	// Rule is the analyzer name (determinism, maporder, hotpath,
+	// exhaustive).
+	Rule string
+	// Message describes the violation and how to fix or silence it.
+	Message string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Analyzer is one named rule.
+type Analyzer struct {
+	// Name is the rule name used in diagnostics and //adf:allow comments.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass hands one analyzer the state of one package.
+type Pass struct {
+	// Fset translates token positions; shared by every loaded package.
+	Fset *token.FileSet
+	// Pkg is the package under analysis.
+	Pkg *Package
+	// Sim reports whether the package is one of the simulation packages
+	// (the determinism goroutine rule and maporder only apply there).
+	Sim bool
+
+	rule  string
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Rule:    p.rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of an expression, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// ObjectOf resolves the callee object behind a call or selector
+// expression: for sel.Name it returns the used object of Name, for a
+// plain identifier its use. It returns nil for anything else.
+func (p *Pass) ObjectOf(e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		return p.Pkg.Info.Uses[e.Sel]
+	case *ast.Ident:
+		return p.Pkg.Info.Uses[e]
+	case *ast.ParenExpr:
+		return p.ObjectOf(e.X)
+	}
+	return nil
+}
+
+// SimPackages lists the import-path suffixes of the packages whose code
+// mutates simulation state every tick. The determinism goroutine rule and
+// the maporder rule apply only here; the clock/rand and annotation-driven
+// rules apply module wide.
+var SimPackages = []string{
+	"internal/sim",
+	"internal/engine",
+	"internal/mobility",
+	"internal/node",
+	"internal/cluster",
+	"internal/core",
+	"internal/filter",
+	"internal/broker",
+	"internal/estimate",
+	"internal/energy",
+}
+
+// Config parameterises a lint run.
+type Config struct {
+	// Analyzers to run; nil means All().
+	Analyzers []*Analyzer
+	// SimPackages are import-path suffixes treated as simulation
+	// packages; nil means the package-level SimPackages default.
+	SimPackages []string
+}
+
+// All returns the full analyzer set in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, MapOrder, HotPath, Exhaustive}
+}
+
+// isSimPackage reports whether an import path names (or is nested under)
+// one of the simulation packages.
+func isSimPackage(path string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) || strings.Contains(path, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Run applies the configured analyzers to the packages, drops findings
+// silenced by //adf:allow comments and returns the rest sorted by
+// position.
+func Run(pkgs []*Package, cfg Config) []Diagnostic {
+	analyzers := cfg.Analyzers
+	if analyzers == nil {
+		analyzers = All()
+	}
+	simSuffixes := cfg.SimPackages
+	if simSuffixes == nil {
+		simSuffixes = SimPackages
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allows := allowIndex(pkg)
+		var pkgDiags []Diagnostic
+		pass := &Pass{
+			Fset:  pkg.Fset,
+			Pkg:   pkg,
+			Sim:   isSimPackage(pkg.Path, simSuffixes),
+			diags: &pkgDiags,
+		}
+		for _, a := range analyzers {
+			pass.rule = a.Name
+			a.Run(pass)
+		}
+		for _, d := range pkgDiags {
+			if !allows.allowed(d) {
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}
+
+// allowPrefix introduces an escape-hatch comment. Like //go: directives it
+// is written without a space after the slashes, so gofmt leaves it alone
+// and godoc hides it.
+const allowPrefix = "//adf:allow"
+
+// allowSet maps file → line → rules allowed on that line.
+type allowSet map[string]map[int]map[string]bool
+
+// allowIndex collects every //adf:allow comment in the package. A comment
+// group containing one covers every line the group spans plus the line
+// immediately after it, so both trailing comments and own-line comments
+// above the offending statement work.
+func allowIndex(pkg *Package) allowSet {
+	idx := make(allowSet)
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			var rules []string
+			for _, c := range group.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				for _, field := range strings.Fields(rest) {
+					// The rule list ends at the first token that is not a
+					// known rule name; the rest is the free-text reason.
+					if !isRuleName(field) {
+						break
+					}
+					rules = append(rules, field)
+				}
+			}
+			if len(rules) == 0 {
+				continue
+			}
+			start := pkg.Fset.Position(group.Pos())
+			end := pkg.Fset.Position(group.End())
+			file := idx[start.Filename]
+			if file == nil {
+				file = make(map[int]map[string]bool)
+				idx[start.Filename] = file
+			}
+			for line := start.Line; line <= end.Line+1; line++ {
+				set := file[line]
+				if set == nil {
+					set = make(map[string]bool)
+					file[line] = set
+				}
+				for _, r := range rules {
+					set[r] = true
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func isRuleName(s string) bool {
+	for _, a := range All() {
+		if s == a.Name {
+			return true
+		}
+	}
+	return false
+}
+
+func (s allowSet) allowed(d Diagnostic) bool {
+	return s[d.Pos.Filename][d.Pos.Line][d.Rule]
+}
+
+// hotpathDirective marks a function whose body the hotpath analyzer
+// checks for allocating constructs.
+const hotpathDirective = "//adf:hotpath"
+
+// isHotPath reports whether a function declaration carries the
+// //adf:hotpath directive. Directive comments are excluded from
+// CommentGroup.Text, so the raw list is scanned.
+func isHotPath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if c.Text == hotpathDirective || strings.HasPrefix(c.Text, hotpathDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// stmtLists yields every statement list in the file: function and block
+// bodies plus case and select clauses. maporder needs the list context to
+// look at the statement following a range loop.
+func stmtLists(f *ast.File, visit func([]ast.Stmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			visit(n.List)
+		case *ast.CaseClause:
+			visit(n.Body)
+		case *ast.CommClause:
+			visit(n.Body)
+		}
+		return true
+	})
+}

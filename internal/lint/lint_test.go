@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from the current analyzer output")
+
+// loadFixture lints one fixture package under testdata/src with the full
+// analyzer set. sim loads it as a simulation package (the determinism
+// goroutine rule and maporder only fire there).
+func loadFixture(t *testing.T, name string, sim bool) []Diagnostic {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	importPath := "fixtures/" + name
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", name), importPath)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", name, err)
+	}
+	cfg := Config{}
+	if sim {
+		cfg.SimPackages = []string{importPath}
+	}
+	return Run([]*Package{pkg}, cfg)
+}
+
+// render formats diagnostics with base file names so the goldens are
+// independent of the checkout location.
+func render(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "%s:%d:%d: %s: %s\n", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+	}
+	return b.String()
+}
+
+// TestGoldenFixtures asserts the exact diagnostics each fixture package
+// produces, one golden file per analyzer fixture. Run with -update to
+// regenerate after deliberate message or fixture changes.
+func TestGoldenFixtures(t *testing.T) {
+	cases := []struct {
+		name string
+		sim  bool
+	}{
+		{"determinism", true},
+		{"maporder", true},
+		{"hotpath", false},
+		{"exhaustive", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := render(loadFixture(t, tc.name, tc.sim))
+			goldenPath := filepath.Join("testdata", "golden", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatalf("update golden: %v", err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("read golden (run `go test ./internal/lint -update` to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics differ from %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+			}
+		})
+	}
+}
+
+// TestFixturesFlagNothingOutsideSimScope pins the package gating: loaded
+// as ordinary packages, the determinism goroutine rule and maporder stay
+// quiet, while the clock/rand rules still fire.
+func TestFixturesFlagNothingOutsideSimScope(t *testing.T) {
+	for _, d := range loadFixture(t, "maporder", false) {
+		t.Errorf("maporder fixture flagged outside sim scope: %s", d)
+	}
+	var goStmts int
+	for _, d := range loadFixture(t, "determinism", false) {
+		if strings.Contains(d.Message, "go statement") {
+			goStmts++
+		}
+	}
+	if goStmts != 0 {
+		t.Errorf("goroutine rule fired %d times outside sim scope", goStmts)
+	}
+}
+
+// TestModuleLintsClean runs the full analyzer set over the real module:
+// the shipped tree must produce zero findings, so `make lint` can gate CI.
+func TestModuleLintsClean(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("LoadModule found only %d packages; the walk is broken", len(pkgs))
+	}
+	for _, d := range Run(pkgs, Config{}) {
+		t.Errorf("module not lint-clean: %s", d)
+	}
+}
+
+// TestInjectedViolationIsCaught builds a scratch copy of the module
+// layout with a time.Now() smuggled into internal/engine and checks the
+// default configuration catches it — the acceptance scenario for CI.
+func TestInjectedViolationIsCaught(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module github.com/mobilegrid/adf\n\ngo 1.24\n")
+	writeFile(t, filepath.Join(dir, "internal", "engine", "engine.go"), `package engine
+
+import "time"
+
+// Tick leaks wall-clock time into simulation state.
+func Tick() float64 { return float64(time.Now().UnixNano()) }
+`)
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	diags := Run(pkgs, Config{})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly 1: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Rule != "determinism" || !strings.Contains(d.Message, "time.Now") {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsSimPackage(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"github.com/mobilegrid/adf/internal/engine", true},
+		{"github.com/mobilegrid/adf/internal/sim", true},
+		{"github.com/mobilegrid/adf/internal/cluster", true},
+		{"github.com/mobilegrid/adf/internal/experiment", false},
+		{"github.com/mobilegrid/adf/internal/hla", false},
+		{"github.com/mobilegrid/adf/cmd/adfbench", false},
+		{"github.com/mobilegrid/adf", false},
+	}
+	for _, tc := range cases {
+		if got := isSimPackage(tc.path, SimPackages); got != tc.want {
+			t.Errorf("isSimPackage(%q) = %v, want %v", tc.path, got, tc.want)
+		}
+	}
+}

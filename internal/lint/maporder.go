@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags range statements over maps in the simulation packages:
+// Go randomises map iteration order, so any order-dependent effect inside
+// such a loop silently breaks run-to-run reproducibility. Two shapes are
+// recognised as safe and not flagged:
+//
+//   - collect-then-sort: the body only appends keys or values to a slice
+//     and the very next statement sorts that slice;
+//   - commutative accumulation: every statement is an increment,
+//     decrement or +=/-=/|=/^=/&= compound assignment of an *integer*
+//     (float accumulation is excluded on purpose — float addition is not
+//     associative, so summation order changes the bits), or a delete.
+//
+// Anything else needs the keys sorted first or an explicit
+// //adf:allow maporder with a justification.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag order-dependent iteration over maps in simulation packages",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	if !p.Sim {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		stmtLists(f, func(stmts []ast.Stmt) {
+			for i, stmt := range stmts {
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				t := p.TypeOf(rs.X)
+				if t == nil {
+					continue
+				}
+				if _, ok := t.Underlying().(*types.Map); !ok {
+					continue
+				}
+				var next ast.Stmt
+				if i+1 < len(stmts) {
+					next = stmts[i+1]
+				}
+				if p.collectThenSort(rs, next) || p.commutativeBody(rs.Body) {
+					continue
+				}
+				p.Reportf(rs.Pos(), "map iteration over %s has order-dependent effects: iterate sorted keys, make the body commutative, or //adf:allow maporder with a reason", types.ExprString(rs.X))
+			}
+		})
+	}
+}
+
+// collectThenSort reports the safe pattern where the loop only appends to
+// slices and the statement immediately after the loop sorts one of them.
+func (p *Pass) collectThenSort(rs *ast.RangeStmt, next ast.Stmt) bool {
+	targets := map[string]bool{}
+	for _, stmt := range rs.Body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 || as.Tok != token.ASSIGN {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return false
+		}
+		if fun, ok := call.Fun.(*ast.Ident); !ok || fun.Name != "append" {
+			return false
+		}
+		lhs := types.ExprString(as.Lhs[0])
+		if types.ExprString(call.Args[0]) != lhs {
+			return false
+		}
+		targets[lhs] = true
+	}
+	if len(targets) == 0 || next == nil {
+		return false
+	}
+	es, ok := next.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkgIdent, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if name, fn := pkgIdent.Name, sel.Sel.Name; !(name == "sort" ||
+		(name == "slices" && (fn == "Sort" || fn == "SortFunc" || fn == "SortStableFunc"))) {
+		return false
+	}
+	return targets[types.ExprString(call.Args[0])]
+}
+
+// commutativeBody reports whether every statement's effect is independent
+// of iteration order: integer accumulation and map deletes.
+func (p *Pass) commutativeBody(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	for _, stmt := range body.List {
+		switch s := stmt.(type) {
+		case *ast.IncDecStmt:
+			if !p.isIntegral(s.X) {
+				return false
+			}
+		case *ast.AssignStmt:
+			switch s.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN, token.AND_ASSIGN:
+			default:
+				return false
+			}
+			if len(s.Lhs) != 1 || !p.isIntegral(s.Lhs[0]) {
+				return false
+			}
+		case *ast.ExprStmt:
+			call, ok := s.X.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			fun, ok := call.Fun.(*ast.Ident)
+			if !ok || fun.Name != "delete" {
+				return false
+			}
+			if _, isBuiltin := p.Pkg.Info.Uses[fun].(*types.Builtin); !isBuiltin {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// isIntegral reports whether an expression has integer type (float
+// accumulation is order-sensitive in the last bits).
+func (p *Pass) isIntegral(e ast.Expr) bool {
+	t := p.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

@@ -1,0 +1,44 @@
+// Package determinism exercises the determinism analyzer: wall-clock
+// reads, draws from the global math/rand source, and bare goroutines
+// (the fixture is loaded as a simulation package).
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+// clockFn shows that referencing a banned function as a value is flagged
+// too, not just calling it.
+var clockFn = time.Now
+
+// Clock reads the wall clock in the three forbidden ways.
+func Clock(t0 time.Time) (time.Time, time.Duration, time.Duration) {
+	now := time.Now()
+	since := time.Since(t0)
+	until := time.Until(t0)
+	return now, since, until
+}
+
+// Draw uses the global math/rand source (forbidden) next to a private
+// source (allowed: rand.New/rand.NewSource only construct).
+func Draw() (int, float64) {
+	n := rand.Intn(10)
+	r := rand.New(rand.NewSource(1))
+	return n, r.Float64()
+}
+
+// Spawn starts a bare goroutine, forbidden in simulation packages.
+func Spawn(ch chan<- int) {
+	go send(ch)
+}
+
+func send(ch chan<- int) { ch <- 1 }
+
+// Sanctioned demonstrates the escape hatch on the same line and on the
+// line above.
+func Sanctioned(ch chan<- int) time.Time {
+	//adf:allow determinism — fixture: documented measurement-only use
+	go send(ch)
+	return time.Now() //adf:allow determinism — fixture
+}

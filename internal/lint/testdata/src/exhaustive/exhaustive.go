@@ -1,0 +1,82 @@
+// Package exhaustive exercises the exhaustive analyzer on integer and
+// string enums declared in the same package.
+package exhaustive
+
+// State is a three-valued integer enum.
+type State int
+
+// The State constants.
+const (
+	Idle State = iota + 1
+	Busy
+	Done
+)
+
+// Level is a two-valued string enum.
+type Level string
+
+// The Level constants.
+const (
+	Low  Level = "low"
+	High Level = "high"
+)
+
+// Missing lacks Done and has no default: flagged.
+func Missing(s State) int {
+	switch s {
+	case Idle:
+		return 0
+	case Busy:
+		return 1
+	}
+	return 2
+}
+
+// Full covers every constant: not flagged.
+func Full(s State) int {
+	switch s {
+	case Idle, Busy:
+		return 0
+	case Done:
+		return 1
+	}
+	return 2
+}
+
+// Defaulted is total via its default clause: not flagged.
+func Defaulted(s State) int {
+	switch s {
+	default:
+		return -1
+	case Idle:
+		return 0
+	}
+}
+
+// Strings misses High: flagged.
+func Strings(l Level) bool {
+	switch l {
+	case Low:
+		return true
+	}
+	return false
+}
+
+// NotEnum switches over a plain int: ignored.
+func NotEnum(n int) bool {
+	switch n {
+	case 1:
+		return true
+	}
+	return false
+}
+
+// Silenced carries the escape hatch: not flagged.
+func Silenced(s State) bool {
+	//adf:allow exhaustive — fixture: only Idle matters here
+	switch s {
+	case Idle:
+		return true
+	}
+	return false
+}

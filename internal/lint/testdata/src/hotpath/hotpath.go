@@ -1,0 +1,43 @@
+// Package hotpath exercises the hotpath analyzer: every allocating
+// construct inside an //adf:hotpath function is flagged; struct value
+// literals and unannotated functions are not.
+package hotpath
+
+// Point is a value type; its plain literals stay on the stack.
+type Point struct{ X, Y float64 }
+
+func cleanup() {}
+
+func spawnee() {}
+
+// Hot contains one of each forbidden construct.
+//
+//adf:hotpath
+func Hot(xs []int, xp *[]int) int {
+	*xp = append(*xp, 1)
+	buf := make([]int, 4)
+	p := new(Point)
+	q := &Point{X: 1}
+	s := []int{1, 2}
+	m := map[int]int{1: 2}
+	f := func() int { return 0 }
+	go spawnee()
+	defer cleanup()
+	v := Point{X: 2}
+	_, _, _, _, _, _ = buf, p, q, s, m, f
+	return int(v.X) + xs[0]
+}
+
+// Warm documents its single cold-path growth with the escape hatch.
+//
+//adf:hotpath
+func Warm(dst []int) []int {
+	//adf:allow hotpath — fixture: first-touch growth only
+	dst = append(dst, 1)
+	return dst
+}
+
+// Cold is unannotated; the analyzer ignores it.
+func Cold() []int {
+	return append(make([]int, 0, 1), 1)
+}

@@ -35,6 +35,8 @@ func (s *CountSeries) Reserve(seconds int) {
 }
 
 // Add records n events at virtual time t (t >= 0).
+//
+//adf:hotpath
 func (s *CountSeries) Add(t float64, n float64) {
 	if t < 0 || math.IsNaN(t) {
 		return
@@ -45,6 +47,8 @@ func (s *CountSeries) Add(t float64, n float64) {
 }
 
 // Incr records one event at time t.
+//
+//adf:hotpath
 func (s *CountSeries) Incr(t float64) { s.Add(t, 1) }
 
 // Series returns a copy of the per-second counts.

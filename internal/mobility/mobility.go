@@ -91,6 +91,8 @@ func (w *RandomWalk) redraw() {
 }
 
 // Advance implements Model.
+//
+//adf:hotpath
 func (w *RandomWalk) Advance(dt float64) geo.Point {
 	remaining := dt
 	for remaining > 0 {
@@ -217,6 +219,8 @@ func (w *Waypoints) nextLeg() {
 }
 
 // Advance implements Model.
+//
+//adf:hotpath
 func (w *Waypoints) Advance(dt float64) geo.Point {
 	var speed float64
 	if w.redraw {

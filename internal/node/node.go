@@ -123,6 +123,8 @@ func (n *Node) Pos() geo.Point { return n.model.Pos() }
 
 // Advance moves the node dt seconds forward and returns its new true
 // position.
+//
+//adf:hotpath
 func (n *Node) Advance(dt float64) geo.Point { return n.model.Advance(dt) }
 
 // Population instantiates every node of a population spec with

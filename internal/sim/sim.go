@@ -192,6 +192,8 @@ func (s *Simulator) fail(err error) {
 
 // step pops and executes the earliest event. It reports whether an event
 // ran.
+//
+//adf:hotpath
 func (s *Simulator) step() bool {
 	for len(s.queue) > 0 {
 		ev := heap.Pop(&s.queue).(*event)
