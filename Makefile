@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race race-core ci bench-runner bench profile
+.PHONY: build test vet lint race race-core check ci bench-runner bench profile
 
 build:
 	$(GO) build ./...
@@ -15,11 +15,14 @@ vet:
 	# one analyzer the engine's mutex-bearing types depend on.
 	$(GO) vet -copylocks ./...
 
-# adflint is the project's own static-analysis pass (internal/lint): the
-# determinism, maporder, hotpath, and exhaustive rules. The shipped tree
-# must lint clean; any violation exits non-zero and fails ci.
+# adflint is the project's own static-analysis pass (internal/lint):
+# the determinism, maporder, hotpath (call-graph aware), exhaustive,
+# floatcmp and invariant rules. Two passes — bare and with the adfcheck
+# tag — so both halves of every sanitizer file pair are analyzed. The
+# shipped tree must lint clean; any violation exits non-zero and fails ci.
 lint:
 	$(GO) run ./cmd/adflint
+	$(GO) run ./cmd/adflint -tags adfcheck
 
 # Run the whole module under the race detector.
 race:
@@ -29,6 +32,15 @@ race:
 # layers (the old `make race` scope), for quick iteration.
 race-core:
 	$(GO) test -race ./internal/engine/... ./internal/experiment/...
+
+# check runs tier-1 under the adfcheck runtime sanitizer: the full test
+# suite with every //adf:invariant guard armed, then the sequential-vs-
+# parallel state-digest comparison with the mobility pool enabled. Any
+# NaN, escaped position, drifted cluster statistic, DTH below the floor
+# or clock regression panics with file:line.
+check:
+	$(GO) test -tags adfcheck ./...
+	$(GO) run -tags adfcheck ./cmd/adfbench -sanitize -duration 120 -mobility-workers 4
 
 # ci builds with -trimpath so artifacts are reproducible regardless of
 # the checkout location.

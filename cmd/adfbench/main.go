@@ -9,6 +9,7 @@
 //	         [-duration 600] [-seed 1] [-factor 1.0] [-workers 0] [-mobility-workers 0]
 //	adfbench -json [-json-out BENCH_runner.json] [-duration 600] [-seed 1]
 //	adfbench -hotpath [-hotpath-out BENCH_hotpath.json] [-duration 300] [-seed 1]
+//	adfbench -sanitize [-duration 120] [-mobility-workers 4]   (requires -tags adfcheck)
 //	adfbench -cpuprofile cpu.out -memprofile mem.out ...
 //
 // With -json the ablations are skipped; instead the campaign runner
@@ -21,6 +22,12 @@
 // allocs/tick per scale, with speedups against the recorded
 // pre-optimization baselines (use -duration 300 -seed 1, the baseline
 // protocol, to get the comparison).
+//
+// With -sanitize (a binary built with -tags adfcheck) a sequential and a
+// parallel pipeline run the same scenario in lockstep, every runtime
+// invariant of internal/sanitize armed, and the per-tick state digests
+// are compared for bit-identity; `make check` runs this as CI's
+// sanitizer gate.
 //
 // -cpuprofile and -memprofile write pprof profiles covering whichever mode
 // runs; inspect them with `go tool pprof`.
@@ -97,6 +104,7 @@ func run(w io.Writer, args []string) error {
 		jsonPath    = fs.String("json-out", "BENCH_runner.json", "where -json writes the report")
 		hotpath     = fs.Bool("hotpath", false, "benchmark the per-tick pipeline at 140/~1k/~5k nodes and write a JSON report instead of running ablations")
 		hotpathPath = fs.String("hotpath-out", "BENCH_hotpath.json", "where -hotpath writes the report")
+		sanCompare  = fs.Bool("sanitize", false, "compare sequential vs parallel per-tick state digests under the adfcheck sanitizer (requires a -tags adfcheck build)")
 		cpuprofile  = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile  = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
@@ -120,6 +128,9 @@ func run(w io.Writer, args []string) error {
 		return err
 	}
 
+	if *sanCompare {
+		return runSanitize(w, cfg, *mobWorkers)
+	}
 	if *hotpath {
 		return runHotpath(w, cfg, *hotpathPath)
 	}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"github.com/mobilegrid/adf/internal/experiment"
+	"github.com/mobilegrid/adf/internal/sanitize"
+)
+
+// runSanitize is the -sanitize mode: a sequential and a parallel
+// pipeline run the configured scenario in lockstep and their per-tick
+// state digests are compared for bit-identity, with every adfcheck
+// runtime invariant armed along the way. The mode refuses to run in a
+// default build — the no-op sanitizer would make the "every invariant
+// held" claim vacuous.
+func runSanitize(w io.Writer, cfg experiment.Config, workers int) error {
+	if !sanitize.Enabled {
+		return fmt.Errorf("the sanitizer is not compiled in: rebuild with -tags adfcheck (e.g. `go run -tags adfcheck ./cmd/adfbench -sanitize`)")
+	}
+	if workers <= 1 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers < 2 {
+			workers = 2
+		}
+	}
+	ticks, err := cfg.CompareTickDigests(workers)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "sanitize: %d ticks compared, sequential vs %d mobility workers: state digests bit-identical, every invariant held\n", ticks, workers)
+	return nil
+}

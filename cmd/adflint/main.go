@@ -1,13 +1,22 @@
 // Command adflint runs the repository's static-analysis pass (see
-// internal/lint): determinism, maporder, hotpath and exhaustive. It walks
-// the whole module, prints one file:line:col diagnostic per violation and
-// exits 1 when anything is found, so `make ci` fails fast on a stray
-// time.Now(), an order-dependent map range, an allocation in an
-// //adf:hotpath function, or a non-exhaustive enum switch.
+// internal/lint): determinism, maporder, hotpath (call-graph aware),
+// exhaustive, floatcmp and invariant. It walks the whole module, prints
+// one file:line:col diagnostic per violation and exits 1 when anything
+// is found, so `make ci` fails fast on a stray time.Now(), an
+// order-dependent map range, an allocation in (or reachable from) an
+// //adf:hotpath function, a non-exhaustive enum switch, a float
+// equality in simulation code, or a sanitizer annotation drifted out of
+// sync.
 //
 // Usage:
 //
-//	adflint [-dir module-root] [-rules determinism,maporder,...] [-list]
+//	adflint [-dir module-root] [-rules determinism,maporder,...]
+//	        [-tags adfcheck] [-json] [-list]
+//
+// -tags selects the build-tag set used for file selection; `make lint`
+// runs the module twice, bare and with -tags adfcheck, so both halves
+// of every sanitizer file pair are analyzed. -json emits newline-
+// delimited JSON, one object per finding, for editor and CI tooling.
 //
 // Violations that are deliberate (benchmark timing, the sanctioned worker
 // pools) are silenced in the source with an //adf:allow <rule> comment;
@@ -15,6 +24,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -28,6 +38,8 @@ import (
 func main() {
 	dir := flag.String("dir", ".", "directory inside the module to lint (the module root is found via go.mod)")
 	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	tags := flag.String("tags", "", "comma-separated build tags satisfied during file selection (e.g. adfcheck)")
+	jsonOut := flag.Bool("json", false, "emit newline-delimited JSON diagnostics instead of text")
 	list := flag.Bool("list", false, "list the available rules and exit")
 	flag.Parse()
 
@@ -37,7 +49,7 @@ func main() {
 		}
 		return
 	}
-	n, err := run(*dir, *rules, os.Stdout)
+	n, err := run(*dir, *rules, *tags, *jsonOut, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "adflint:", err)
 		os.Exit(2)
@@ -48,10 +60,25 @@ func main() {
 	}
 }
 
+// jsonDiagnostic is the machine-readable shape of one finding.
+type jsonDiagnostic struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
 // run lints the module containing dir, writing diagnostics (with paths
 // relative to the module root) to out, and returns how many there were.
-func run(dir, rules string, out io.Writer) (int, error) {
-	loader, err := lint.NewLoader(dir)
+func run(dir, rules, tags string, jsonOut bool, out io.Writer) (int, error) {
+	var tagList []string
+	for _, t := range strings.Split(tags, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			tagList = append(tagList, t)
+		}
+	}
+	loader, err := lint.NewLoader(dir, tagList...)
 	if err != nil {
 		return 0, err
 	}
@@ -74,9 +101,22 @@ func run(dir, rules string, out io.Writer) (int, error) {
 		return 0, err
 	}
 	diags := lint.Run(pkgs, cfg)
+	enc := json.NewEncoder(out)
 	for _, d := range diags {
 		if rel, err := filepath.Rel(loader.ModuleDir, d.Pos.Filename); err == nil {
 			d.Pos.Filename = rel
+		}
+		if jsonOut {
+			if err := enc.Encode(jsonDiagnostic{
+				Rule:    d.Rule,
+				File:    filepath.ToSlash(d.Pos.Filename),
+				Line:    d.Pos.Line,
+				Col:     d.Pos.Column,
+				Message: d.Message,
+			}); err != nil {
+				return len(diags), err
+			}
+			continue
 		}
 		fmt.Fprintln(out, d)
 	}

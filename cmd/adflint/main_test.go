@@ -1,22 +1,26 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 )
 
-// TestRealModuleIsClean runs the driver over this repository: the shipped
-// tree must lint clean.
+// TestRealModuleIsClean runs the driver over this repository, in both
+// tag modes: the shipped tree must lint clean bare and with the
+// adfcheck sanitizer files selected.
 func TestRealModuleIsClean(t *testing.T) {
-	var out strings.Builder
-	n, err := run(".", "", &out)
-	if err != nil {
-		t.Fatalf("run: %v", err)
-	}
-	if n != 0 {
-		t.Errorf("module has %d lint violations:\n%s", n, out.String())
+	for _, tags := range []string{"", "adfcheck"} {
+		var out strings.Builder
+		n, err := run(".", "", tags, false, &out)
+		if err != nil {
+			t.Fatalf("run(tags=%q): %v", tags, err)
+		}
+		if n != 0 {
+			t.Errorf("module has %d lint violations with tags=%q:\n%s", n, tags, out.String())
+		}
 	}
 }
 
@@ -34,7 +38,7 @@ import "time"
 func Now() int64 { return time.Now().UnixNano() }
 `)
 	var out strings.Builder
-	n, err := run(dir, "", &out)
+	n, err := run(dir, "", "", false, &out)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -45,6 +49,82 @@ func Now() int64 { return time.Now().UnixNano() }
 	want := filepath.Join("internal", "engine", "engine.go")
 	if !strings.Contains(got, want) || !strings.Contains(got, "determinism") {
 		t.Errorf("diagnostic missing relative path or rule:\n%s", got)
+	}
+}
+
+// TestJSONOutput pins the machine-readable format: one JSON object per
+// line with rule, file, line, col and message fields.
+func TestJSONOutput(t *testing.T) {
+	dir := t.TempDir()
+	mustWrite(t, filepath.Join(dir, "go.mod"), "module github.com/mobilegrid/adf\n\ngo 1.24\n")
+	mustWrite(t, filepath.Join(dir, "internal", "engine", "engine.go"), `package engine
+
+import "time"
+
+// Now leaks the wall clock.
+func Now() int64 { return time.Now().UnixNano() }
+`)
+	var out strings.Builder
+	n, err := run(dir, "", "", true, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != n || n != 1 {
+		t.Fatalf("want exactly %d JSON line(s), got %d:\n%s", n, len(lines), out.String())
+	}
+	var d jsonDiagnostic
+	if err := json.Unmarshal([]byte(lines[0]), &d); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, lines[0])
+	}
+	if d.Rule != "determinism" {
+		t.Errorf("rule = %q, want determinism", d.Rule)
+	}
+	if d.File != "internal/engine/engine.go" {
+		t.Errorf("file = %q, want internal/engine/engine.go (slash-separated, module-relative)", d.File)
+	}
+	if d.Line != 6 || d.Col == 0 {
+		t.Errorf("position = %d:%d, want line 6 and a non-zero column", d.Line, d.Col)
+	}
+	if !strings.Contains(d.Message, "time.Now") {
+		t.Errorf("message %q does not name the violation", d.Message)
+	}
+}
+
+// TestTagSelection: a violation inside an adfcheck-gated file is
+// invisible to the bare pass and caught by the tagged pass.
+func TestTagSelection(t *testing.T) {
+	dir := t.TempDir()
+	mustWrite(t, filepath.Join(dir, "go.mod"), "module github.com/mobilegrid/adf\n\ngo 1.24\n")
+	mustWrite(t, filepath.Join(dir, "internal", "engine", "engine.go"), `package engine
+
+// Tick is the neutral half.
+func Tick() {}
+`)
+	mustWrite(t, filepath.Join(dir, "internal", "engine", "check_on.go"), `//go:build adfcheck
+
+package engine
+
+import "time"
+
+// now leaks the wall clock, but only into the sanitizer build.
+func now() int64 { return time.Now().UnixNano() }
+`)
+	var out strings.Builder
+	n, err := run(dir, "determinism", "", false, &out)
+	if err != nil {
+		t.Fatalf("bare run: %v", err)
+	}
+	if n != 0 {
+		t.Errorf("bare pass saw the tagged file:\n%s", out.String())
+	}
+	out.Reset()
+	n, err = run(dir, "determinism", "adfcheck", false, &out)
+	if err != nil {
+		t.Fatalf("tagged run: %v", err)
+	}
+	if n != 1 {
+		t.Errorf("tagged pass found %d violations, want 1:\n%s", n, out.String())
 	}
 }
 
@@ -61,14 +141,14 @@ import "time"
 func Now() int64 { return time.Now().UnixNano() }
 `)
 	var out strings.Builder
-	n, err := run(dir, "exhaustive", &out)
+	n, err := run(dir, "exhaustive", "", false, &out)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if n != 0 {
 		t.Errorf("exhaustive-only run reported %d violations:\n%s", n, out.String())
 	}
-	if _, err := run(dir, "nosuchrule", &out); err == nil {
+	if _, err := run(dir, "nosuchrule", "", false, &out); err == nil {
 		t.Error("unknown rule name did not error")
 	}
 }

@@ -62,6 +62,8 @@ func New(factory estimate.Factory) *Broker {
 func (b *Broker) record(node int) *record {
 	r, ok := b.records.Get(node)
 	if !ok {
+		//adf:allow hotpath — first report from a node; later ticks take
+		// the Get fast path.
 		r = &record{est: b.newEstimator()}
 		b.records.Put(node, r)
 	}
@@ -81,6 +83,7 @@ func (b *Broker) receive(r *record, node int, t float64, p geo.Point) {
 	r.hasReport = true
 	r.est.Observe(t, p)
 	r.believed = Entry{Node: node, Pos: p, Time: t, Estimated: false}
+	b.checkBelief(r)
 	b.received++
 }
 
@@ -94,6 +97,7 @@ func (b *Broker) miss(r *record, node int, t float64) Entry {
 		b.estimated++
 	}
 	r.believed = Entry{Node: node, Pos: pos, Time: t, Estimated: estimated}
+	b.checkBelief(r)
 	return r.believed
 }
 

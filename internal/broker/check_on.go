@@ -1,0 +1,16 @@
+//go:build adfcheck
+
+package broker
+
+import "github.com/mobilegrid/adf/internal/sanitize"
+
+// checkBelief verifies a freshly refreshed location-DB entry: the
+// paper's whole premise is that the broker tolerates *bounded, known*
+// location error, so a NaN or infinite belief — typically an estimator
+// gone unstable — must fail here, not skew the RMSE curves downstream.
+func (b *Broker) checkBelief(r *record) {
+	//adf:invariant finite-estimate — believed positions feed every RMSE figure and location query.
+	sanitize.CheckPoint("broker: believed position", r.believed.Pos)
+	//adf:invariant finite-estimate — belief timestamps order DB refreshes.
+	sanitize.CheckFinite("broker: belief time", r.believed.Time)
+}

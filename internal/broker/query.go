@@ -30,8 +30,11 @@ func (b *Broker) Nearest(p geo.Point, k int) ([]Candidate, error) {
 	}
 	cands := b.candidates(p)
 	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].Dist != cands[j].Dist {
-			return cands[i].Dist < cands[j].Dist
+		if cands[i].Dist < cands[j].Dist {
+			return true
+		}
+		if cands[j].Dist < cands[i].Dist {
+			return false
 		}
 		return cands[i].Node < cands[j].Node
 	})
@@ -54,8 +57,11 @@ func (b *Broker) Within(p geo.Point, radius float64) ([]Candidate, error) {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].Dist != out[j].Dist {
-			return out[i].Dist < out[j].Dist
+		if out[i].Dist < out[j].Dist {
+			return true
+		}
+		if out[j].Dist < out[i].Dist {
+			return false
 		}
 		return out[i].Node < out[j].Node
 	})

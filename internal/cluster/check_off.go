@@ -1,0 +1,6 @@
+//go:build !adfcheck
+
+package cluster
+
+// checkStats is a no-op in the default build.
+func (c *Cluster) checkStats() {}

@@ -1,0 +1,42 @@
+//go:build adfcheck
+
+package cluster
+
+import (
+	"math"
+
+	"github.com/mobilegrid/adf/internal/sanitize"
+)
+
+// statsTol is the tolerance for comparing the incrementally maintained
+// running sums against a from-scratch recompute. The recompute visits
+// members in map order while the increments followed assignment history,
+// so the two sums round differently; anything beyond ~1e-6 relative
+// error is a genuine drift bug, not rounding.
+const statsTol = 1e-6
+
+// checkStats recomputes the cluster's representative sums from its
+// current members and compares them against the O(1) incremental sums
+// the hot path maintains — the PR-2 optimization this sanitizer exists
+// to keep honest. Called after every membership change in the adfcheck
+// build.
+func (c *Cluster) checkStats() {
+	var speed, cos, sin float64
+	//adf:allow maporder — commutative float sums; iteration order only
+	// perturbs rounding, which the tolerance comparison below absorbs.
+	for _, m := range c.members {
+		speed += m.f.Speed
+		cos += math.Cos(m.f.Heading)
+		sin += math.Sin(m.f.Heading)
+	}
+	//adf:invariant cluster-stats — incremental running sums must equal a from-scratch recompute.
+	sanitize.CheckNear("cluster: speed sum", c.speedSum, speed, statsTol)
+	//adf:invariant cluster-stats — heading cosine sum stays in step with the membership.
+	sanitize.CheckNear("cluster: cos sum", c.cosSum, cos, statsTol)
+	//adf:invariant cluster-stats — heading sine sum stays in step with the membership.
+	sanitize.CheckNear("cluster: sin sum", c.sinSum, sin, statsTol)
+	//adf:invariant finite-estimate — the cached representative feeds every DTH.
+	sanitize.CheckFinite("cluster: mean speed", c.meanSpeed)
+	//adf:invariant finite-estimate — the cached mean heading feeds the distance metric.
+	sanitize.CheckFinite("cluster: mean heading", c.meanHeading)
+}

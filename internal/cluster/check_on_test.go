@@ -1,0 +1,38 @@
+//go:build adfcheck
+
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSanitizerCatchesDriftedStats corrupts a cluster's incremental
+// speed sum — the exact failure mode the PR-2 O(1) statistics could
+// silently develop — and asserts the next membership change panics with
+// the cluster-stats invariant.
+func TestSanitizerCatchesDriftedStats(t *testing.T) {
+	m, err := NewManager(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Assign(1, Feature{Speed: 1.0, Heading: 0.5})
+	m.Assign(2, Feature{Speed: 1.2, Heading: 0.6})
+	c, ok := m.byNode.Get(1)
+	if !ok {
+		t.Fatal("node 1 not clustered")
+	}
+	c.speedSum += 0.5 // inject drift
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("drifted stats were not caught")
+		}
+		msg, _ := r.(string)
+		if !strings.Contains(msg, "adfcheck:") || !strings.Contains(msg, "speed sum") {
+			t.Errorf("unexpected panic %q", msg)
+		}
+	}()
+	m.Assign(3, Feature{Speed: 1.1, Heading: 0.55})
+}

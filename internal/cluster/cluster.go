@@ -164,6 +164,7 @@ func (c *Cluster) add(id NodeID, f Feature) {
 	c.sinSum += m.sin
 	c.membersDirty = true
 	c.refresh()
+	c.checkStats()
 }
 
 func (c *Cluster) remove(id NodeID) bool {
@@ -180,6 +181,7 @@ func (c *Cluster) remove(id NodeID) bool {
 	}
 	c.membersDirty = true
 	c.refresh()
+	c.checkStats()
 	return true
 }
 
@@ -270,7 +272,7 @@ func (m *Manager) fileCluster(c *Cluster) {
 	b := m.bucketOf(c.meanSpeed)
 	c.bucket = b
 	c.inBucket = true
-	m.buckets[b] = append(m.buckets[b], c)
+	m.buckets[b] = append(m.buckets[b], c) //adf:allow hotpath — bucket slots are recycled; growth stops at the cluster-count peak
 	if !m.hasBuckets {
 		m.loBucket, m.hiBucket = b, b
 		m.hasBuckets = true
@@ -320,7 +322,9 @@ func (m *Manager) scanBucket(f Feature, b int, best *Cluster, bestD float64) (*C
 	for _, c := range m.buckets[b] {
 		m.scans++
 		d := m.distance(f, c)
-		if d < bestD || (d == bestD && (best == nil || c.id < best.id)) {
+		// geo.SameBits, not ==: the tie-break must be an intentional
+		// bit-identity test (d comes from Abs so -0.0 never appears).
+		if d < bestD || (geo.SameBits(d, bestD) && (best == nil || c.id < best.id)) {
 			best, bestD = c, d
 		}
 	}
@@ -384,6 +388,8 @@ func (m *Manager) newCluster() *Cluster {
 		m.free[n-1] = nil
 		m.free = m.free[:n-1]
 	} else {
+		//adf:allow hotpath — pool miss: a genuinely new cluster is born;
+		// retired structs are reused first.
 		c = &Cluster{members: make(map[NodeID]member)}
 	}
 	c.id = m.nextID
@@ -399,7 +405,7 @@ func (m *Manager) retireCluster(c *Cluster) {
 	delete(m.clusters, c.id)
 	m.orderedDirty = true
 	c.reset()
-	m.free = append(m.free, c)
+	m.free = append(m.free, c) //adf:allow hotpath — pool push; capacity is bounded by the cluster-count peak
 }
 
 // Assign places (or re-places) a node according to the sequential scheme

@@ -141,6 +141,7 @@ func (a *ADF) Config() Config { return a.cfg }
 func (a *ADF) Offer(lu filter.LU) filter.Decision {
 	st, ok := a.nodes.Get(lu.Node)
 	if !ok {
+		//adf:allow hotpath — classifier birth happens once per node.
 		cl, err := NewClassifier(a.cfg.Classifier)
 		if err != nil {
 			// Config was validated at construction; this cannot happen.
@@ -200,6 +201,9 @@ func (a *ADF) maintainClustering(now float64, node int, st *nodeState) {
 		return
 	}
 	if a.cfg.ReclusterInterval > 0 && now-a.lastRebuild >= a.cfg.ReclusterInterval {
+		//adf:allow hotpath — periodic reclustering (the paper's step 6)
+		// runs once per ReclusterInterval, not per tick: a declared cold
+		// path, so the call-graph walk stops here.
 		a.rebuild()
 		a.lastRebuild = now
 	}
@@ -237,6 +241,7 @@ func (a *ADF) dthFor(node int, st *nodeState) float64 {
 	if dth < a.cfg.MinDTH {
 		dth = a.cfg.MinDTH
 	}
+	a.checkDTH(dth)
 	return dth
 }
 

@@ -1,0 +1,6 @@
+//go:build !adfcheck
+
+package core
+
+// checkDTH is a no-op in the default build.
+func (a *ADF) checkDTH(dth float64) {}

@@ -1,0 +1,15 @@
+//go:build adfcheck
+
+package core
+
+import "github.com/mobilegrid/adf/internal/sanitize"
+
+// checkDTH verifies the distance threshold handed to the filter for a
+// node whose classifier window has filled: a NaN, infinite or
+// below-floor DTH would silently change every transmit decision that
+// follows, which is exactly the corruption the traffic figures cannot
+// reveal on their own.
+func (a *ADF) checkDTH(dth float64) {
+	//adf:invariant dth-floor — a ready node's threshold is finite and at least MinDTH.
+	sanitize.CheckAtLeast("core: distance threshold", dth, a.cfg.MinDTH)
+}

@@ -142,20 +142,22 @@ func (c *Classifier) Observe(t float64, p geo.Point) {
 		copy(c.points, c.points[1:])
 		c.points[n-1] = p
 	} else {
-		c.times = append(c.times, t)
-		c.points = append(c.points, p)
+		// Warm-up only: every slice here is capped at WindowSize, so the
+		// appends stop allocating once the window has filled once.
+		c.times = append(c.times, t)   //adf:allow hotpath — bounded by WindowSize
+		c.points = append(c.points, p) //adf:allow hotpath — bounded by WindowSize
 	}
 	if n := len(c.times); n >= 2 {
 		// Derive the newly completed step exactly once.
 		dt := c.times[n-1] - c.times[n-2]
 		d := c.points[n-1].Sub(c.points[n-2])
 		speed := d.Len() / dt
-		c.speeds = append(c.speeds, speed)
+		c.speeds = append(c.speeds, speed) //adf:allow hotpath — bounded by WindowSize
 		if speed > c.cfg.StopSpeed {
 			h := d.Heading()
-			c.headings = append(c.headings, h)
-			c.hcos = append(c.hcos, math.Cos(h))
-			c.hsin = append(c.hsin, math.Sin(h))
+			c.headings = append(c.headings, h)   //adf:allow hotpath — bounded by WindowSize
+			c.hcos = append(c.hcos, math.Cos(h)) //adf:allow hotpath — bounded by WindowSize
+			c.hsin = append(c.hsin, math.Sin(h)) //adf:allow hotpath — bounded by WindowSize
 		}
 	}
 }

@@ -38,9 +38,10 @@ func (m *Map[V]) Get(key int) (V, bool) {
 // Put stores value under key, replacing any existing entry.
 func (m *Map[V]) Put(key int, value V) {
 	if key >= 0 && key < maxDense {
+		var zero V
 		for len(m.vals) <= key {
-			m.vals = append(m.vals, *new(V))
-			m.present = append(m.present, false)
+			m.vals = append(m.vals, zero)        //adf:allow hotpath — first-touch growth of the dense array, amortized by append's doubling
+			m.present = append(m.present, false) //adf:allow hotpath — grows in step with vals
 		}
 		if !m.present[key] {
 			m.present[key] = true
@@ -50,7 +51,7 @@ func (m *Map[V]) Put(key int, value V) {
 		return
 	}
 	if m.sparse == nil {
-		m.sparse = make(map[int]V)
+		m.sparse = make(map[int]V) //adf:allow hotpath — lazy one-time fallback for out-of-range keys
 	}
 	if _, ok := m.sparse[key]; !ok {
 		m.count++
@@ -65,7 +66,8 @@ func (m *Map[V]) Delete(key int) bool {
 			return false
 		}
 		m.present[key] = false
-		m.vals[key] = *new(V)
+		var zero V
+		m.vals[key] = zero
 		m.count--
 		return true
 	}

@@ -1,0 +1,41 @@
+package engine
+
+import "github.com/mobilegrid/adf/internal/sanitize"
+
+// StateDigester is implemented by pipeline components that can fold
+// their internal state into a per-tick checksum. The engine asks the
+// filter for it when comparing sequential against parallel runs; the
+// brokers implement the same method directly.
+type StateDigester interface {
+	// DigestState writes the component's state into d in a
+	// deterministic order.
+	DigestState(d *sanitize.Digest)
+}
+
+// StateDigest returns the FNV-1a checksum of the pipeline's full
+// simulation state: every node's identity and true position, both
+// brokers' believed location DBs and counters, the filter's internal
+// state when it exposes one (the ADF folds in its per-cluster
+// statistics), and the churn population. Two runs that are bit-for-bit
+// identical produce equal digests at every tick; a single flipped sign
+// bit in one coordinate diverges them. The determinism tests and
+// `adfbench -sanitize` compare sequential against MobilityWorkers>1
+// runs tick by tick through this digest.
+func (p *Pipeline) StateDigest() uint64 {
+	d := sanitize.NewDigest()
+	for _, n := range p.Nodes {
+		d.WriteInt(n.ID())
+		pos := n.Pos()
+		d.WriteFloat64(pos.X)
+		d.WriteFloat64(pos.Y)
+	}
+	p.NoLE.DigestState(&d)
+	p.WithLE.DigestState(&d)
+	if f, ok := p.Filter.(StateDigester); ok {
+		f.DigestState(&d)
+	}
+	if p.Churn != nil {
+		d.WriteInt(p.Churn.AbsentCount())
+	}
+	return d.Sum()
+}

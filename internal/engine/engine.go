@@ -215,6 +215,11 @@ type Pipeline struct {
 	// pool is the lazily started mobility worker pool (nil when
 	// MobilityWorkers <= 1).
 	pool *advancePool
+	// san is the runtime sanitizer's bookkeeping. In the default build it
+	// is an empty struct and sanitizeTick is an inlined no-op; under
+	// -tags adfcheck it holds the campus bounding box and the previous
+	// tick time (see sanitize_on.go).
+	san sanitizerState
 }
 
 // Validate reports wiring errors.
@@ -271,6 +276,7 @@ func (p *Pipeline) Tick(now float64) error {
 		}
 	}
 	p.stageAdvance(now)
+	p.sanitizeTick(now)
 	for i := range p.samples {
 		if err := p.tickNode(i, p.samples[i]); err != nil {
 			return err

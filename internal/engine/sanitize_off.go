@@ -1,0 +1,10 @@
+//go:build !adfcheck
+
+package engine
+
+// sanitizerState is empty in the default build; the field it backs in
+// Pipeline costs nothing.
+type sanitizerState struct{}
+
+// sanitizeTick is a no-op in the default build.
+func (p *Pipeline) sanitizeTick(now float64) {}

@@ -149,15 +149,14 @@ type motionTracker struct {
 // observe returns the (speed, heading, ok) derived from the new sample;
 // ok is false for the first sample or non-advancing timestamps.
 func (m *motionTracker) observe(t float64, p geo.Point) (speed, heading float64, ok bool) {
-	defer func() {
-		m.lastT, m.lastP = t, p
-		m.n++
-	}()
-	if m.n == 0 || t <= m.lastT {
+	prevN, prevT, prevP := m.n, m.lastT, m.lastP
+	m.lastT, m.lastP = t, p
+	m.n++
+	if prevN == 0 || t <= prevT {
 		return 0, 0, false
 	}
-	dt := t - m.lastT
-	d := p.Sub(m.lastP)
+	dt := t - prevT
+	d := p.Sub(prevP)
 	return d.Len() / dt, d.Heading(), true
 }
 

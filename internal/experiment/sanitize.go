@@ -1,0 +1,53 @@
+package experiment
+
+import "fmt"
+
+// CompareTickDigests builds the campaign's ADF pipeline twice — once
+// sequential, once with workers mobility-advance goroutines — and drives
+// both in tick lockstep, comparing engine.Pipeline.StateDigest after
+// every tick. Equal digests mean the two runs agree bit for bit on every
+// node position, broker belief and cluster statistic; the first
+// divergence is reported with its tick. It returns the number of ticks
+// compared. Under -tags adfcheck the ticks additionally run every
+// sanitizer invariant, which is how `adfbench -sanitize` and the CI
+// `make check` job exercise the whole stack.
+func (c Config) CompareTickDigests(workers int) (int, error) {
+	if workers <= 1 {
+		return 0, fmt.Errorf("experiment: CompareTickDigests needs workers > 1, got %d", workers)
+	}
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	seqCfg, parCfg := c, c
+	seqCfg.MobilityWorkers = 1
+	parCfg.MobilityWorkers = workers
+
+	seq, _, _, err := seqCfg.buildRun(seqCfg.adfFactory(seqCfg.DTHFactors[0]))
+	if err != nil {
+		return 0, err
+	}
+	defer seq.Close()
+	par, _, _, err := parCfg.buildRun(parCfg.adfFactory(parCfg.DTHFactors[0]))
+	if err != nil {
+		return 0, err
+	}
+	defer par.Close()
+
+	ticks := 0
+	for t := c.SamplePeriod; t <= c.Duration; t += c.SamplePeriod {
+		if err := seq.Tick(t); err != nil {
+			return ticks, fmt.Errorf("experiment: sequential tick %v: %w", t, err)
+		}
+		if err := par.Tick(t); err != nil {
+			return ticks, fmt.Errorf("experiment: parallel tick %v: %w", t, err)
+		}
+		ticks++
+		ds, dp := seq.StateDigest(), par.StateDigest()
+		if ds != dp {
+			return ticks, fmt.Errorf(
+				"experiment: state digests diverge at tick %v: sequential %#016x, %d-worker %#016x",
+				t, ds, workers, dp)
+		}
+	}
+	return ticks, nil
+}

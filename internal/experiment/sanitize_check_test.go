@@ -1,0 +1,42 @@
+//go:build adfcheck
+
+package experiment
+
+import "testing"
+
+// TestSanitizedCampaignRun executes a full campaign simulation — ADF
+// filter, churn, wireless drops, both brokers — with every runtime
+// invariant armed. Any NaN position or estimate, out-of-campus
+// coordinate, drifted cluster statistic, below-floor DTH or clock
+// regression panics with file:line; a clean pass is the sanitizer's
+// tier-1 acceptance.
+func TestSanitizedCampaignRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sanitized run is not short")
+	}
+	cfg := DefaultConfig()
+	cfg.Duration = 200
+	cfg.Churn = &ChurnConfig{LeaveProb: 0.005, RejoinProb: 0.1}
+	run, err := cfg.runFilter(cfg.adfFactory(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.TotalLUs() == 0 {
+		t.Error("sanitized run transmitted no LUs")
+	}
+}
+
+// TestSequentialParallelDigestsMatchSanitized is the acceptance pairing
+// of the sanitizer with the digest comparison: sequential vs
+// MobilityWorkers>1, bit-identical per tick, all invariants armed.
+func TestSequentialParallelDigestsMatchSanitized(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Duration = 60
+	ticks, err := cfg.CompareTickDigests(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 60 {
+		t.Errorf("compared %d ticks, want 60", ticks)
+	}
+}

@@ -1,0 +1,32 @@
+package geo
+
+import "math"
+
+// SameBits reports whether a and b have identical IEEE-754 bit patterns.
+// It is the float comparison the simulation packages use where ordinary
+// == would be flagged by the floatcmp lint rule: the intent — "exactly
+// the value written earlier, bit for bit" — is explicit, and the edge
+// cases differ deliberately from ==: NaN compares equal to an
+// identically-encoded NaN, and +0.0 does not compare equal to -0.0.
+func SameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// NearEq reports whether a and b agree to within tol, measured
+// absolutely for small magnitudes and relatively for large ones:
+// |a−b| ≤ tol·(1+max(|a|,|b|)). It is the tolerance comparison for
+// quantities accumulated in different orders (running sums versus a
+// from-scratch recompute), where bit identity cannot be expected.
+func NearEq(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if a == b { // covers equal infinities
+		return true
+	}
+	scale := math.Abs(a)
+	if m := math.Abs(b); m > scale {
+		scale = m
+	}
+	return math.Abs(a-b) <= tol*(1+scale)
+}

@@ -200,6 +200,14 @@ func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
 // rectangle can contain.
 func (r Rect) Diagonal() float64 { return r.Min.Dist(r.Max) }
 
+// Union returns the smallest rectangle covering both r and s.
+func (r Rect) Union(s Rect) Rect {
+	return Rect{
+		Min: Point{X: math.Min(r.Min.X, s.Min.X), Y: math.Min(r.Min.Y, s.Min.Y)},
+		Max: Point{X: math.Max(r.Max.X, s.Max.X), Y: math.Max(r.Max.Y, s.Max.Y)},
+	}
+}
+
 // ClampPoint returns the point inside the rectangle closest to p.
 func (r Rect) ClampPoint(p Point) Point {
 	return Point{

@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the call-graph half of the hotpath rule. The
+// intraprocedural half (hotpath.go) checks the body of every
+// //adf:hotpath function; this half follows the function's *static*
+// module-local callees — transitively — and holds their bodies to the
+// same no-allocation standard, so delegating an append to a helper one
+// package over no longer hides it. Dynamic dispatch (interface methods,
+// func values) and calls out of the module are not followed: the rule
+// is a sound-for-static-calls approximation, not an escape analysis.
+//
+// A callee that is itself //adf:hotpath is not re-walked — it is its
+// own root. Silencing works at either end: //adf:allow hotpath on the
+// call site declares the whole call a cold path and prunes the walk,
+// while //adf:allow hotpath on the offending construct inside the
+// callee silences just that construct (for helpers whose slow path is
+// genuinely cold, such as first-touch growth).
+
+// funcDeclInfo ties a function declaration to the package holding it.
+type funcDeclInfo struct {
+	fn  *ast.FuncDecl
+	pkg *Package
+}
+
+func runHotPathModule(p *ModulePass) {
+	w := &hotWalker{
+		p:        p,
+		index:    make(map[*types.Func]funcDeclInfo),
+		allows:   make(allowSet),
+		reported: make(map[token.Pos]bool),
+	}
+	for _, pkg := range p.Pkgs {
+		allowIndexInto(w.allows, pkg)
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[fn.Name].(*types.Func); ok {
+					w.index[obj] = funcDeclInfo{fn: fn, pkg: pkg}
+				}
+			}
+		}
+	}
+	for _, pkg := range p.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || !isHotPath(fn) {
+					continue
+				}
+				visited := make(map[*types.Func]bool)
+				if obj, ok := pkg.Info.Defs[fn.Name].(*types.Func); ok {
+					visited[obj] = true
+				}
+				w.walkCalls(pkg, fn, fn.Name.Name, fn.Name.Name, visited)
+			}
+		}
+	}
+}
+
+// hotWalker carries the state of one module walk: the declaration
+// index, the //adf:allow index used to prune vouched-for call sites,
+// and the set of construct positions already reported (a helper shared
+// by several hot roots is reported once, for the first chain found).
+type hotWalker struct {
+	p        *ModulePass
+	index    map[*types.Func]funcDeclInfo
+	allows   allowSet
+	reported map[token.Pos]bool
+}
+
+// walkCalls scans fn's body for static calls to module-local functions
+// and checks each resolved callee that is not a hotpath root itself.
+// root is the //adf:hotpath entry point, chain the call path so far.
+func (w *hotWalker) walkCalls(pkg *Package, fn *ast.FuncDecl, root, chain string, visited map[*types.Func]bool) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			// A closure is itself a flagged (or explicitly allowed)
+			// construct; its body runs under whatever context invokes
+			// it, not necessarily this hot path.
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := staticCallee(pkg, call)
+		if callee == nil {
+			return true
+		}
+		decl, ok := w.index[callee]
+		if !ok || isHotPath(decl.fn) || visited[callee] {
+			return true
+		}
+		// //adf:allow hotpath on the call site vouches for the callee
+		// as a whole: the call is a declared cold path.
+		pos := w.p.Fset.Position(call.Pos())
+		if w.allows[pos.Filename][pos.Line]["hotpath"] {
+			return true
+		}
+		visited[callee] = true
+		sub := chain + " -> " + decl.fn.Name.Name
+		w.checkCallee(decl, root, sub)
+		w.walkCalls(decl.pkg, decl.fn, root, sub, visited)
+		return true
+	})
+}
+
+// checkCallee flags allocating constructs in a transitively reached,
+// non-annotated callee body, naming the call chain from the root.
+func (w *hotWalker) checkCallee(d funcDeclInfo, root, chain string) {
+	report := func(pos token.Pos, what string) {
+		if w.reported[pos] {
+			return
+		}
+		w.reported[pos] = true
+		w.p.Reportf(pos, "%s in %s is reachable from //adf:hotpath function %s (%s): hoist it behind a cold path, or //adf:allow hotpath on the construct or the call site", what, d.fn.Name.Name, root, chain)
+	}
+	ast.Inspect(d.fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			report(n.Pos(), "closure")
+			return false
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement")
+		case *ast.DeferStmt:
+			report(n.Pos(), "defer")
+		case *ast.UnaryExpr:
+			if lit, ok := n.X.(*ast.CompositeLit); ok {
+				report(n.Pos(), "&"+litTypeName(d.pkg, lit)+"{...}")
+				return false
+			}
+		case *ast.CompositeLit:
+			t := d.pkg.Info.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				report(n.Pos(), "slice literal")
+			case *types.Map:
+				report(n.Pos(), "map literal")
+			}
+		case *ast.CallExpr:
+			ident, ok := n.Fun.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if _, isBuiltin := d.pkg.Info.Uses[ident].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			switch ident.Name {
+			case "append", "make", "new":
+				report(n.Pos(), ident.Name)
+			}
+		}
+		return true
+	})
+}
+
+// staticCallee resolves the called function of a call expression to its
+// declared *types.Func, generic instantiations included (Origin maps an
+// instantiated method back to its source declaration). Builtins, type
+// conversions, func-typed variables and interface methods resolve to
+// nil or to objects absent from the module index, so they are skipped.
+func staticCallee(pkg *Package, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	switch f := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(f.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(f.X)
+	}
+	var obj types.Object
+	switch f := fun.(type) {
+	case *ast.Ident:
+		obj = pkg.Info.Uses[f]
+	case *ast.SelectorExpr:
+		obj = pkg.Info.Uses[f.Sel]
+	default:
+		return nil
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	return fn.Origin()
+}
+
+// litTypeName renders a composite literal's type for a diagnostic.
+func litTypeName(pkg *Package, lit *ast.CompositeLit) string {
+	if lit.Type != nil {
+		return types.ExprString(lit.Type)
+	}
+	if t := pkg.Info.TypeOf(lit); t != nil {
+		return t.String()
+	}
+	return "T"
+}

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp forbids == and != between floating-point operands in the
+// simulation packages. Equality on floats is rounding-sensitive and has
+// historically hidden order-dependence bugs: two sums that agree
+// mathematically differ in their low bits when accumulated in a
+// different order, so a tie-break written `a != b` can flip between a
+// sequential and a parallel run. The sanctioned spellings are two <
+// comparisons for ordering ties, geo.SameBits for intentional
+// bit-identity and geo.NearEq for tolerance checks. A comparison where
+// one side is a compile-time constant (a sentinel such as 0 or an
+// initialization marker) is exempt: those values are assigned, never
+// computed, so the comparison is exact by construction.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "forbid == and != on computed float operands in simulation packages",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(p *Pass) {
+	if !p.Sim {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatType(p.TypeOf(be.X)) && !isFloatType(p.TypeOf(be.Y)) {
+				return true
+			}
+			if isConstExpr(p, be.X) || isConstExpr(p, be.Y) {
+				return true
+			}
+			p.Reportf(be.OpPos, "%s on computed float operands is rounding-sensitive: break ordering ties with two < comparisons, or use geo.SameBits / geo.NearEq", be.Op)
+			return true
+		})
+	}
+}
+
+// isFloatType reports whether t is (or aliases) a floating-point type.
+func isFloatType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isConstExpr reports whether the expression has a compile-time value.
+func isConstExpr(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Pkg.Info.Types[e]
+	return ok && tv.Value != nil
+}

@@ -14,10 +14,14 @@ import (
 // registers or on the stack. Genuine cold paths inside a hot function
 // (first-touch growth, pool refills) carry //adf:allow hotpath with a
 // reason.
+// The rule has a second, module-wide half (callgraph.go): static
+// module-local callees of a hotpath function are walked transitively
+// and held to the same standard.
 var HotPath = &Analyzer{
-	Name: "hotpath",
-	Doc:  "forbid allocating constructs in //adf:hotpath-annotated functions",
-	Run:  runHotPath,
+	Name:      "hotpath",
+	Doc:       "forbid allocating constructs in and reachable from //adf:hotpath functions",
+	Run:       runHotPath,
+	RunModule: runHotPathModule,
 }
 
 func runHotPath(p *Pass) {
@@ -78,11 +82,5 @@ func (p *Pass) checkHotBody(fn *ast.FuncDecl) {
 
 // litTypeString renders a composite literal's type for the diagnostic.
 func litTypeString(p *Pass, lit *ast.CompositeLit) string {
-	if lit.Type != nil {
-		return types.ExprString(lit.Type)
-	}
-	if t := p.TypeOf(lit); t != nil {
-		return t.String()
-	}
-	return "T"
+	return litTypeName(p.Pkg, lit)
 }

@@ -1,0 +1,257 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Invariant keeps the runtime sanitizer (internal/sanitize, build tag
+// adfcheck) honest at the source level, in three parts:
+//
+//  1. Every call to a sanitize.Check* function outside the sanitize
+//     package must be annotated //adf:invariant <name> — <why> on the
+//     call line or the line directly above, so the guarded invariant is
+//     named and greppable.
+//  2. Every //adf:invariant annotation must actually cover such a call —
+//     a stale annotation left behind after a refactor is an error.
+//  3. Each package's adfcheck/!adfcheck file pair must declare the same
+//     method and exported function names, so sanitizer-only code cannot
+//     leak into (or silently vanish from) the default build. Unexported
+//     plain functions are exempt: the tagged half may keep private
+//     helpers, such as the panic formatter, that a no-op stub never
+//     needs.
+//
+// Parts 1 and 2 see only the files selected by the current tag set —
+// which is why make lint runs the module twice, bare and with
+// -tags adfcheck. Part 3 parses both halves of every pair regardless of
+// the tag set, so pairing drift is caught in either pass.
+var Invariant = &Analyzer{
+	Name: "invariant",
+	Doc:  "keep //adf:invariant annotations and adfcheck/!adfcheck file pairs in sync",
+	Run:  runInvariant,
+}
+
+// invariantPrefix introduces an annotation naming a guarded invariant.
+const invariantPrefix = "//adf:invariant"
+
+// invariantNameRe is the annotation grammar: a kebab-case name, then
+// free text (conventionally "— why").
+var invariantNameRe = regexp.MustCompile(`^[a-z][a-z0-9-]*$`)
+
+// sanitizePkgSuffix identifies the sanitizer package by import path.
+const sanitizePkgSuffix = "internal/sanitize"
+
+func runInvariant(p *Pass) {
+	if !strings.HasSuffix(p.Pkg.Path, sanitizePkgSuffix) {
+		p.checkAnnotations()
+	}
+	p.checkStubPairs()
+}
+
+// invGroup is one //adf:invariant comment group and whether a
+// sanitize.Check call was found under it.
+type invGroup struct {
+	pos  token.Pos
+	name string
+	used bool
+}
+
+// checkAnnotations enforces parts 1 and 2: Check calls and annotations
+// must cover each other exactly.
+func (p *Pass) checkAnnotations() {
+	// index: file → line → annotation group covering that line. Coverage
+	// is the group's lines plus the line after it, mirroring //adf:allow.
+	index := make(map[string]map[int]*invGroup)
+	var groups []*invGroup
+	for _, f := range p.Pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				rest, ok := strings.CutPrefix(c.Text, invariantPrefix)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 || !invariantNameRe.MatchString(fields[0]) {
+					p.Reportf(c.Pos(), "malformed %s annotation: want %s <kebab-case-name> — <why>", invariantPrefix, invariantPrefix)
+					continue
+				}
+				g := &invGroup{pos: c.Pos(), name: fields[0]}
+				groups = append(groups, g)
+				start := p.Fset.Position(group.Pos())
+				end := p.Fset.Position(group.End())
+				lines := index[start.Filename]
+				if lines == nil {
+					lines = make(map[int]*invGroup)
+					index[start.Filename] = lines
+				}
+				for line := start.Line; line <= end.Line+1; line++ {
+					lines[line] = g
+				}
+			}
+		}
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := p.ObjectOf(call.Fun)
+			if obj == nil || obj.Pkg() == nil ||
+				!strings.HasSuffix(obj.Pkg().Path(), sanitizePkgSuffix) ||
+				!strings.HasPrefix(obj.Name(), "Check") {
+				return true
+			}
+			pos := p.Fset.Position(call.Pos())
+			if g := index[pos.Filename][pos.Line]; g != nil {
+				g.used = true
+				return true
+			}
+			p.Reportf(call.Pos(), "sanitize.%s call without an %s annotation: name the guarded invariant on the line above", obj.Name(), invariantPrefix)
+			return true
+		})
+	}
+	for _, g := range groups {
+		if !g.used {
+			p.Reportf(g.pos, "%s %s does not cover a sanitize.Check call: move it onto the check or delete it", invariantPrefix, g.name)
+		}
+	}
+}
+
+// pairDecl is one declaration relevant to stub pairing.
+type pairDecl struct {
+	key string
+	pos token.Pos
+}
+
+// checkStubPairs enforces part 3. It classifies every non-test file of
+// the package directory by evaluating its //go:build constraint with
+// and without the adfcheck tag, then diffs the declaration keys of the
+// tagged-only files against the untagged-only files.
+func (p *Pass) checkStubPairs() {
+	entries, err := os.ReadDir(p.Pkg.Dir)
+	if err != nil {
+		return
+	}
+	loaded := make(map[string]*ast.File, len(p.Pkg.Files))
+	for _, f := range p.Pkg.Files {
+		loaded[p.Fset.Position(f.Pos()).Filename] = f
+	}
+	// Files outside the current tag selection are parsed here but were
+	// never seen by Run's allow index, so honor their //adf:allow
+	// comments locally.
+	extraAllows := make(allowSet)
+	onDecls := make(map[string]pairDecl)
+	offDecls := make(map[string]pairDecl)
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		path := filepath.Join(p.Pkg.Dir, name)
+		f := loaded[path]
+		if f == nil {
+			parsed, err := parser.ParseFile(p.Fset, path, nil, parser.ParseComments)
+			if err != nil {
+				continue // the parse-error rule is go build's job
+			}
+			f = parsed
+			allowIndexInto(extraAllows, &Package{Fset: p.Fset, Files: []*ast.File{f}})
+		}
+		expr := fileConstraint(f)
+		if expr == nil {
+			continue
+		}
+		on := expr.Eval(func(tag string) bool { return tag == "adfcheck" })
+		off := expr.Eval(func(string) bool { return false })
+		switch {
+		case on && !off:
+			collectPairDecls(onDecls, f)
+		case off && !on:
+			collectPairDecls(offDecls, f)
+		}
+	}
+	report := func(d pairDecl, format string) {
+		pos := p.Fset.Position(d.pos)
+		if extraAllows[pos.Filename][pos.Line]["invariant"] {
+			return
+		}
+		p.Reportf(d.pos, format, d.key)
+	}
+	for _, key := range sortedKeys(onDecls) {
+		if _, ok := offDecls[key]; !ok {
+			report(onDecls[key], "sanitizer declaration %s has no !adfcheck counterpart: add a no-op stub so default builds keep compiling")
+		}
+	}
+	for _, key := range sortedKeys(offDecls) {
+		if _, ok := onDecls[key]; !ok {
+			report(offDecls[key], "stub %s has no adfcheck counterpart: the sanitizer build would lack it")
+		}
+	}
+}
+
+// collectPairDecls records the pairing-relevant declarations of one
+// file: all methods (keyed Recv.Name) and exported plain functions.
+func collectPairDecls(into map[string]pairDecl, f *ast.File) {
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		var key string
+		switch {
+		case fn.Recv != nil && len(fn.Recv.List) == 1:
+			key = recvTypeName(fn.Recv.List[0].Type) + "." + fn.Name.Name
+		case fn.Name.IsExported():
+			key = fn.Name.Name
+		default:
+			continue // unexported plain functions are private helpers
+		}
+		if _, ok := into[key]; !ok {
+			into[key] = pairDecl{key: key, pos: fn.Name.Pos()}
+		}
+	}
+}
+
+// recvTypeName extracts the receiver's base type name, stripping
+// pointers and type parameters.
+func recvTypeName(e ast.Expr) string {
+	for {
+		switch t := e.(type) {
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.IndexListExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return "?"
+		}
+	}
+}
+
+// sortedKeys returns the map's keys in sorted order for stable output.
+func sortedKeys(m map[string]pairDecl) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -16,10 +16,23 @@
 //     cluster-assignment entry points) may not contain allocating
 //     constructs — append, make, new, &T{...}, slice or map literals,
 //     closures, go or defer statements — keeping the zero-allocs-per-tick
-//     guarantee honest at the source level.
+//     guarantee honest at the source level. The rule is call-graph
+//     aware: a module-local function statically reachable from a
+//     hotpath root is held to the same standard, so delegating the
+//     allocation to a helper does not hide it.
 //   - exhaustive: every switch over a project enum (a named integer or
 //     string type with two or more package-level constants) must either
 //     cover all constants or carry a default clause.
+//   - floatcmp: in the simulation packages, == and != on floating-point
+//     operands are forbidden unless one side is a compile-time
+//     constant (sentinel checks). Ordering ties are broken with two <
+//     comparisons; bit-identity checks go through geo.SameBits and
+//     tolerance checks through geo.NearEq.
+//   - invariant: //adf:invariant annotations must sit directly on a
+//     sanitize.Check* call and every such call must carry one, and
+//     each adfcheck/!adfcheck sanitizer file pair must declare the
+//     same exported and method names so tagged builds cannot drift
+//     from default builds.
 //
 // False positives are silenced with an escape-hatch comment
 //
@@ -62,7 +75,12 @@ type Analyzer struct {
 	// Doc is a one-line description.
 	Doc string
 	// Run inspects one package and reports findings through the pass.
+	// Nil for analyzers that only work module-wide.
 	Run func(*Pass)
+	// RunModule inspects the whole package set at once. Rules that need
+	// cross-package context — the call-graph half of hotpath — live
+	// here. Nil for purely intraprocedural analyzers.
+	RunModule func(*ModulePass)
 }
 
 // Pass hands one analyzer the state of one package.
@@ -106,6 +124,32 @@ func (p *Pass) ObjectOf(e ast.Expr) types.Object {
 	return nil
 }
 
+// ModulePass hands a module-wide analyzer the whole package set.
+type ModulePass struct {
+	// Fset translates token positions; shared by every loaded package.
+	Fset *token.FileSet
+	// Pkgs are all packages of the run, in import-path order.
+	Pkgs []*Package
+
+	rule        string
+	simSuffixes []string
+	diags       *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Rule:    p.rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Sim reports whether an import path belongs to the simulation packages.
+func (p *ModulePass) Sim(path string) bool {
+	return isSimPackage(path, p.simSuffixes)
+}
+
 // SimPackages lists the import-path suffixes of the packages whose code
 // mutates simulation state every tick. The determinism goroutine rule and
 // the maporder rule apply only here; the clock/rand and annotation-driven
@@ -134,7 +178,7 @@ type Config struct {
 
 // All returns the full analyzer set in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, MapOrder, HotPath, Exhaustive}
+	return []*Analyzer{Determinism, MapOrder, HotPath, Exhaustive, FloatCmp, Invariant}
 }
 
 // isSimPackage reports whether an import path names (or is nested under)
@@ -160,25 +204,53 @@ func Run(pkgs []*Package, cfg Config) []Diagnostic {
 	if simSuffixes == nil {
 		simSuffixes = SimPackages
 	}
-	var diags []Diagnostic
+	if len(pkgs) == 0 {
+		return nil
+	}
+	// One allow index for the whole run: a module-wide analyzer reports
+	// findings in any package, so the //adf:allow filter must span all of
+	// them. File names are absolute paths, hence globally unique.
+	allows := make(allowSet)
 	for _, pkg := range pkgs {
-		allows := allowIndex(pkg)
-		var pkgDiags []Diagnostic
+		allowIndexInto(allows, pkg)
+	}
+	var raw []Diagnostic
+	for _, pkg := range pkgs {
 		pass := &Pass{
 			Fset:  pkg.Fset,
 			Pkg:   pkg,
 			Sim:   isSimPackage(pkg.Path, simSuffixes),
-			diags: &pkgDiags,
+			diags: &raw,
 		}
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass.rule = a.Name
 			a.Run(pass)
 		}
-		for _, d := range pkgDiags {
-			if !allows.allowed(d) {
-				diags = append(diags, d)
-			}
+	}
+	mp := &ModulePass{
+		Fset:        pkgs[0].Fset,
+		Pkgs:        pkgs,
+		simSuffixes: simSuffixes,
+		diags:       &raw,
+	}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
 		}
+		mp.rule = a.Name
+		a.RunModule(mp)
+	}
+	var diags []Diagnostic
+	seen := make(map[Diagnostic]bool, len(raw))
+	for _, d := range raw {
+		if allows.allowed(d) || seen[d] {
+			continue
+		}
+		seen[d] = true
+		diags = append(diags, d)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -204,12 +276,11 @@ const allowPrefix = "//adf:allow"
 // allowSet maps file → line → rules allowed on that line.
 type allowSet map[string]map[int]map[string]bool
 
-// allowIndex collects every //adf:allow comment in the package. A comment
-// group containing one covers every line the group spans plus the line
-// immediately after it, so both trailing comments and own-line comments
-// above the offending statement work.
-func allowIndex(pkg *Package) allowSet {
-	idx := make(allowSet)
+// allowIndexInto collects every //adf:allow comment in the package into
+// idx. A comment group containing one covers every line the group spans
+// plus the line immediately after it, so both trailing comments and
+// own-line comments above the offending statement work.
+func allowIndexInto(idx allowSet, pkg *Package) {
 	for _, f := range pkg.Files {
 		for _, group := range f.Comments {
 			var rules []string
@@ -249,12 +320,17 @@ func allowIndex(pkg *Package) allowSet {
 			}
 		}
 	}
-	return idx
 }
 
+// ruleNames mirrors the Name fields of All(). A static copy rather than
+// a loop over All() because the analyzers' Run functions reference the
+// allow machinery, which references this — going through All() would be
+// an initialization cycle. TestRuleNamesMatchAll keeps the two in sync.
+var ruleNames = []string{"determinism", "maporder", "hotpath", "exhaustive", "floatcmp", "invariant"}
+
 func isRuleName(s string) bool {
-	for _, a := range All() {
-		if s == a.Name {
+	for _, n := range ruleNames {
+		if s == n {
 			return true
 		}
 	}

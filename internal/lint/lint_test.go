@@ -54,6 +54,8 @@ func TestGoldenFixtures(t *testing.T) {
 		{"maporder", true},
 		{"hotpath", false},
 		{"exhaustive", false},
+		{"floatcmp", true},
+		{"invariant", false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -151,6 +153,20 @@ func writeFile(t *testing.T, path, content string) {
 	}
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRuleNamesMatchAll keeps the static ruleNames list (needed to
+// break an initialization cycle) in sync with the registered analyzers.
+func TestRuleNamesMatchAll(t *testing.T) {
+	all := All()
+	if len(all) != len(ruleNames) {
+		t.Fatalf("All() has %d analyzers, ruleNames has %d entries", len(all), len(ruleNames))
+	}
+	for i, a := range all {
+		if a.Name != ruleNames[i] {
+			t.Errorf("All()[%d].Name = %q, ruleNames[%d] = %q", i, a.Name, i, ruleNames[i])
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/build"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -44,6 +45,13 @@ type Loader struct {
 	ModuleDir string
 	// Fset is shared across all packages loaded by this Loader.
 	Fset *token.FileSet
+	// Tags are the build tags considered satisfied when evaluating each
+	// file's //go:build constraint. The default (empty) set matches the
+	// default `go build`: files gated on a custom tag such as adfcheck
+	// are excluded, files gated on its negation are included. make lint
+	// runs the module twice — once bare, once with the adfcheck tag — so
+	// both halves of every sanitizer file pair are analyzed.
+	Tags map[string]bool
 
 	std     types.Importer
 	pkgs    map[string]*Package
@@ -51,8 +59,9 @@ type Loader struct {
 }
 
 // NewLoader returns a loader rooted at the module directory containing
-// dir (dir itself or an ancestor must hold go.mod).
-func NewLoader(dir string) (*Loader, error) {
+// dir (dir itself or an ancestor must hold go.mod). Any tags are treated
+// as satisfied build tags when files are selected.
+func NewLoader(dir string, tags ...string) (*Loader, error) {
 	root, err := findModuleRoot(dir)
 	if err != nil {
 		return nil, err
@@ -78,10 +87,15 @@ func NewLoader(dir string) (*Loader, error) {
 		build.Default.GOROOT = strings.TrimSpace(string(out))
 	}
 	fset := token.NewFileSet()
+	tagSet := make(map[string]bool, len(tags))
+	for _, t := range tags {
+		tagSet[t] = true
+	}
 	return &Loader{
 		ModulePath: modPath,
 		ModuleDir:  root,
 		Fset:       fset,
+		Tags:       tagSet,
 		std:        importer.ForCompiler(fset, "source", nil),
 		pkgs:       make(map[string]*Package),
 		loading:    make(map[string]bool),
@@ -225,7 +239,7 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 		if err != nil {
 			return nil, err
 		}
-		if fileIgnored(f) {
+		if l.fileExcluded(f) {
 			continue
 		}
 		files = append(files, f)
@@ -233,21 +247,38 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 	return files, nil
 }
 
-// fileIgnored reports whether a file opts out via a "//go:build ignore"
-// constraint (the convention for helper programs).
-func fileIgnored(f *ast.File) bool {
+// fileConstraint returns the file's //go:build expression, or nil when
+// the file has none. Only comments before the package clause count.
+func fileConstraint(f *ast.File) constraint.Expr {
 	for _, group := range f.Comments {
 		if group.Pos() >= f.Package {
 			break
 		}
 		for _, c := range group.List {
-			text := strings.TrimSpace(c.Text)
-			if strings.HasPrefix(text, "//go:build") && strings.Contains(text, "ignore") {
-				return true
+			if !constraint.IsGoBuild(c.Text) {
+				continue
 			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue
+			}
+			return expr
 		}
 	}
-	return false
+	return nil
+}
+
+// fileExcluded reports whether a file's //go:build constraint rules it
+// out under the loader's tag set. Unknown tags evaluate false, which
+// matches `go build`: a bare "//go:build ignore" helper or an
+// "//go:build adfcheck" sanitizer file is excluded unless the tag was
+// passed, while "//go:build !adfcheck" stubs are included by default.
+func (l *Loader) fileExcluded(f *ast.File) bool {
+	expr := fileConstraint(f)
+	if expr == nil {
+		return false
+	}
+	return !expr.Eval(func(tag string) bool { return l.Tags[tag] })
 }
 
 // LoadDir loads the single package in dir under a synthetic import path.

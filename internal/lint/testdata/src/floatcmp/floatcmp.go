@@ -1,0 +1,40 @@
+// Package floatcmp exercises the floatcmp analyzer: == and != between
+// computed float operands are flagged; comparisons against compile-time
+// constants, integer comparisons and allowed lines are not.
+package floatcmp
+
+// eps is a named constant; comparing against it is a sentinel check.
+const eps = 1e-9
+
+// speed is a named float type; the rule sees through it.
+type speed float64
+
+// Bad contains the two flagged forms.
+func Bad(a, b float64, xs []float64) bool {
+	if a == b {
+		return true
+	}
+	return xs[0] != a
+}
+
+// Named float types are still floats.
+func BadNamed(x, y speed) bool {
+	return x == y
+}
+
+// Sentinels are exempt: one operand has a compile-time value.
+func Sentinels(a float64, n int) bool {
+	if a == 0 {
+		return true
+	}
+	if eps != a {
+		return false
+	}
+	return n == 7
+}
+
+// Allowed documents an intentional exact comparison.
+func Allowed(a, b float64) bool {
+	//adf:allow floatcmp — fixture: intentional exact comparison
+	return a == b
+}

@@ -37,7 +37,36 @@ func Warm(dst []int) []int {
 	return dst
 }
 
-// Cold is unannotated; the analyzer ignores it.
+// Cold is unannotated and unreachable from any hot root; the analyzer
+// ignores it and does not walk its callees.
 func Cold() []int {
-	return append(make([]int, 0, 1), 1)
+	return append(quiet(), 1)
+}
+
+// Entry delegates its allocation two helpers deep; the call-graph half
+// of the rule follows the static calls and flags the construct in the
+// helper, naming the chain.
+//
+//adf:hotpath
+func Entry(dst *[]int) {
+	helperA(dst)
+	//adf:allow hotpath — fixture: vouched cold call site prunes the walk
+	coldInit(dst)
+}
+
+func helperA(dst *[]int) { helperB(dst) }
+
+func helperB(dst *[]int) {
+	*dst = append(*dst, 1)
+}
+
+// coldInit would be flagged, but Entry's call site is allowed.
+func coldInit(dst *[]int) {
+	*dst = make([]int, 0, 8)
+}
+
+// quiet is only called from Cold, itself unannotated, so its allocation
+// stays unflagged.
+func quiet() []int {
+	return make([]int, 1)
 }

@@ -1,0 +1,10 @@
+//go:build !adfcheck
+
+package invariant
+
+// armed pairs with the real check in check_on.go: no finding.
+func (g Guard) armed() {}
+
+// stale has no adfcheck counterpart — the sanitizer build would lack
+// it: flagged.
+func (g Guard) stale() {}

@@ -1,0 +1,14 @@
+//go:build adfcheck
+
+package invariant
+
+// armed pairs with the stub in check_off.go: no finding.
+func (g Guard) armed() {}
+
+// Lone has no !adfcheck counterpart, so default builds would not
+// compile against it: flagged.
+func Lone() {}
+
+// helper is an unexported plain function — a private formatter the stub
+// side never needs: exempt.
+func helper() string { return "armed" }

@@ -1,0 +1,26 @@
+// Package invariant exercises the invariant analyzer: sanitize.Check
+// calls must carry an //adf:invariant annotation, annotations must cover
+// a check, and adfcheck/!adfcheck file pairs must declare the same
+// names.
+package invariant
+
+import "github.com/mobilegrid/adf/internal/sanitize"
+
+// Guard carries the sanitizer hooks of the fixture.
+type Guard struct{}
+
+// Tick drives one annotated and one unannotated check.
+func Tick(x float64) {
+	//adf:invariant finite-x — fixture: x must stay finite.
+	sanitize.CheckFinite("fixture: x", x)
+	sanitize.CheckFinite("fixture: x again", x)
+}
+
+//adf:invariant stale-name — fixture: covers no check, so it is flagged.
+func idle() {}
+
+//adf:invariant BadName breaks the kebab-case grammar.
+func idle2() {}
+
+var _ = idle
+var _ = idle2

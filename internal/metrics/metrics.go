@@ -19,9 +19,29 @@ type CountSeries struct {
 }
 
 func (s *CountSeries) grow(bucket int) {
-	for len(s.counts) <= bucket {
-		s.counts = append(s.counts, 0)
+	if bucket < len(s.counts) {
+		return
 	}
+	// One-step resize straight to the target length instead of one append
+	// per missing bucket. Within capacity this is a reslice plus memclr —
+	// no allocation, even under the race detector (which would heap-box
+	// the temporary of an append(s, make(...)...) extension).
+	if bucket < cap(s.counts) {
+		old := len(s.counts)
+		s.counts = s.counts[:bucket+1]
+		clear(s.counts[old:])
+		return
+	}
+	next := 2 * cap(s.counts)
+	if next < bucket+1 {
+		next = bucket + 1
+	}
+	//adf:allow hotpath — doubling growth on first touch of a bucket past
+	// capacity; absent once Reserve sized the series or the horizon is
+	// reached.
+	counts := make([]float64, bucket+1, next)
+	copy(counts, s.counts)
+	s.counts = counts
 }
 
 // Reserve pre-allocates capacity for seconds one-second buckets, so a run

@@ -104,7 +104,9 @@ func (s *Schedule) PhaseAt(elapsed float64) string {
 	if i >= len(s.phases) {
 		return "done"
 	}
-	if elapsed == s.offsets[i] {
+	// An exact boundary hit belongs to the next phase; the bit-identity
+	// test is intentional (SearchFloat64s already compared with <).
+	if geo.SameBits(elapsed, s.offsets[i]) {
 		i++
 		if i >= len(s.phases) {
 			return "done"

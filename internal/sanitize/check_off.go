@@ -1,0 +1,28 @@
+//go:build !adfcheck
+
+package sanitize
+
+import "github.com/mobilegrid/adf/internal/geo"
+
+// Enabled reports whether the sanitizer is compiled in. This is the
+// default build: every Check* function below is an empty stub the
+// compiler inlines away, so the hot paths carry zero sanitizer cost.
+const Enabled = false
+
+// CheckFinite is a no-op in the default build.
+func CheckFinite(site string, v float64) {}
+
+// CheckPoint is a no-op in the default build.
+func CheckPoint(site string, p geo.Point) {}
+
+// CheckInBounds is a no-op in the default build.
+func CheckInBounds(site string, p geo.Point, r geo.Rect) {}
+
+// CheckMonotone is a no-op in the default build.
+func CheckMonotone(site string, prev, next float64) {}
+
+// CheckAtLeast is a no-op in the default build.
+func CheckAtLeast(site string, v, min float64) {}
+
+// CheckNear is a no-op in the default build.
+func CheckNear(site string, got, want, tol float64) {}

@@ -1,0 +1,80 @@
+//go:build adfcheck
+
+package sanitize
+
+import (
+	"fmt"
+	"math"
+	"path/filepath"
+	"runtime"
+
+	"github.com/mobilegrid/adf/internal/geo"
+)
+
+// Enabled reports whether the sanitizer is compiled in. This is the
+// adfcheck build: every Check* function below actually checks.
+const Enabled = true
+
+// fail panics with the invariant's call site. Two frames up is the code
+// that called the Check* function — the annotated //adf:invariant site.
+func fail(site, format string, args ...any) {
+	file, line := "?", 0
+	if _, f, l, ok := runtime.Caller(2); ok {
+		file, line = filepath.Base(f), l
+	}
+	panic(fmt.Sprintf("adfcheck: %s:%d: %s: %s", file, line, site, fmt.Sprintf(format, args...)))
+}
+
+// CheckFinite panics unless v is a finite number.
+func CheckFinite(site string, v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		fail(site, "non-finite value %v", v)
+	}
+}
+
+// CheckPoint panics unless both coordinates of p are finite.
+func CheckPoint(site string, p geo.Point) {
+	if math.IsNaN(p.X) || math.IsInf(p.X, 0) || math.IsNaN(p.Y) || math.IsInf(p.Y, 0) {
+		fail(site, "non-finite position %v", p)
+	}
+}
+
+// CheckInBounds panics unless p lies inside r (inclusive). A NaN
+// coordinate fails the comparison and therefore also panics here, but
+// call CheckPoint first for the clearer message.
+func CheckInBounds(site string, p geo.Point, r geo.Rect) {
+	if !(p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y) {
+		fail(site, "position %v outside bounds [%v, %v]", p, r.Min, r.Max)
+	}
+}
+
+// CheckMonotone panics unless next is finite and not earlier than prev —
+// the virtual clock may only move forward.
+func CheckMonotone(site string, prev, next float64) {
+	if math.IsNaN(next) || math.IsInf(next, 0) {
+		fail(site, "non-finite time %v (previous %v)", next, prev)
+	}
+	if next < prev {
+		fail(site, "time moved backwards: %v after %v", next, prev)
+	}
+}
+
+// CheckAtLeast panics unless v is finite and at least min.
+func CheckAtLeast(site string, v, min float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		fail(site, "non-finite value %v", v)
+	}
+	if v < min {
+		fail(site, "value %v below floor %v", v, min)
+	}
+}
+
+// CheckNear panics unless got and want agree to within tol, measured
+// absolutely for small magnitudes and relatively for large ones. It is
+// the comparison for quantities legitimately accumulated in different
+// orders (incremental sums versus a from-scratch recompute).
+func CheckNear(site string, got, want, tol float64) {
+	if !geo.NearEq(got, want, tol) {
+		fail(site, "got %v, want %v (tolerance %v)", got, want, tol)
+	}
+}

@@ -1,0 +1,72 @@
+//go:build adfcheck
+
+package sanitize
+
+import (
+	"math"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/mobilegrid/adf/internal/geo"
+)
+
+// mustPanic runs f and returns the panic message, failing the test when
+// no panic occurs.
+func mustPanic(t *testing.T, f func()) (msg string) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected a sanitizer panic, got none")
+		}
+		msg = r.(string)
+	}()
+	f()
+	return ""
+}
+
+// siteRe is the required panic shape: adfcheck: file.go:line: site: detail.
+var siteRe = regexp.MustCompile(`^adfcheck: check_on_test\.go:\d+: `)
+
+func TestChecksPanicWithFileLine(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		f    func()
+		want string
+	}{
+		{"finite", func() { CheckFinite("t: finite", nan) }, "non-finite"},
+		{"point", func() { CheckPoint("t: point", geo.Point{X: nan}) }, "non-finite position"},
+		{"bounds", func() {
+			CheckInBounds("t: bounds", geo.Point{X: 5, Y: 5}, geo.NewRect(geo.Point{}, geo.Point{X: 1, Y: 1}))
+		}, "outside bounds"},
+		{"monotone", func() { CheckMonotone("t: clock", 2, 1) }, "time moved backwards"},
+		{"atleast", func() { CheckAtLeast("t: floor", 0.1, 0.25) }, "below floor"},
+		{"near", func() { CheckNear("t: near", 1.0, 2.0, 1e-9) }, "want"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			msg := mustPanic(t, tc.f)
+			if !siteRe.MatchString(msg) {
+				t.Errorf("panic %q does not carry the calling file:line", msg)
+			}
+			if !strings.Contains(msg, tc.want) {
+				t.Errorf("panic %q missing %q", msg, tc.want)
+			}
+		})
+	}
+}
+
+func TestChecksPassOnValidInput(t *testing.T) {
+	CheckFinite("t", 1.5)
+	CheckPoint("t", geo.Point{X: 1, Y: 2})
+	CheckInBounds("t", geo.Point{X: 1, Y: 1}, geo.NewRect(geo.Point{}, geo.Point{X: 2, Y: 2}))
+	CheckMonotone("t", 1, 1) // equal timestamps are legal (FIFO ties)
+	CheckMonotone("t", 1, 2)
+	CheckAtLeast("t", 0.25, 0.25)
+	CheckNear("t", 1.0000000001, 1.0, 1e-9)
+	if !Enabled {
+		t.Error("Enabled must be true under -tags adfcheck")
+	}
+}

@@ -1,0 +1,57 @@
+package sanitize
+
+import (
+	"hash/fnv"
+	"math"
+	"testing"
+)
+
+// TestDigestMatchesStdlibFNV pins the algorithm: writing the same bytes
+// through Digest and hash/fnv must agree, so the digest is exactly
+// FNV-1a 64 and future refactors cannot silently change it.
+func TestDigestMatchesStdlibFNV(t *testing.T) {
+	d := NewDigest()
+	d.WriteUint64(0x0123456789abcdef)
+	d.WriteFloat64(3.5)
+	d.WriteInt(-7)
+	d.WriteBool(true)
+
+	neg := -7
+	h := fnv.New64a()
+	for _, v := range []uint64{0x0123456789abcdef, math.Float64bits(3.5), uint64(neg), 1} {
+		var buf [8]byte
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	if got, want := d.Sum(), h.Sum64(); got != want {
+		t.Errorf("Digest = %#x, stdlib FNV-1a = %#x", got, want)
+	}
+}
+
+// TestDigestSeparatesSignBit asserts single-bit sensitivity on the case
+// that motivates bit-exact hashing: +0.0 and -0.0 must digest apart.
+func TestDigestSeparatesSignBit(t *testing.T) {
+	a, b := NewDigest(), NewDigest()
+	a.WriteFloat64(0.0)
+	b.WriteFloat64(math.Copysign(0, -1))
+	if a.Sum() == b.Sum() {
+		t.Error("digest does not separate +0.0 from -0.0")
+	}
+}
+
+// TestDigestDeterministic: same writes, same sum.
+func TestDigestDeterministic(t *testing.T) {
+	mk := func() uint64 {
+		d := NewDigest()
+		for i := 0; i < 100; i++ {
+			d.WriteFloat64(float64(i) * 1.25)
+			d.WriteInt(i)
+		}
+		return d.Sum()
+	}
+	if mk() != mk() {
+		t.Error("digest is not deterministic")
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !adfcheck
+
+package sim
+
+// checkClock is a no-op in the default build.
+func (s *Simulator) checkClock(next float64) {}

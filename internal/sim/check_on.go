@@ -1,0 +1,15 @@
+//go:build adfcheck
+
+package sim
+
+import "github.com/mobilegrid/adf/internal/sanitize"
+
+// checkClock guards the virtual clock as the event loop is about to
+// advance it to the next event's timestamp. Schedule already rejects
+// NaN and past timestamps at enqueue time; this re-checks at dispatch,
+// so heap corruption or a handler mutating event state cannot move the
+// clock backwards unnoticed.
+func (s *Simulator) checkClock(next float64) {
+	//adf:invariant monotone-clock — the event loop may only move the virtual clock forward.
+	sanitize.CheckMonotone("sim: event time", s.now, next)
+}

@@ -42,8 +42,14 @@ type eventQueue []*event
 func (q eventQueue) Len() int { return len(q) }
 
 func (q eventQueue) Less(i, j int) bool {
-	if q[i].time != q[j].time {
-		return q[i].time < q[j].time
+	// Two < comparisons instead of a != equality test: bit-identical for
+	// the finite times Schedule admits, and no float equality on the
+	// ordering path.
+	if q[i].time < q[j].time {
+		return true
+	}
+	if q[j].time < q[i].time {
+		return false
 	}
 	return q[i].seq < q[j].seq
 }
@@ -130,7 +136,7 @@ func (s *Simulator) newEvent(t float64, h Handler) *event {
 func (s *Simulator) recycle(ev *event) {
 	ev.gen++
 	ev.handler = nil
-	s.free = append(s.free, ev)
+	s.free = append(s.free, ev) //adf:allow hotpath — freelist push; capacity stops growing once the pool covers the in-flight peak
 }
 
 // Schedule enqueues h to run at absolute virtual time t. It returns an
@@ -201,6 +207,7 @@ func (s *Simulator) step() bool {
 			// Cancelled events are recycled by Cancel itself.
 			continue
 		}
+		s.checkClock(ev.time)
 		s.now = ev.time
 		ev.dead = true
 		s.processed++
