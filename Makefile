@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race race-core check ci bench-runner bench profile
+.PHONY: build test vet lint race race-core check obs-check ci bench-runner bench bench-obs profile
 
 build:
 	$(GO) build ./...
@@ -42,10 +42,19 @@ check:
 	$(GO) test -tags adfcheck ./...
 	$(GO) run -tags adfcheck ./cmd/adfbench -sanitize -duration 120 -mobility-workers 4
 
+# obs-check is the observability gate: the end-to-end smoke test (full
+# run with obs enabled; Chrome trace must parse as JSON, the registry
+# must account the run, event lines must be valid NDJSON) under the race
+# detector, plus the obs unit suite and one live /metrics scrape through
+# the HTTP handler.
+obs-check:
+	$(GO) test -race -run 'TestObsSmoke|TestZeroAllocTick' ./internal/experiment/
+	$(GO) test -race ./internal/obs/
+
 # ci builds with -trimpath so artifacts are reproducible regardless of
 # the checkout location.
 ci: export GOFLAGS += -trimpath
-ci: build vet lint test race
+ci: build vet lint test race obs-check
 
 # Benchmark the campaign runner (sequential vs parallel figure
 # regeneration) and write BENCH_runner.json.
@@ -59,6 +68,12 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem \
 		./internal/cluster/... ./internal/geo/... ./internal/experiment/...
 	$(GO) run ./cmd/adfbench -hotpath -duration 300 -seed 1
+
+# Measure the observability layer's overhead (disabled vs enabled
+# hot-path throughput at each scale) and regenerate BENCH_obs.json; the
+# committed number must stay within the 5% budget.
+bench-obs:
+	$(GO) run ./cmd/adfbench -obs-bench -duration 300 -seed 1
 
 # Capture CPU and heap profiles of a ~1k-node run; inspect with
 # `go tool pprof cpu.out` / `go tool pprof mem.out`.

@@ -15,6 +15,8 @@ import (
 // campaign-derived figure, sequentially and on the parallel runner, with
 // the memoizing campaign cache reset before each pass.
 type BenchReport struct {
+	// Meta records the environment the report was produced in.
+	Meta RunMeta `json:"meta"`
 	// GOMAXPROCS is the worker-pool size the parallel pass ran with.
 	GOMAXPROCS int `json:"gomaxprocs"`
 	// DurationSeconds is the simulated horizon per run.
@@ -124,6 +126,7 @@ func runBench(w io.Writer, cfg experiment.Config, path string) error {
 		return fmt.Errorf("parallel pass: %w", err)
 	}
 	report := BenchReport{
+		Meta:            runMeta(cfg.MobilityWorkers),
 		GOMAXPROCS:      runtime.GOMAXPROCS(0),
 		DurationSeconds: cfg.Duration,
 		Seed:            cfg.Seed,

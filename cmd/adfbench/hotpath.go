@@ -38,6 +38,8 @@ func hotpathBaselineProtocol(cfg experiment.Config) bool {
 // allocation rate of the per-tick pipeline, with speedups against the
 // recorded pre-optimization baselines when the protocol matches.
 type HotpathReport struct {
+	// Meta records the environment the report was produced in.
+	Meta            RunMeta `json:"meta"`
 	DurationSeconds float64 `json:"duration_seconds"`
 	Seed            int64   `json:"seed"`
 	DTHFactor       float64 `json:"dth_factor"`
@@ -63,6 +65,7 @@ type HotpathScale struct {
 // the JSON report to path (and a per-scale summary to w).
 func runHotpath(w io.Writer, cfg experiment.Config, path string) error {
 	report := HotpathReport{
+		Meta:            runMeta(cfg.MobilityWorkers),
 		DurationSeconds: cfg.Duration,
 		Seed:            cfg.Seed,
 		DTHFactor:       cfg.DTHFactors[0],

@@ -9,7 +9,9 @@
 //	         [-duration 600] [-seed 1] [-factor 1.0] [-workers 0] [-mobility-workers 0]
 //	adfbench -json [-json-out BENCH_runner.json] [-duration 600] [-seed 1]
 //	adfbench -hotpath [-hotpath-out BENCH_hotpath.json] [-duration 300] [-seed 1]
+//	adfbench -obs-bench [-obs-out BENCH_obs.json] [-duration 300] [-seed 1]
 //	adfbench -sanitize [-duration 120] [-mobility-workers 4]   (requires -tags adfcheck)
+//	adfbench -trace out.json ...
 //	adfbench -cpuprofile cpu.out -memprofile mem.out ...
 //
 // With -json the ablations are skipped; instead the campaign runner
@@ -29,6 +31,15 @@
 // are compared for bit-identity; `make check` runs this as CI's
 // sanitizer gate.
 //
+// With -obs-bench the observability layer itself is benchmarked: the
+// hot-path throughput is measured with obs disabled and enabled at each
+// population scale and the overhead percentage (budget: 5%) is written
+// as JSON.
+//
+// -trace enables observability for whichever mode runs and writes the
+// recorded per-tick spans and the metrics registry as Chrome
+// trace_event JSON at exit; open it in about:tracing.
+//
 // -cpuprofile and -memprofile write pprof profiles covering whichever mode
 // runs; inspect them with `go tool pprof`.
 package main
@@ -43,6 +54,7 @@ import (
 	"runtime/pprof"
 
 	"github.com/mobilegrid/adf/internal/experiment"
+	"github.com/mobilegrid/adf/internal/obs"
 )
 
 func main() {
@@ -91,7 +103,7 @@ func startProfiles(cpu, mem string) (stop func(), err error) {
 	}, nil
 }
 
-func run(w io.Writer, args []string) error {
+func run(w io.Writer, args []string) (err error) {
 	fs := flag.NewFlagSet("adfbench", flag.ContinueOnError)
 	var (
 		ablation    = fs.String("ablation", "all", "which ablation to run")
@@ -104,6 +116,9 @@ func run(w io.Writer, args []string) error {
 		jsonPath    = fs.String("json-out", "BENCH_runner.json", "where -json writes the report")
 		hotpath     = fs.Bool("hotpath", false, "benchmark the per-tick pipeline at 140/~1k/~5k nodes and write a JSON report instead of running ablations")
 		hotpathPath = fs.String("hotpath-out", "BENCH_hotpath.json", "where -hotpath writes the report")
+		obsBench    = fs.Bool("obs-bench", false, "benchmark the observability layer's overhead (disabled vs enabled hot-path throughput) and write a JSON report instead of running ablations")
+		obsPath     = fs.String("obs-out", "BENCH_obs.json", "where -obs-bench writes the report")
+		tracePath   = fs.String("trace", "", "enable observability and write a Chrome trace_event JSON of the run to this file at exit")
 		sanCompare  = fs.Bool("sanitize", false, "compare sequential vs parallel per-tick state digests under the adfcheck sanitizer (requires a -tags adfcheck build)")
 		cpuprofile  = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile  = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
@@ -117,6 +132,15 @@ func run(w io.Writer, args []string) error {
 		return err
 	}
 	defer stopProfiles()
+
+	if *tracePath != "" {
+		obs.SetEnabled(true)
+		defer func() {
+			if werr := writeTrace(w, *tracePath); err == nil {
+				err = werr
+			}
+		}()
+	}
 
 	cfg := experiment.DefaultConfig()
 	cfg.Duration = *duration
@@ -134,12 +158,16 @@ func run(w io.Writer, args []string) error {
 	if *hotpath {
 		return runHotpath(w, cfg, *hotpathPath)
 	}
+	if *obsBench {
+		return runObsBench(w, cfg, *obsPath)
+	}
 	if *jsonOut {
 		// Benchmark the paper's own campaign: the ideal baseline plus the
 		// three default DTH factors, not the single-factor ablation config.
 		bcfg := experiment.DefaultConfig()
 		bcfg.Duration = *duration
 		bcfg.Seed = *seed
+		bcfg.MobilityWorkers = *mobWorkers
 		return runBench(w, bcfg, *jsonPath)
 	}
 

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// RunMeta identifies the environment a BENCH_*.json report was produced
+// in, so numbers from different machines, toolchains or build
+// configurations are never compared as like-for-like.
+type RunMeta struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	// GOMAXPROCS is the scheduler's processor limit at report time.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// BuildTags are the -tags the binary was built with (e.g. adfcheck),
+	// empty for a default build.
+	BuildTags string `json:"build_tags,omitempty"`
+	// MobilityWorkers is the per-simulation mobility-advance pool size the
+	// run was configured with (0 = automatic).
+	MobilityWorkers int `json:"mobility_workers"`
+}
+
+// runMeta captures the current environment.
+func runMeta(mobilityWorkers int) RunMeta {
+	return RunMeta{
+		GoVersion:       runtime.Version(),
+		GOOS:            runtime.GOOS,
+		GOARCH:          runtime.GOARCH,
+		NumCPU:          runtime.NumCPU(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		BuildTags:       buildTags(),
+		MobilityWorkers: mobilityWorkers,
+	}
+}
+
+// buildTags extracts the -tags build setting recorded in the binary.
+func buildTags() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "-tags" {
+			return s.Value
+		}
+	}
+	return ""
+}

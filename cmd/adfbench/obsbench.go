@@ -1,0 +1,132 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/mobilegrid/adf/internal/experiment"
+	"github.com/mobilegrid/adf/internal/obs"
+)
+
+// obsBenchPasses is how many alternating passes each setting gets; the
+// best (highest ticks/sec) of each side is compared, so transient noise
+// — a GC pause, a scheduler hiccup — cannot fake an overhead.
+const obsBenchPasses = 3
+
+// ObsReport is the -obs-bench output: the cost of the observability
+// layer, measured as hot-path throughput with obs disabled versus
+// enabled (registry, per-stage spans and histograms live; event log
+// off) at each population scale.
+type ObsReport struct {
+	Meta            RunMeta    `json:"meta"`
+	DurationSeconds float64    `json:"duration_seconds"`
+	Seed            int64      `json:"seed"`
+	PassesPerMode   int        `json:"passes_per_mode"`
+	Scales          []ObsScale `json:"scales"`
+	// MaxOverheadPercent is the worst per-scale overhead; the obs layer's
+	// budget is 5%.
+	MaxOverheadPercent float64 `json:"max_overhead_percent"`
+}
+
+// ObsScale is one population scale point of the obs overhead benchmark.
+type ObsScale struct {
+	PerGroup int `json:"per_group"`
+	Nodes    int `json:"nodes"`
+	// DisabledTicksPerSec and EnabledTicksPerSec are each the best of
+	// PassesPerMode alternating passes.
+	DisabledTicksPerSec float64 `json:"disabled_ticks_per_sec"`
+	EnabledTicksPerSec  float64 `json:"enabled_ticks_per_sec"`
+	// OverheadPercent is (disabled - enabled) / disabled × 100; negative
+	// values (enabled measured faster) report as 0.
+	OverheadPercent float64 `json:"overhead_percent"`
+	// AllocsPerTick under each mode: the zero-cost discipline requires the
+	// disabled number to stay at the optimized pipeline's floor.
+	DisabledAllocsPerTick float64 `json:"disabled_allocs_per_tick"`
+	EnabledAllocsPerTick  float64 `json:"enabled_allocs_per_tick"`
+}
+
+// runObsBench measures obs-disabled vs obs-enabled throughput at each
+// hotpath scale point and writes the JSON report to path.
+func runObsBench(w io.Writer, cfg experiment.Config, path string) error {
+	wasEnabled := obs.Enabled()
+	defer obs.SetEnabled(wasEnabled)
+
+	report := ObsReport{
+		Meta:            runMeta(cfg.MobilityWorkers),
+		DurationSeconds: cfg.Duration,
+		Seed:            cfg.Seed,
+		PassesPerMode:   obsBenchPasses,
+	}
+	for _, pg := range hotpathPerGroups {
+		c := cfg
+		c.PerGroup = pg
+		s := ObsScale{PerGroup: pg}
+		// Alternate disabled/enabled so slow environment drift hits both
+		// modes equally.
+		for pass := 0; pass < obsBenchPasses; pass++ {
+			for _, enabled := range []bool{false, true} {
+				obs.SetEnabled(enabled)
+				stats, err := c.MeasureHotpath()
+				if err != nil {
+					return fmt.Errorf("per-group %d: %w", pg, err)
+				}
+				s.Nodes = stats.Nodes
+				if enabled {
+					if stats.TicksPerSec > s.EnabledTicksPerSec {
+						s.EnabledTicksPerSec = stats.TicksPerSec
+						s.EnabledAllocsPerTick = stats.AllocsPerTick
+					}
+				} else {
+					if stats.TicksPerSec > s.DisabledTicksPerSec {
+						s.DisabledTicksPerSec = stats.TicksPerSec
+						s.DisabledAllocsPerTick = stats.AllocsPerTick
+					}
+				}
+			}
+		}
+		if s.DisabledTicksPerSec > 0 {
+			s.OverheadPercent = (s.DisabledTicksPerSec - s.EnabledTicksPerSec) /
+				s.DisabledTicksPerSec * 100
+			if s.OverheadPercent < 0 {
+				s.OverheadPercent = 0
+			}
+		}
+		if s.OverheadPercent > report.MaxOverheadPercent {
+			report.MaxOverheadPercent = s.OverheadPercent
+		}
+		report.Scales = append(report.Scales, s)
+		fmt.Fprintf(w, "%5d nodes: disabled %8.1f ticks/sec, enabled %8.1f ticks/sec, overhead %.2f%%\n",
+			s.Nodes, s.DisabledTicksPerSec, s.EnabledTicksPerSec, s.OverheadPercent)
+	}
+
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "wrote %s (max overhead %.2f%%, budget 5%%)\n",
+		path, report.MaxOverheadPercent)
+	return err
+}
+
+// writeTrace dumps the span ring and metrics registry as Chrome
+// trace_event JSON, loadable in about:tracing.
+func writeTrace(w io.Writer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := obs.WriteChromeTrace(f); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	_, err = fmt.Fprintf(w, "wrote %s (%d spans)\n", path, obs.SpanCount())
+	return err
+}

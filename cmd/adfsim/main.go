@@ -5,9 +5,16 @@
 //
 //	adfsim [-figure all|table1|4|5|6|7|8|9] [-duration 1800] [-seed 1]
 //	       [-estimator gap-aware] [-series] [-workers 0] [-mobility-workers 0]
+//	       [-obs-addr :8080] [-obs-summary 10s] [-obs-events events.ndjson]
 //
 // With -series the per-second curves behind Figures 4, 5 and 7 are
 // printed (averaged into 60-second buckets).
+//
+// The -obs flags turn on live introspection: -obs-addr serves /metrics
+// (Prometheus text), /trace (Chrome trace_event JSON, loadable in
+// about:tracing) and /debug/pprof while the campaign runs; -obs-summary
+// logs a one-line progress heartbeat at the given interval; -obs-events
+// streams structured NDJSON events ("-" for stderr).
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"strings"
 
 	"github.com/mobilegrid/adf/internal/experiment"
+	"github.com/mobilegrid/adf/internal/obs"
 )
 
 func main() {
@@ -42,9 +50,39 @@ func run(w io.Writer, args []string) error {
 		series    = fs.Bool("series", false, "also print the time series behind figures 4, 5 and 7")
 		workers   = fs.Int("workers", 0, "campaign worker pool size: 0 = one per CPU, 1 = sequential (never changes results)")
 		mobility  = fs.Int("mobility-workers", 0, "mobility-advance goroutines per simulation; results are identical at any count")
+		obsAddr   = fs.String("obs-addr", "", "serve /metrics, /trace and /debug/pprof on this address while running (empty disables)")
+		obsSum    = fs.Duration("obs-summary", 0, "log a one-line progress summary at this interval (0 disables)")
+		obsEvents = fs.String("obs-events", "", "write NDJSON observability events to this file (\"-\" for stderr)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *obsEvents != "" {
+		ew := io.Writer(os.Stderr)
+		if *obsEvents != "-" {
+			f, err := os.Create(*obsEvents)
+			if err != nil {
+				return fmt.Errorf("obs events: %w", err)
+			}
+			defer func() { _ = f.Close() }()
+			ew = f
+		}
+		obs.Events.SetOutput(ew)
+		obs.SetEnabled(true)
+	}
+	if *obsAddr != "" {
+		addr, stop, err := obs.Serve(*obsAddr)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		log.Printf("observability on http://%s/metrics", addr)
+	}
+	if *obsSum > 0 {
+		obs.SetEnabled(true)
+		stop := obs.StartSummary(os.Stderr, *obsSum)
+		defer stop()
 	}
 
 	cfg := experiment.DefaultConfig()

@@ -5,6 +5,13 @@
 // Usage:
 //
 //	rtiserver [-addr 127.0.0.1:4500] [-federations mobilegrid]
+//	          [-obs-addr :8080] [-obs-events events.ndjson]
+//
+// With -obs-addr the server exposes /metrics (Prometheus text),
+// /trace (Chrome trace_event JSON) and /debug/pprof on that address.
+// With -obs-events discrete occurrences (federate joins, resigns, the
+// federates still connected at shutdown) stream to the given NDJSON
+// file, or to stderr with "-".
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"syscall"
 
 	"github.com/mobilegrid/adf/internal/hla"
+	"github.com/mobilegrid/adf/internal/obs"
 )
 
 func main() {
@@ -27,6 +35,13 @@ func main() {
 	}
 }
 
+// obsConfig carries the observability flags from setup to run, keeping
+// setup's signature test-friendly.
+var obsConfig struct {
+	addr   string
+	events string
+}
+
 // setup parses flags, creates the federations and starts listening. It
 // is separated from run so tests can exercise it without signal
 // handling.
@@ -35,10 +50,14 @@ func setup(args []string) (*hla.Server, error) {
 	var (
 		addr        = fs.String("addr", "127.0.0.1:4500", "listen address")
 		federations = fs.String("federations", "mobilegrid", "comma-separated federation executions to create")
+		obsAddr     = fs.String("obs-addr", "", "serve /metrics, /trace and /debug/pprof on this address (empty disables)")
+		obsEvents   = fs.String("obs-events", "", "write NDJSON observability events to this file (\"-\" for stderr)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
+	obsConfig.addr = *obsAddr
+	obsConfig.events = *obsEvents
 
 	rti := hla.NewRTI()
 	created := 0
@@ -67,6 +86,27 @@ func run(args []string) error {
 	}
 	log.Printf("listening on %s", srv.Addr())
 
+	if obsConfig.events != "" {
+		w := os.Stderr
+		if obsConfig.events != "-" {
+			f, err := os.Create(obsConfig.events)
+			if err != nil {
+				return fmt.Errorf("obs events: %w", err)
+			}
+			defer func() { _ = f.Close() }()
+			w = f
+		}
+		obs.Events.SetOutput(w)
+	}
+	if obsConfig.addr != "" {
+		addr, stop, err := obs.Serve(obsConfig.addr)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		log.Printf("observability on http://%s/metrics", addr)
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve() }()
 
@@ -74,8 +114,18 @@ func run(args []string) error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case s := <-sig:
-		log.Printf("received %v, shutting down", s)
-		return srv.Close()
+		log.Printf("received %v, shutting down gracefully", s)
+		// Record who is still connected before the teardown resigns them:
+		// operators diffing an unclean deploy want the roster in the logs
+		// and the event stream.
+		for _, fi := range srv.RTI().Snapshot() {
+			for _, name := range fi.Federates {
+				log.Printf("federation %q: federate %q still joined", fi.Name, name)
+				obs.Events.Emit("federate_remaining",
+					obs.S("federation", fi.Name), obs.S("name", name))
+			}
+		}
+		return srv.Shutdown()
 	case err := <-errc:
 		return fmt.Errorf("serve: %w", err)
 	}

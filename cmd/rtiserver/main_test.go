@@ -118,3 +118,56 @@ type countingAmbassador struct {
 func (a *countingAmbassador) ReceiveInteraction(string, hla.Values, float64) {
 	a.interactions++
 }
+
+// TestGracefulShutdownRoster exercises the machinery behind the SIGTERM
+// path: with federates still joined, the RTI snapshot reports them (the
+// roster run logs before tearing down) and Shutdown stops the listener
+// before dropping the connections.
+func TestGracefulShutdownRoster(t *testing.T) {
+	srv, err := setup([]string{"-addr", "127.0.0.1:0", "-federations", "alpha"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve() }()
+
+	var clients []*hla.Client
+	for _, name := range []string{"first", "second"} {
+		c, err := hla.Dial(srv.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, c)
+		if err := c.Join("alpha", name, 1, quietAmbassador{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer func() {
+		for _, c := range clients {
+			_ = c.Close()
+		}
+	}()
+
+	snap := srv.RTI().Snapshot()
+	if len(snap) != 1 || snap[0].Name != "alpha" {
+		t.Fatalf("snapshot = %+v, want one federation alpha", snap)
+	}
+	got := snap[0].Federates
+	if len(got) != 2 || got[0] != "first" || got[1] != "second" {
+		t.Fatalf("federate roster = %v, want [first second]", got)
+	}
+
+	if err := srv.Shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The listener is gone: new connections must fail.
+	if c, err := hla.Dial(srv.Addr().String()); err == nil {
+		_ = c.Close()
+		t.Error("dial succeeded after Shutdown")
+	}
+	// The handlers resigned the dropped federates on the way out.
+	for _, fi := range srv.RTI().Snapshot() {
+		if len(fi.Federates) != 0 {
+			t.Errorf("federates still joined after Shutdown: %v", fi.Federates)
+		}
+	}
+}

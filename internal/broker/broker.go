@@ -13,6 +13,7 @@ import (
 	"github.com/mobilegrid/adf/internal/dense"
 	"github.com/mobilegrid/adf/internal/estimate"
 	"github.com/mobilegrid/adf/internal/geo"
+	"github.com/mobilegrid/adf/internal/obs"
 )
 
 // Entry is one location-DB record.
@@ -66,6 +67,7 @@ func (b *Broker) record(node int) *record {
 		// the Get fast path.
 		r = &record{est: b.newEstimator()}
 		b.records.Put(node, r)
+		obs.BrokerRecords.Inc()
 	}
 	return r
 }
@@ -161,7 +163,11 @@ func (b *Broker) Locations() []Entry {
 }
 
 // Forget drops a node from the location DB.
-func (b *Broker) Forget(node int) { b.records.Delete(node) }
+func (b *Broker) Forget(node int) {
+	if b.records.Delete(node) {
+		obs.BrokerForgets.Inc()
+	}
+}
 
 // NodeCount returns the number of nodes with a DB entry.
 func (b *Broker) NodeCount() int {

@@ -28,6 +28,7 @@ import (
 
 	"github.com/mobilegrid/adf/internal/dense"
 	"github.com/mobilegrid/adf/internal/geo"
+	"github.com/mobilegrid/adf/internal/obs"
 )
 
 // NodeID identifies a mobile node within the clustering.
@@ -396,6 +397,13 @@ func (m *Manager) newCluster() *Cluster {
 	m.nextID++
 	m.clusters[c.id] = c
 	m.orderedDirty = true
+	obs.ClustersCreated.Inc()
+	obs.ClustersLive.Set(int64(len(m.clusters)))
+	if obs.Events.Verbose() {
+		//adf:allow hotpath — opt-in verbose event logging of cluster
+		// churn; the default path stops at the atomic load above.
+		obs.Events.Emit("cluster_created", obs.F("cluster", float64(c.id)))
+	}
 	return c
 }
 
@@ -404,6 +412,13 @@ func (m *Manager) retireCluster(c *Cluster) {
 	m.unfileCluster(c)
 	delete(m.clusters, c.id)
 	m.orderedDirty = true
+	obs.ClustersRetired.Inc()
+	obs.ClustersLive.Set(int64(len(m.clusters)))
+	if obs.Events.Verbose() {
+		//adf:allow hotpath — opt-in verbose event logging of cluster
+		// churn; the default path stops at the atomic load above.
+		obs.Events.Emit("cluster_retired", obs.F("cluster", float64(c.id)))
+	}
 	c.reset()
 	m.free = append(m.free, c) //adf:allow hotpath — pool push; capacity is bounded by the cluster-count peak
 }

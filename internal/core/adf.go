@@ -8,6 +8,7 @@ import (
 	"github.com/mobilegrid/adf/internal/dense"
 	"github.com/mobilegrid/adf/internal/filter"
 	"github.com/mobilegrid/adf/internal/geo"
+	"github.com/mobilegrid/adf/internal/obs"
 )
 
 // Config parameterises the Adaptive Distance Filter.
@@ -151,6 +152,7 @@ func (a *ADF) Offer(lu filter.LU) filter.Decision {
 		// the dense-map fast path above.
 		st = &nodeState{classifier: cl}
 		a.nodes.Put(lu.Node, st)
+		obs.PatternNodes(int(PatternUnknown)).Add(1)
 	}
 	st.classifier.Observe(lu.Time, lu.Pos)
 	a.maintainClustering(lu.Time, lu.Node, st)
@@ -180,6 +182,13 @@ func (a *ADF) maintainClustering(now float64, node int, st *nodeState) {
 	}
 	prev := st.pattern
 	st.pattern = st.classifier.Pattern()
+	if prev != st.pattern {
+		// Keep the per-pattern population gauges current. Gauges are
+		// ungated atomics; transitions are rare (a classification
+		// change, not a tick), so this costs nothing on the hot path.
+		obs.PatternNodes(int(prev)).Add(-1)
+		obs.PatternNodes(int(st.pattern)).Add(1)
+	}
 
 	nid := cluster.NodeID(node)
 	switch {
@@ -204,14 +213,16 @@ func (a *ADF) maintainClustering(now float64, node int, st *nodeState) {
 		//adf:allow hotpath — periodic reclustering (the paper's step 6)
 		// runs once per ReclusterInterval, not per tick: a declared cold
 		// path, so the call-graph walk stops here.
-		a.rebuild()
+		a.rebuild(now)
 		a.lastRebuild = now
 	}
 }
 
 // rebuild re-runs the sequential clustering over every non-stop node's
-// current feature (the paper's step 6).
-func (a *ADF) rebuild() {
+// current feature (the paper's step 6) and records the DTH-recompute
+// event: each reconstruction re-derives every cluster's mean speed and
+// therefore every member's distance threshold.
+func (a *ADF) rebuild(now float64) {
 	clear(a.featScratch)
 	a.nodes.Range(func(id int, st *nodeState) bool {
 		if st.classifier.Ready() && st.pattern != PatternStop {
@@ -219,7 +230,13 @@ func (a *ADF) rebuild() {
 		}
 		return true
 	})
-	a.clusters.Rebuild(a.featScratch)
+	formed := a.clusters.Rebuild(a.featScratch)
+	obs.Reclusters.Inc()
+	if obs.Events.On() {
+		obs.Events.Emit("recluster",
+			obs.F("t", now), obs.F("nodes", float64(len(a.featScratch))),
+			obs.F("clusters", float64(formed)))
+	}
 }
 
 // dthFor sizes the node's distance threshold. Until the node's window
@@ -247,6 +264,9 @@ func (a *ADF) dthFor(node int, st *nodeState) float64 {
 
 // Forget implements filter.Filter.
 func (a *ADF) Forget(node int) {
+	if st, ok := a.nodes.Get(node); ok {
+		obs.PatternNodes(int(st.pattern)).Add(-1)
+	}
 	a.nodes.Delete(node)
 	a.clusters.Remove(cluster.NodeID(node))
 }

@@ -22,6 +22,7 @@ import (
 	"github.com/mobilegrid/adf/internal/gateway"
 	"github.com/mobilegrid/adf/internal/geo"
 	"github.com/mobilegrid/adf/internal/node"
+	"github.com/mobilegrid/adf/internal/obs"
 	"github.com/mobilegrid/adf/internal/sim"
 )
 
@@ -144,6 +145,9 @@ type Churn struct {
 	rejoinProb float64
 	rng        *sim.RNG
 	absent     dense.Map[bool]
+	// obsv, when set by the owning pipeline, receives rejoin tallies
+	// (only Step can tell a rejoin from an ordinary present tick).
+	obsv *obs.TickLocal
 }
 
 // NewChurn returns a churn model: an active node departs with leaveProb
@@ -166,6 +170,9 @@ func (c *Churn) Step(id int) (present, left bool) {
 	if away, _ := c.absent.Get(id); away {
 		if c.rng.Bool(c.rejoinProb) {
 			c.absent.Delete(id)
+			if c.obsv != nil {
+				c.obsv.ChurnRejoined++
+			}
 			return true, false
 		}
 		return false, false
@@ -220,6 +227,10 @@ type Pipeline struct {
 	// -tags adfcheck it holds the campus bounding box and the previous
 	// tick time (see sanitize_on.go).
 	san sanitizerState
+	// obsv is the observability batch: plain per-tick tallies the stages
+	// bump and Tick flushes into the global registry while obs.Enabled
+	// (see obs.go).
+	obsv obsState
 }
 
 // Validate reports wiring errors.
@@ -269,20 +280,32 @@ func (p *Pipeline) Close() {
 // Tick processes one sampling round: the advance stage positions every
 // node (in parallel when MobilityWorkers > 1), then each node flows
 // through the sequential stages in slice order, then OnTick fires.
+// While observability is enabled each stage is timed into a trace span
+// and the tick's batched tallies flush into the global registry.
 func (p *Pipeline) Tick(now float64) error {
 	if p.collectors == nil {
 		if err := p.buildCollectors(); err != nil {
 			return err
 		}
 	}
+	p.obsv.on = obs.Enabled()
+	t0 := obs.StageStart()
 	p.stageAdvance(now)
+	t1 := obs.StageEnd(p.obsv.tid, obs.StageAdvance, t0)
 	p.sanitizeTick(now)
 	for i := range p.samples {
 		if err := p.tickNode(i, p.samples[i]); err != nil {
 			return err
 		}
 	}
-	return p.Observers.OnTick(now)
+	t2 := obs.StageEnd(p.obsv.tid, obs.StageNodes, t1)
+	err := p.Observers.OnTick(now)
+	t3 := obs.StageEnd(p.obsv.tid, obs.StageObservers, t2)
+	obs.RecordSpan(p.obsv.tid, obs.StageTick, t0, t3)
+	if p.obsv.on {
+		p.obsFlush()
+	}
+	return err
 }
 
 // tickNode runs one node's sample through the sequential stage chain.
@@ -296,7 +319,7 @@ func (p *Pipeline) tickNode(i int, s Sample) error {
 	transmitted := false
 	if connected {
 		var err error
-		if transmitted, err = p.stageFilter(s, forwarded); err != nil {
+		if transmitted, err = p.stageFilter(i, s, forwarded); err != nil {
 			return err
 		}
 	}
@@ -400,6 +423,7 @@ func (p *Pipeline) stageChurn(s Sample) bool {
 	}
 	present, left := p.Churn.Step(s.Node)
 	if left {
+		p.obsv.local.ChurnLeft++
 		p.Filter.Forget(s.Node)
 		p.NoLE.Forget(s.Node)
 		p.WithLE.Forget(s.Node)
@@ -419,6 +443,7 @@ func (p *Pipeline) buildCollectors() error {
 		cs[i] = g
 	}
 	p.collectors = cs
+	p.buildObs()
 	return nil
 }
 
@@ -430,15 +455,31 @@ func (p *Pipeline) stageCollect(i int, s Sample) (filter.LU, bool) {
 	return p.collectors[i].Collect(filter.LU{Node: s.Node, Time: s.Time, Pos: s.Pos})
 }
 
-// stageFilter notifies OnOffered and offers the forwarded LU to the
-// distance filter, returning the transmit decision.
+// stageFilter notifies OnOffered, offers the forwarded LU to the
+// distance filter and mirrors the verdict into the observability batch,
+// returning the transmit decision.
 //
 //adf:hotpath
-func (p *Pipeline) stageFilter(s Sample, forwarded filter.LU) (bool, error) {
+func (p *Pipeline) stageFilter(i int, s Sample, forwarded filter.LU) (bool, error) {
 	if err := p.Observers.OnOffered(s); err != nil {
 		return false, err
 	}
-	return p.Filter.Offer(forwarded).Transmit, nil
+	d := p.Filter.Offer(forwarded)
+	p.obsv.local.Offered++
+	filter.Observe(d, &p.obsv.local, p.obsv.on)
+	r := &p.obsv.regions[p.obsv.regionSlot[i]]
+	r.offered++
+	if d.Transmit {
+		r.sent++
+	}
+	if p.obsv.on && obs.Events.Verbose() {
+		//adf:allow hotpath — opt-in per-LU event logging; the default
+		// path stops at the Verbose atomic load above.
+		obs.Events.Emit("lu",
+			obs.F("t", s.Time), obs.F("node", float64(s.Node)),
+			obs.F("sent", b2f(d.Transmit)), obs.F("dist", d.Distance), obs.F("dth", d.Threshold))
+	}
+	return d.Transmit, nil
 }
 
 // stageDeliver is the broker-delivery and error-measurement stage: each
@@ -451,6 +492,7 @@ func (p *Pipeline) stageFilter(s Sample, forwarded filter.LU) (bool, error) {
 //adf:hotpath
 func (p *Pipeline) stageDeliver(s Sample, transmitted bool) error {
 	if transmitted {
+		p.obsv.local.BrokerReceived++
 		if err := p.Observers.OnTransmitted(s); err != nil {
 			return err
 		}
@@ -461,6 +503,9 @@ func (p *Pipeline) stageDeliver(s Sample, transmitted bool) error {
 		}
 	}
 	if e, ok := p.WithLE.Step(s.Node, s.Time, s.Pos, transmitted); ok {
+		if e.Estimated {
+			p.obsv.local.BrokerEstimated++
+		}
 		if err := p.Observers.OnError(s, WithLE, e.Pos.Dist(s.Pos)); err != nil {
 			return err
 		}

@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"github.com/mobilegrid/adf/internal/campus"
+	"github.com/mobilegrid/adf/internal/obs"
+)
+
+// obsState is one pipeline's observability bookkeeping. The hot-path
+// stages bump the plain TickLocal batch and the per-region tallies
+// unconditionally (a plain add is cheaper than a gated atomic and keeps
+// the stage bodies branch-free); Tick publishes the batch into the
+// global registry once per tick, only while observability is enabled.
+type obsState struct {
+	// on caches obs.Enabled for the current tick so the per-node stages
+	// read a struct field instead of the shared atomic.
+	on bool
+	// tid is this pipeline's Chrome-trace track, so concurrent campaign
+	// simulations render on separate rows.
+	tid uint32
+	// local is the per-tick counter/histogram batch.
+	local obs.TickLocal
+	// regionSlot maps a node index to its region's slot in regions,
+	// resolved once alongside the gateway collectors.
+	regionSlot []int
+	// regions holds per-region tallies plus their global counters.
+	regions []obsRegion
+}
+
+// obsRegion pairs one region's plain per-tick tallies with the global
+// labeled counters they flush into.
+type obsRegion struct {
+	offered, sent   uint64
+	offeredC, sentC *obs.Counter
+}
+
+// buildObs resolves the pipeline's observability bookkeeping: the trace
+// track, the histogram bindings and the per-region counter slots. It
+// runs once from the same cold path as buildCollectors.
+func (p *Pipeline) buildObs() {
+	p.obsv.tid = obs.NextTID()
+	p.obsv.local.Init()
+	if p.Churn != nil {
+		p.Churn.obsv = &p.obsv.local
+	}
+	slots := make(map[*campus.Region]int, 16)
+	p.obsv.regionSlot = make([]int, len(p.Nodes))
+	p.obsv.regions = p.obsv.regions[:0]
+	for i, n := range p.Nodes {
+		r := n.Region()
+		slot, ok := slots[r]
+		if !ok {
+			slot = len(p.obsv.regions)
+			slots[r] = slot
+			p.obsv.regions = append(p.obsv.regions, obsRegion{
+				offeredC: obs.RegionOffered(string(r.ID)),
+				sentC:    obs.RegionSent(string(r.ID)),
+			})
+		}
+		p.obsv.regionSlot[i] = slot
+	}
+}
+
+// obsFlush publishes the tick's batch — the TickLocal counters and
+// histograms plus the per-region tallies — into the global registry.
+// Called once per tick, only while observability is enabled.
+func (p *Pipeline) obsFlush() {
+	p.obsv.local.Flush()
+	for i := range p.obsv.regions {
+		r := &p.obsv.regions[i]
+		if r.offered > 0 {
+			r.offeredC.Add(r.offered)
+			r.offered = 0
+		}
+		if r.sent > 0 {
+			r.sentC.Add(r.sent)
+			r.sent = 0
+		}
+	}
+}
+
+// b2f renders a bool as a numeric event field.
+func b2f(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}

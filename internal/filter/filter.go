@@ -10,6 +10,7 @@ import (
 
 	"github.com/mobilegrid/adf/internal/dense"
 	"github.com/mobilegrid/adf/internal/geo"
+	"github.com/mobilegrid/adf/internal/obs"
 )
 
 // LU is a location update offered to a filter: one node's sampled position
@@ -43,6 +44,27 @@ type Filter interface {
 	Offer(lu LU) Decision
 	// Forget drops all per-node state (a node left the grid).
 	Forget(node int)
+}
+
+// Observe mirrors one filter verdict into a pipeline's observability
+// batch: the transmit/suppress tallies are plain adds recorded
+// unconditionally, while the distance and threshold histograms — which
+// cost a bucket scan per LU — record only when hist is set (the engine
+// passes its per-tick cached enable flag). The verdict-to-tally mapping
+// lives here, next to the Decision type, so every Filter implementation
+// is accounted identically.
+//
+//adf:hotpath
+func Observe(d Decision, t *obs.TickLocal, hist bool) {
+	if d.Transmit {
+		t.Sent++
+	} else {
+		t.Filtered++
+	}
+	if hist {
+		t.Distance.Observe(d.Distance)
+		t.DTH.Observe(d.Threshold)
+	}
 }
 
 // IdealLU is the unfiltered baseline: every offered LU is transmitted.

@@ -3,6 +3,8 @@ package hla
 import (
 	"fmt"
 	"math"
+
+	"github.com/mobilegrid/adf/internal/obs"
 )
 
 // Federate is an in-process handle to a joined federate: the RTIambassador
@@ -342,5 +344,12 @@ func (f *Federate) Resign() error {
 	f.st.mailbox.close()
 	f.fed.evaluateGrants()
 	f.fed.reevaluateSyncPoints()
+	obs.FederateResigns.Inc()
+	obs.FederatesConnected.Add(-1)
+	if obs.Events.On() {
+		obs.Events.Emit("federate_resign",
+			obs.S("federation", f.fed.name), obs.S("name", f.st.name),
+			obs.F("handle", float64(f.st.handle)))
+	}
 	return nil
 }

@@ -28,6 +28,8 @@ import (
 	"math"
 	"sort"
 	"sync"
+
+	"github.com/mobilegrid/adf/internal/obs"
 )
 
 // Errors returned by RTI services.
@@ -346,7 +348,54 @@ func (r *RTI) Join(federation, name string, lookahead float64, amb Ambassador) (
 	}
 	fed.nextFederate++
 	fed.federates[st.handle] = st
+	obs.FederateJoins.Inc()
+	obs.FederatesConnected.Add(1)
+	if obs.Events.On() {
+		obs.Events.Emit("federate_join",
+			obs.S("federation", federation), obs.S("name", name),
+			obs.F("handle", float64(st.handle)))
+	}
 	return &Federate{fed: fed, st: st, amb: amb}, nil
+}
+
+// FederationInfo is one federation's live-membership snapshot.
+type FederationInfo struct {
+	// Name is the federation execution's name.
+	Name string
+	// Federates are the names of currently joined (not resigned)
+	// federates, in join order.
+	Federates []string
+}
+
+// Snapshot reports every federation and its live federates, ordered by
+// federation name — the introspection the RTI server's shutdown path
+// and observability endpoint read.
+func (r *RTI) Snapshot() []FederationInfo {
+	r.mu.Lock()
+	feds := make([]*Federation, 0, len(r.federations))
+	for _, fed := range r.federations {
+		feds = append(feds, fed)
+	}
+	r.mu.Unlock()
+	sort.Slice(feds, func(i, j int) bool { return feds[i].name < feds[j].name })
+	out := make([]FederationInfo, 0, len(feds))
+	for _, fed := range feds {
+		fed.mu.Lock()
+		info := FederationInfo{Name: fed.name}
+		handles := make([]FederateHandle, 0, len(fed.federates))
+		for h := range fed.federates {
+			handles = append(handles, h)
+		}
+		sort.Slice(handles, func(i, j int) bool { return handles[i] < handles[j] })
+		for _, h := range handles {
+			if f := fed.federates[h]; !f.resigned {
+				info.Federates = append(info.Federates, f.name)
+			}
+		}
+		fed.mu.Unlock()
+		out = append(out, info)
+	}
+	return out
 }
 
 // sendBounds computes, for every live regulating federate, the earliest

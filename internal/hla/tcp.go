@@ -6,6 +6,7 @@ import (
 	"net"
 	"sync"
 
+	"github.com/mobilegrid/adf/internal/obs"
 	"github.com/mobilegrid/adf/internal/wire"
 )
 
@@ -98,6 +99,9 @@ func NewServer(rti *RTI, addr string) (*Server, error) {
 // Addr returns the listening address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
+// RTI returns the RTI this server exposes.
+func (s *Server) RTI() *RTI { return s.rti }
+
 // Serve accepts connections until Close. It always returns a non-nil
 // error; after Close the error wraps net.ErrClosed.
 func (s *Server) Serve() error {
@@ -115,6 +119,7 @@ func (s *Server) Serve() error {
 		s.conns[conn] = true
 		s.wg.Add(1)
 		s.mu.Unlock()
+		obs.RTIConns.Add(1)
 		go func() {
 			defer s.wg.Done()
 			s.handle(conn)
@@ -140,7 +145,27 @@ func (s *Server) dropConn(conn net.Conn) {
 	s.mu.Lock()
 	delete(s.conns, conn)
 	s.mu.Unlock()
+	obs.RTIConns.Add(-1)
 	_ = conn.Close()
+}
+
+// Shutdown closes the server gracefully: it stops accepting new
+// connections first, then closes every live federate connection (each
+// handler resigns its federate on the way out) and waits for the
+// handlers to drain. Unlike Close, the listener is gone before any
+// federate is dropped, so no new work races the teardown.
+func (s *Server) Shutdown() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.mu.Lock()
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
 }
 
 // connWriter serialises frame writes from the request handler and the
@@ -158,6 +183,10 @@ func (w *connWriter) writeFrame(payload []byte) {
 		return
 	}
 	w.err = wire.WriteFrame(w.conn, payload)
+	if w.err == nil {
+		obs.WireFramesOut.Inc()
+		obs.WireBytesOut.Add(uint64(len(payload)))
+	}
 }
 
 // remoteAmbassador relays ambassador callbacks to the remote client.
@@ -260,6 +289,8 @@ func (s *Server) handle(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		obs.WireFramesIn.Inc()
+		obs.WireBytesIn.Add(uint64(len(payload)))
 		d := wire.NewDecoder(payload)
 		typ := d.Byte()
 

@@ -70,3 +70,32 @@ func coldInit(dst *[]int) {
 func quiet() []int {
 	return make([]int, 1)
 }
+
+// counter mimics an observability instrument with the alloc-free shape
+// a hot path may call: plain arithmetic, no growth.
+type counter struct{ n uint64 }
+
+func (c *counter) inc() { c.n++ }
+
+// recorder mimics an event sink whose record path allocates; reaching
+// it from a hot root must be flagged through the call graph.
+type recorder struct{ lines [][]byte }
+
+func (r *recorder) record(kind string) {
+	r.lines = append(r.lines, []byte(kind))
+}
+
+// emit adds one indirection so the diagnostic names a method chain.
+func (r *recorder) emit(kind string) { r.record(kind) }
+
+// Instrumented is a hot root with observability calls: the counter
+// passes, the allocating recorder is flagged two method hops deep, and
+// a vouched call site prunes the walk.
+//
+//adf:hotpath
+func Instrumented(c *counter, r *recorder) {
+	c.inc()
+	r.emit("tick")
+	//adf:allow hotpath — fixture: opt-in verbose event, a declared cold path
+	r.record("verbose")
+}

@@ -284,3 +284,125 @@ func TestSummaryQuantileMonotoneProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestCountSeriesGrowthEdges pins the grow routine's three regimes: a
+// bucket exactly at the reserved capacity boundary, an overrun past a
+// Reserve (doubling growth), and recording at t=0 after a growth so the
+// copied prefix is intact.
+func TestCountSeriesGrowthEdges(t *testing.T) {
+	// Bucket landing exactly on the last reserved slot: no reallocation,
+	// in-capacity reslice only.
+	var s CountSeries
+	s.Reserve(4)
+	s.Add(0, 1)
+	base := s.Series()
+	s.Add(3, 2) // bucket 3 == cap-1
+	if got := s.Len(); got != 4 {
+		t.Fatalf("Len after filling to cap = %d, want 4", got)
+	}
+	if got := s.Series(); got[0] != 1 || got[3] != 2 || got[1] != 0 || got[2] != 0 {
+		t.Fatalf("Series = %v (prefix was %v)", got, base)
+	}
+
+	// Overrunning the reservation: bucket 4 needs a fifth slot, the
+	// doubling growth must preserve everything recorded so far.
+	s.Add(4, 7)
+	if got := s.Series(); len(got) != 5 || got[0] != 1 || got[3] != 2 || got[4] != 7 {
+		t.Fatalf("Series after overrun = %v", got)
+	}
+
+	// Recording at t=0 after the growth must add into the copied prefix,
+	// not a fresh zero.
+	s.Add(0, 10)
+	if got := s.Series()[0]; got != 11 {
+		t.Fatalf("bucket 0 after growth = %v, want 11", got)
+	}
+	if s.Total() != 20 {
+		t.Errorf("Total = %v, want 20", s.Total())
+	}
+
+	// The same sequence without Reserve exercises the allocate-from-nil
+	// doubling path.
+	var u CountSeries
+	u.Add(9, 1)
+	if u.Len() != 10 || u.Series()[9] != 1 {
+		t.Fatalf("cold growth Series = %v", u.Series())
+	}
+	u.Add(0, 1)
+	u.Add(25, 1)
+	if got := u.Series(); got[0] != 1 || got[9] != 1 || got[25] != 1 {
+		t.Fatalf("Series after second growth = %v", got)
+	}
+}
+
+// TestCountSeriesReserveKeepsData proves Reserve is purely a capacity
+// hint: recorded buckets survive it, and a smaller Reserve is a no-op.
+func TestCountSeriesReserveKeepsData(t *testing.T) {
+	var s CountSeries
+	s.Add(2, 5)
+	s.Reserve(100)
+	if got := s.Series(); len(got) != 3 || got[2] != 5 {
+		t.Fatalf("Series after Reserve = %v", got)
+	}
+	s.Reserve(1) // shrinking reserve must not truncate
+	if got := s.Series(); len(got) != 3 || got[2] != 5 {
+		t.Fatalf("Series after shrinking Reserve = %v", got)
+	}
+}
+
+// TestEmptySeriesRendering pins the empty-input behaviour of every
+// series consumer the figure renderers call: no panics, zero values,
+// empty (or nil) slices.
+func TestEmptySeriesRendering(t *testing.T) {
+	var c CountSeries
+	if got := c.Series(); len(got) != 0 {
+		t.Errorf("empty CountSeries.Series = %v", got)
+	}
+	if c.Total() != 0 || c.Mean() != 0 || c.Len() != 0 {
+		t.Errorf("empty CountSeries totals: %v %v %d", c.Total(), c.Mean(), c.Len())
+	}
+
+	var r RMSESeries
+	if got := r.Series(); len(got) != 0 {
+		t.Errorf("empty RMSESeries.Series = %v", got)
+	}
+	if r.Overall() != 0 || r.Len() != 0 {
+		t.Errorf("empty RMSESeries: overall %v len %d", r.Overall(), r.Len())
+	}
+	r.Reserve(10)
+	if r.Len() != 0 || r.Overall() != 0 {
+		t.Errorf("Reserve changed empty RMSESeries: len %d", r.Len())
+	}
+
+	if got := Accumulate(nil); len(got) != 0 {
+		t.Errorf("Accumulate(nil) = %v", got)
+	}
+	if got := Downsample(nil, 60); len(got) != 0 {
+		t.Errorf("Downsample(nil, 60) = %v", got)
+	}
+	if got := Downsample([]float64{}, 0); len(got) != 0 {
+		t.Errorf("Downsample(empty, 0) = %v", got)
+	}
+}
+
+// TestRMSESeriesReserveThenOverrun mirrors the CountSeries growth edge
+// for the RMSE accumulator: an overrun past the reservation keeps both
+// parallel arrays aligned and the earlier sums intact.
+func TestRMSESeriesReserveThenOverrun(t *testing.T) {
+	var r RMSESeries
+	r.Reserve(2)
+	r.Add(0, 3)
+	r.Add(1.5, 4)
+	r.Add(5, 12) // past the reservation
+	if r.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", r.Len())
+	}
+	got := r.Series()
+	if got[0] != 3 || got[1] != 4 || got[5] != 12 {
+		t.Fatalf("Series = %v", got)
+	}
+	r.Add(0, 4) // t=0 after growth: joins bucket 0's mean
+	if want := math.Sqrt((9.0 + 16.0) / 2.0); r.Series()[0] != want {
+		t.Fatalf("bucket 0 RMSE = %v, want %v", r.Series()[0], want)
+	}
+}

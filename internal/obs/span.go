@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Stage names one timed section of the engine's tick pipeline.
+type Stage int
+
+const (
+	// StageAdvance is the mobility-advance stage (parallel when
+	// MobilityWorkers > 1).
+	StageAdvance Stage = iota
+	// StageNodes is the sequential per-node chain: churn, collect,
+	// filter, deliver.
+	StageNodes
+	// StageObservers is the OnTick fan-out to the metric sinks.
+	StageObservers
+	// StageTick is the whole sampling round.
+	StageTick
+	// numStages sizes stage-indexed arrays.
+	numStages
+)
+
+// stageNames maps Stage values to their trace and metric names. Indexed
+// by int rather than switched over so no exhaustiveness obligation
+// spreads to callers.
+var stageNames = [numStages]string{"advance", "nodes", "observers", "tick"}
+
+// String returns the stage's name.
+func (s Stage) String() string {
+	if s < 0 || s >= numStages {
+		return "unknown"
+	}
+	return stageNames[s]
+}
+
+// spanRecord is one completed span in the ring.
+type spanRecord struct {
+	stage   Stage
+	tid     uint32
+	startNS int64
+	durNS   int64
+}
+
+// spanRingCap bounds the trace ring: 1<<15 records ≈ 8k ticks of the
+// four pipeline stages, ~1 MiB, allocated on the first recording.
+const spanRingCap = 1 << 15
+
+// spanRing is a fixed-capacity ring of completed spans. A mutex (not
+// atomics) guards it: recording happens a handful of times per tick,
+// and the /trace endpoint reads it while simulations run.
+type spanRing struct {
+	mu      sync.Mutex
+	records []spanRecord
+	next    int
+	wrapped bool
+}
+
+var spans spanRing
+
+// nextTID hands out trace thread IDs, one per pipeline, so concurrent
+// campaign simulations land on separate tracks in about:tracing.
+var tidCounter atomic.Uint32
+
+// NextTID returns a fresh trace track ID.
+func NextTID() uint32 { return tidCounter.Add(1) }
+
+// StageStart returns the wall-clock start timestamp for a span, or 0
+// when observability is disabled (the disabled path costs one atomic
+// load — no clock read).
+func StageStart() int64 {
+	if !on.Load() {
+		return 0
+	}
+	return nowNanos()
+}
+
+// StageEnd completes a span opened with StageStart and returns its end
+// timestamp, so consecutive stages chain without extra clock reads. A
+// zero start (observability was off at StageStart) records nothing.
+func StageEnd(tid uint32, s Stage, start int64) int64 {
+	if start == 0 || !on.Load() {
+		return 0
+	}
+	end := nowNanos()
+	spans.record(spanRecord{stage: s, tid: tid, startNS: start, durNS: end - start})
+	stageSeconds[s].observe(float64(end-start) / 1e9)
+	return end
+}
+
+// RecordSpan records a span with explicit endpoints (used for the
+// whole-tick span, whose endpoints the stage chain already read).
+func RecordSpan(tid uint32, s Stage, start, end int64) {
+	if start == 0 || end < start || !on.Load() {
+		return
+	}
+	spans.record(spanRecord{stage: s, tid: tid, startNS: start, durNS: end - start})
+	stageSeconds[s].observe(float64(end-start) / 1e9)
+}
+
+func (r *spanRing) record(rec spanRecord) {
+	r.mu.Lock()
+	if r.records == nil {
+		r.records = make([]spanRecord, spanRingCap)
+	}
+	r.records[r.next] = rec
+	r.next++
+	if r.next == len(r.records) {
+		r.next = 0
+		r.wrapped = true
+	}
+	r.mu.Unlock()
+}
+
+// snapshot copies the ring's live records in recording order.
+func (r *spanRing) snapshot() []spanRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.records == nil {
+		return nil
+	}
+	var out []spanRecord
+	if r.wrapped {
+		out = make([]spanRecord, 0, len(r.records))
+		out = append(out, r.records[r.next:]...)
+		out = append(out, r.records[:r.next]...)
+	} else {
+		out = append([]spanRecord(nil), r.records[:r.next]...)
+	}
+	return out
+}
+
+// traceEvent is one Chrome trace_event entry ("ph":"X" complete event;
+// timestamps and durations in microseconds).
+type traceEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Pid  int     `json:"pid"`
+	Tid  uint32  `json:"tid"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+}
+
+// chromeTrace is the top-level trace file: the event array plus the
+// registry snapshot (about:tracing ignores unknown top-level keys, so
+// one file carries both the timeline and the final metric values).
+type chromeTrace struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	Metrics         Snapshot     `json:"metrics"`
+}
+
+// WriteChromeTrace writes the recorded spans as Chrome trace_event JSON
+// (load via about:tracing or https://ui.perfetto.dev) with the Default
+// registry's snapshot embedded under the "metrics" key.
+func WriteChromeTrace(w io.Writer) error {
+	records := spans.snapshot()
+	events := make([]traceEvent, len(records))
+	for i, rec := range records {
+		events[i] = traceEvent{
+			Name: rec.stage.String(),
+			Ph:   "X",
+			Pid:  1,
+			Tid:  rec.tid,
+			Ts:   sinceEpochMicros(rec.startNS),
+			Dur:  float64(rec.durNS) / 1e3,
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+		Metrics:         Default.Snapshot(),
+	})
+}
+
+// SpanCount returns the number of live records in the ring (capped at
+// the ring capacity).
+func SpanCount() int {
+	spans.mu.Lock()
+	defer spans.mu.Unlock()
+	if spans.wrapped {
+		return len(spans.records)
+	}
+	return spans.next
+}

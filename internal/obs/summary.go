@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// StartSummary starts a background logger that writes a one-line
+// progress summary to w every interval — the heartbeat for long
+// campaigns where a full scrape or trace is overkill. It returns a stop
+// function; the final line is written on stop.
+func StartSummary(w io.Writer, every time.Duration) (stop func()) {
+	if every <= 0 {
+		every = 10 * time.Second
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		var last summarySample
+		last.at = nowNanos()
+		for {
+			select {
+			case <-t.C:
+				last = writeSummary(w, last)
+			case <-done:
+				writeSummary(w, last)
+				return
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}
+
+// summarySample is one summary firing's counter snapshot, kept so the
+// next line can report rates.
+type summarySample struct {
+	at    int64
+	ticks uint64
+	sent  uint64
+}
+
+func writeSummary(w io.Writer, last summarySample) summarySample {
+	now := summarySample{at: nowNanos(), ticks: Ticks.Value(), sent: LUSent.Value()}
+	dt := float64(now.at-last.at) / 1e9
+	if dt <= 0 {
+		dt = 1
+	}
+	fmt.Fprintf(w,
+		"obs: ticks %d (%.0f/s) lu sent %d (%.0f/s) filtered %d clusters %d patterns [SS %d RMS %d LMS %d] federates %d\n",
+		now.ticks, float64(now.ticks-last.ticks)/dt,
+		now.sent, float64(now.sent-last.sent)/dt,
+		LUFiltered.Value(), ClustersLive.Value(),
+		PatternNodes(1).Value(), PatternNodes(2).Value(), PatternNodes(3).Value(),
+		FederatesConnected.Value())
+	return now
+}
