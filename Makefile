@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race race-core check obs-check ci bench-runner bench bench-obs profile
+.PHONY: build test vet lint race race-core check check-sharded obs-check ci bench-runner bench bench-obs profile
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,17 @@ check:
 	$(GO) test -tags adfcheck ./...
 	$(GO) run -tags adfcheck ./cmd/adfbench -sanitize -duration 120 -mobility-workers 4
 
+# check-sharded is the region-sharded determinism gate: the sharded
+# pipeline runs the ADF scenario at 1 (the sequential sharded
+# reference), 4 and NumCPU shard workers in tick lockstep for 120 ticks
+# with every adfcheck invariant armed, and the per-tick state digests —
+# node positions, broker beliefs, shard membership, per-shard cluster
+# statistics — must be bit-identical across all worker counts. The race
+# detector rides along so the same run also proves the shard fan-out is
+# data-race free.
+check-sharded:
+	$(GO) run -race -tags adfcheck ./cmd/adfbench -shard-digest -duration 120
+
 # obs-check is the observability gate: the end-to-end smoke test (full
 # run with obs enabled; Chrome trace must parse as JSON, the registry
 # must account the run, event lines must be valid NDJSON) under the race
@@ -54,7 +65,7 @@ obs-check:
 # ci builds with -trimpath so artifacts are reproducible regardless of
 # the checkout location.
 ci: export GOFLAGS += -trimpath
-ci: build vet lint test race obs-check
+ci: build vet lint test race obs-check check-sharded
 
 # Benchmark the campaign runner (sequential vs parallel figure
 # regeneration) and write BENCH_runner.json.

@@ -10,9 +10,9 @@ import (
 )
 
 // hotpathPerGroups are the population scale points the hot-path benchmark
-// measures: the paper's Table-1 population (140 nodes) plus ~1k and ~5k
-// node scale-ups.
-var hotpathPerGroups = []int{5, 36, 179}
+// measures: the paper's Table-1 population (140 nodes) plus ~1k, ~5k,
+// ~20k and ~50k node scale-ups (28 nodes per unit of PerGroup).
+var hotpathPerGroups = []int{5, 36, 179, 715, 1786}
 
 // hotpathBaselines records the pre-optimization throughput in ticks/sec,
 // measured at commit 295e3d8 (before the hot-path work: per-call cluster
@@ -65,7 +65,7 @@ type HotpathScale struct {
 // the JSON report to path (and a per-scale summary to w).
 func runHotpath(w io.Writer, cfg experiment.Config, path string) error {
 	report := HotpathReport{
-		Meta:            runMeta(cfg.MobilityWorkers),
+		Meta:            runMeta(cfg.MobilityWorkers, cfg.ShardWorkers),
 		DurationSeconds: cfg.Duration,
 		Seed:            cfg.Seed,
 		DTHFactor:       cfg.DTHFactors[0],
@@ -86,11 +86,12 @@ func runHotpath(w io.Writer, cfg experiment.Config, path string) error {
 		}
 		report.Scales = append(report.Scales, s)
 		if s.Speedup > 0 {
-			fmt.Fprintf(w, "%5d nodes: %8.1f ticks/sec, %6.2f allocs/tick (%.2fx vs baseline %.1f)\n",
-				stats.Nodes, stats.TicksPerSec, stats.AllocsPerTick, s.Speedup, s.BaselineTicksPerSec)
+			fmt.Fprintf(w, "%5d nodes: %8.1f ticks/sec, %6.2f allocs/tick, %5.2f steady allocs/tick (%.2fx vs baseline %.1f)\n",
+				stats.Nodes, stats.TicksPerSec, stats.AllocsPerTick, stats.SteadyAllocsPerTick,
+				s.Speedup, s.BaselineTicksPerSec)
 		} else {
-			fmt.Fprintf(w, "%5d nodes: %8.1f ticks/sec, %6.2f allocs/tick\n",
-				stats.Nodes, stats.TicksPerSec, stats.AllocsPerTick)
+			fmt.Fprintf(w, "%5d nodes: %8.1f ticks/sec, %6.2f allocs/tick, %5.2f steady allocs/tick\n",
+				stats.Nodes, stats.TicksPerSec, stats.AllocsPerTick, stats.SteadyAllocsPerTick)
 		}
 	}
 	b, err := json.MarshalIndent(report, "", "  ")

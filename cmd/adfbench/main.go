@@ -7,10 +7,12 @@
 //
 //	adfbench [-ablation all|adf-vs-gdf|alpha|estimators|recluster|smoothing|semantics|outages|churn]
 //	         [-duration 600] [-seed 1] [-factor 1.0] [-workers 0] [-mobility-workers 0]
+//	         [-shard-workers 0]
 //	adfbench -json [-json-out BENCH_runner.json] [-duration 600] [-seed 1]
 //	adfbench -hotpath [-hotpath-out BENCH_hotpath.json] [-duration 300] [-seed 1]
-//	adfbench -obs-bench [-obs-out BENCH_obs.json] [-duration 300] [-seed 1]
+//	adfbench -obs-bench [-obs-out BENCH_obs.json] [-duration 300] [-seed 1] [-force]
 //	adfbench -sanitize [-duration 120] [-mobility-workers 4]   (requires -tags adfcheck)
+//	adfbench -shard-digest [-duration 120]                     (requires -tags adfcheck)
 //	adfbench -trace out.json ...
 //	adfbench -cpuprofile cpu.out -memprofile mem.out ...
 //
@@ -31,10 +33,18 @@
 // are compared for bit-identity; `make check` runs this as CI's
 // sanitizer gate.
 //
+// With -shard-digest (a binary built with -tags adfcheck) the
+// region-sharded pipeline runs the same scenario once per worker count —
+// 1 (the sequential sharded reference), 4 and NumCPU — in tick lockstep
+// and the per-tick state digests are compared for bit-identity; `make
+// check-sharded` runs this as CI's sharded determinism gate.
+//
 // With -obs-bench the observability layer itself is benchmarked: the
 // hot-path throughput is measured with obs disabled and enabled at each
 // population scale and the overhead percentage (budget: 5%) is written
-// as JSON.
+// as JSON. Because the overhead claim is about concurrent-capable
+// environments, -obs-bench refuses to (re)record a baseline at
+// GOMAXPROCS=1 unless -force is given.
 //
 // -trace enables observability for whichever mode runs and writes the
 // recorded per-tick spans and the metrics registry as Chrome
@@ -112,6 +122,7 @@ func run(w io.Writer, args []string) (err error) {
 		factor      = fs.Float64("factor", 1.0, "DTH factor the sweeps run at")
 		workers     = fs.Int("workers", 0, "worker pool size: 0 = one per CPU, 1 = sequential (never changes results)")
 		mobWorkers  = fs.Int("mobility-workers", 0, "mobility-advance goroutines per simulation; results are identical at any count")
+		shWorkers   = fs.Int("shard-workers", 0, "region-shard workers per simulation: 0 = classic pipeline, >= 1 = sharded (results identical at any count >= 1)")
 		jsonOut     = fs.Bool("json", false, "benchmark the campaign runner (sequential vs parallel) and write a JSON report instead of running ablations")
 		jsonPath    = fs.String("json-out", "BENCH_runner.json", "where -json writes the report")
 		hotpath     = fs.Bool("hotpath", false, "benchmark the per-tick pipeline at 140/~1k/~5k nodes and write a JSON report instead of running ablations")
@@ -120,6 +131,8 @@ func run(w io.Writer, args []string) (err error) {
 		obsPath     = fs.String("obs-out", "BENCH_obs.json", "where -obs-bench writes the report")
 		tracePath   = fs.String("trace", "", "enable observability and write a Chrome trace_event JSON of the run to this file at exit")
 		sanCompare  = fs.Bool("sanitize", false, "compare sequential vs parallel per-tick state digests under the adfcheck sanitizer (requires a -tags adfcheck build)")
+		shardDigest = fs.Bool("shard-digest", false, "compare the region-sharded pipeline's per-tick state digests at 1, 4 and NumCPU workers (requires a -tags adfcheck build)")
+		force       = fs.Bool("force", false, "let -obs-bench write a baseline even at GOMAXPROCS=1")
 		cpuprofile  = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile  = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
@@ -148,6 +161,7 @@ func run(w io.Writer, args []string) (err error) {
 	cfg.DTHFactors = []float64{*factor}
 	cfg.Workers = *workers
 	cfg.MobilityWorkers = *mobWorkers
+	cfg.ShardWorkers = *shWorkers
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
@@ -155,11 +169,14 @@ func run(w io.Writer, args []string) (err error) {
 	if *sanCompare {
 		return runSanitize(w, cfg, *mobWorkers)
 	}
+	if *shardDigest {
+		return runShardDigest(w, cfg)
+	}
 	if *hotpath {
 		return runHotpath(w, cfg, *hotpathPath)
 	}
 	if *obsBench {
-		return runObsBench(w, cfg, *obsPath)
+		return runObsBench(w, cfg, *obsPath, *force)
 	}
 	if *jsonOut {
 		// Benchmark the paper's own campaign: the ideal baseline plus the

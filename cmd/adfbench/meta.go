@@ -21,10 +21,13 @@ type RunMeta struct {
 	// MobilityWorkers is the per-simulation mobility-advance pool size the
 	// run was configured with (0 = automatic).
 	MobilityWorkers int `json:"mobility_workers"`
+	// ShardWorkers is the region-sharded pipeline's worker count the run
+	// was configured with (0 = classic unsharded pipeline).
+	ShardWorkers int `json:"shard_workers,omitempty"`
 }
 
 // runMeta captures the current environment.
-func runMeta(mobilityWorkers int) RunMeta {
+func runMeta(mobilityWorkers, shardWorkers int) RunMeta {
 	return RunMeta{
 		GoVersion:       runtime.Version(),
 		GOOS:            runtime.GOOS,
@@ -33,6 +36,7 @@ func runMeta(mobilityWorkers int) RunMeta {
 		GOMAXPROCS:      runtime.GOMAXPROCS(0),
 		BuildTags:       buildTags(),
 		MobilityWorkers: mobilityWorkers,
+		ShardWorkers:    shardWorkers,
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"github.com/mobilegrid/adf/internal/experiment"
 	"github.com/mobilegrid/adf/internal/obs"
@@ -48,13 +49,20 @@ type ObsScale struct {
 }
 
 // runObsBench measures obs-disabled vs obs-enabled throughput at each
-// hotpath scale point and writes the JSON report to path.
-func runObsBench(w io.Writer, cfg experiment.Config, path string) error {
+// hotpath scale point and writes the JSON report to path. A baseline
+// recorded at GOMAXPROCS=1 measures a serialized scheduler, not the
+// overhead the budget is about, so the mode refuses to write one unless
+// force is set (the refusal names the flag); the report's meta block
+// records the GOMAXPROCS it ran at either way.
+func runObsBench(w io.Writer, cfg experiment.Config, path string, force bool) error {
+	if runtime.GOMAXPROCS(0) == 1 && !force {
+		return fmt.Errorf("obs-bench: refusing to record a baseline at GOMAXPROCS=1 (overhead numbers from a serialized scheduler are not comparable); rerun with -force to record anyway")
+	}
 	wasEnabled := obs.Enabled()
 	defer obs.SetEnabled(wasEnabled)
 
 	report := ObsReport{
-		Meta:            runMeta(cfg.MobilityWorkers),
+		Meta:            runMeta(cfg.MobilityWorkers, cfg.ShardWorkers),
 		DurationSeconds: cfg.Duration,
 		Seed:            cfg.Seed,
 		PassesPerMode:   obsBenchPasses,

@@ -32,3 +32,33 @@ func runSanitize(w io.Writer, cfg experiment.Config, workers int) error {
 	fmt.Fprintf(w, "sanitize: %d ticks compared, sequential vs %d mobility workers: state digests bit-identical, every invariant held\n", ticks, workers)
 	return nil
 }
+
+// shardDigestWorkerCounts is the worker-count matrix the -shard-digest
+// gate compares: the sequential sharded reference, a fixed parallel
+// count, and whatever this machine's scheduler limit is, deduplicated.
+func shardDigestWorkerCounts() []int {
+	counts := []int{1, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// runShardDigest is the -shard-digest mode: the region-sharded pipeline
+// runs the configured scenario once per worker count in tick lockstep
+// and the per-tick state digests are compared for bit-identity, proving
+// the shard merge is deterministic at any parallelism. Like -sanitize it
+// refuses to run in a default build so the "every invariant held" claim
+// stays meaningful; `make check-sharded` is the CI gate built on it.
+func runShardDigest(w io.Writer, cfg experiment.Config) error {
+	if !sanitize.Enabled {
+		return fmt.Errorf("the sanitizer is not compiled in: rebuild with -tags adfcheck (e.g. `go run -tags adfcheck ./cmd/adfbench -shard-digest`)")
+	}
+	counts := shardDigestWorkerCounts()
+	ticks, err := cfg.CompareShardDigests(counts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "shard-digest: %d ticks compared at %v shard workers: state digests bit-identical, every invariant held\n", ticks, counts)
+	return nil
+}

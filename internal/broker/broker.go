@@ -42,10 +42,14 @@ type Broker struct {
 	newEstimator estimate.Factory
 	// records is keyed by node ID. Node IDs are assigned densely from
 	// zero, so the per-tick record lookups — the broker is touched for
-	// every node every sampling period — resolve to a slice index.
-	records dense.Map[*record]
+	// every node every sampling period — resolve to a slice index. The
+	// Slab keeps no shared bookkeeping, so after Preallocate the engine's
+	// region shards may Step disjoint node sets concurrently.
+	records dense.Slab[record]
 
-	// Counters for experiment reporting.
+	// Counters for experiment reporting. Shard-parallel callers must not
+	// touch these directly — they accumulate into a Tally and merge it
+	// deterministically with AddTally.
 	received  uint64
 	estimated uint64
 }
@@ -60,13 +64,18 @@ func New(factory estimate.Factory) *Broker {
 	return &Broker{newEstimator: factory}
 }
 
+// Preallocate sizes the location DB's dense window for node IDs in
+// [0, n), so later record births never move the storage. Sharded
+// execution requires it: concurrent Steps on disjoint node sets are only
+// race-free once growth is off the hot path.
+func (b *Broker) Preallocate(n int) { b.records.Grow(n) }
+
 func (b *Broker) record(node int) *record {
-	r, ok := b.records.Get(node)
-	if !ok {
+	r := b.records.Ptr(node)
+	if r == nil {
 		//adf:allow hotpath — first report from a node; later ticks take
-		// the Get fast path.
-		r = &record{est: b.newEstimator()}
-		b.records.Put(node, r)
+		// the Ptr fast path.
+		r = b.records.PutPtr(node, record{est: b.newEstimator()})
 		obs.BrokerRecords.Inc()
 	}
 	return r
@@ -76,6 +85,7 @@ func (b *Broker) record(node int) *record {
 // feeds the node's estimator.
 func (b *Broker) ReceiveLU(node int, t float64, p geo.Point) {
 	b.receive(b.record(node), node, t, p)
+	b.received++
 }
 
 //adf:hotpath
@@ -86,21 +96,23 @@ func (b *Broker) receive(r *record, node int, t float64, p geo.Point) {
 	r.est.Observe(t, p)
 	r.believed = Entry{Node: node, Pos: p, Time: t, Estimated: false}
 	b.checkBelief(r)
-	b.received++
 }
 
+// miss refreshes a known node's belief from the estimator and reports
+// whether the estimator (rather than the last report) supplied the
+// position, so the caller can attribute the refresh to its own counter.
+//
 //adf:hotpath
-func (b *Broker) miss(r *record, node int, t float64) Entry {
+func (b *Broker) miss(r *record, node int, t float64) (Entry, bool) {
 	pos := r.lastReported
 	estimated := false
 	if r.est.Ready() {
 		pos = r.est.Predict(t)
 		estimated = true
-		b.estimated++
 	}
 	r.believed = Entry{Node: node, Pos: pos, Time: t, Estimated: estimated}
 	b.checkBelief(r)
-	return r.believed
+	return r.believed, estimated
 }
 
 // MissLU tells the broker that node's LU for time t was filtered. The
@@ -108,11 +120,15 @@ func (b *Broker) miss(r *record, node int, t float64) Entry {
 // keeps the last report when the estimator is not ready yet). It returns
 // the refreshed entry.
 func (b *Broker) MissLU(node int, t float64) (Entry, error) {
-	r, ok := b.records.Get(node)
-	if !ok || !r.hasReport {
+	r := b.records.Ptr(node)
+	if r == nil || !r.hasReport {
 		return Entry{}, fmt.Errorf("broker: no location on record for node %d", node)
 	}
-	return b.miss(r, node, t), nil
+	e, estimated := b.miss(r, node, t)
+	if estimated {
+		b.estimated++
+	}
+	return e, nil
 }
 
 // Step processes one sampling period for a node with a single record
@@ -127,19 +143,67 @@ func (b *Broker) Step(node int, t float64, p geo.Point, received bool) (Entry, b
 	if received {
 		r := b.record(node)
 		b.receive(r, node, t, p)
+		b.received++
 		return r.believed, true
 	}
-	r, ok := b.records.Get(node)
-	if !ok || !r.hasReport {
+	r := b.records.Ptr(node)
+	if r == nil || !r.hasReport {
 		return Entry{}, false
 	}
-	return b.miss(r, node, t), true
+	e, estimated := b.miss(r, node, t)
+	if estimated {
+		b.estimated++
+	}
+	return e, true
+}
+
+// Tally accumulates Step outcomes for one shard. The engine's region
+// shards each own a Tally so the broker's shared counters are never
+// written concurrently; the merge step folds the tallies back in shard
+// order with AddTally.
+type Tally struct {
+	// Received counts LUs stored from the network.
+	Received uint64
+	// Estimated counts belief refreshes served by the Location Estimator.
+	Estimated uint64
+}
+
+// StepTally is Step for shard-parallel callers: identical record
+// mutation, but the received/estimated attribution lands in tl instead
+// of the broker's shared counters. The node must be inside the
+// Preallocate-d window and owned by exactly one shard this tick.
+//
+//adf:hotpath
+func (b *Broker) StepTally(node int, t float64, p geo.Point, received bool, tl *Tally) (Entry, bool) {
+	if received {
+		r := b.record(node)
+		b.receive(r, node, t, p)
+		tl.Received++
+		return r.believed, true
+	}
+	r := b.records.Ptr(node)
+	if r == nil || !r.hasReport {
+		return Entry{}, false
+	}
+	e, estimated := b.miss(r, node, t)
+	if estimated {
+		tl.Estimated++
+	}
+	return e, true
+}
+
+// AddTally folds one shard's tally into the broker's run counters and
+// zeroes it for reuse. Call sequentially, in stable shard order.
+func (b *Broker) AddTally(tl *Tally) {
+	b.received += tl.Received
+	b.estimated += tl.Estimated
+	tl.Received, tl.Estimated = 0, 0
 }
 
 // Location returns the broker's current belief about a node.
 func (b *Broker) Location(node int) (Entry, bool) {
-	r, ok := b.records.Get(node)
-	if !ok || !r.hasReport {
+	r := b.records.Ptr(node)
+	if r == nil || !r.hasReport {
 		return Entry{}, false
 	}
 	return r.believed, true
@@ -148,7 +212,7 @@ func (b *Broker) Location(node int) (Entry, bool) {
 // Locations returns a snapshot of the whole location DB ordered by node
 // ID.
 func (b *Broker) Locations() []Entry {
-	out := make([]Entry, 0, b.records.Len())
+	out := make([]Entry, 0, b.records.Count())
 	b.records.Range(func(node int, r *record) bool {
 		if !r.hasReport {
 			return true

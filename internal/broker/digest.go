@@ -7,7 +7,7 @@ import "github.com/mobilegrid/adf/internal/sanitize"
 // densely from zero, so records.Range visits them in ascending ID order
 // and the digest is deterministic across runs.
 func (b *Broker) DigestState(d *sanitize.Digest) {
-	d.WriteInt(b.records.Len())
+	d.WriteInt(b.records.Count())
 	b.records.Range(func(node int, r *record) bool {
 		if !r.hasReport {
 			return true

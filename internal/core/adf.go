@@ -103,12 +103,18 @@ type ADF struct {
 	// lastRebuild is the virtual time of the last cluster reconstruction.
 	lastRebuild float64
 	started     bool
-	// featScratch is the reusable feature buffer for rebuild, so periodic
-	// reconstruction does not allocate once its capacity is established.
-	featScratch map[cluster.NodeID]cluster.Feature
+	// featIDs/featVals are the reusable parallel feature buffers for
+	// rebuild — filled in ascending node-ID order straight off the dense
+	// node store, so periodic reconstruction neither sorts nor allocates
+	// once their capacity is established.
+	featIDs  []cluster.NodeID
+	featVals []cluster.Feature
 }
 
-var _ filter.Filter = (*ADF)(nil)
+var (
+	_ filter.Filter         = (*ADF)(nil)
+	_ filter.NodeStateMover = (*ADF)(nil)
+)
 
 // New returns an Adaptive Distance Filter with the given configuration.
 func New(cfg Config) (*ADF, error) {
@@ -119,11 +125,7 @@ func New(cfg Config) (*ADF, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ADF{
-		cfg:         cfg,
-		clusters:    cm,
-		featScratch: make(map[cluster.NodeID]cluster.Feature),
-	}, nil
+	return &ADF{cfg: cfg, clusters: cm}, nil
 }
 
 // Name implements filter.Filter.
@@ -223,18 +225,22 @@ func (a *ADF) maintainClustering(now float64, node int, st *nodeState) {
 // event: each reconstruction re-derives every cluster's mean speed and
 // therefore every member's distance threshold.
 func (a *ADF) rebuild(now float64) {
-	clear(a.featScratch)
+	a.featIDs = a.featIDs[:0]
+	a.featVals = a.featVals[:0]
+	// Range visits the dense node IDs ascending, exactly the order
+	// Rebuild's sorted pass would produce.
 	a.nodes.Range(func(id int, st *nodeState) bool {
 		if st.classifier.Ready() && st.pattern != PatternStop {
-			a.featScratch[cluster.NodeID(id)] = st.classifier.Feature()
+			a.featIDs = append(a.featIDs, cluster.NodeID(id))
+			a.featVals = append(a.featVals, st.classifier.Feature())
 		}
 		return true
 	})
-	formed := a.clusters.Rebuild(a.featScratch)
+	formed := a.clusters.RebuildOrdered(a.featIDs, a.featVals)
 	obs.Reclusters.Inc()
 	if obs.Events.On() {
 		obs.Events.Emit("recluster",
-			obs.F("t", now), obs.F("nodes", float64(len(a.featScratch))),
+			obs.F("t", now), obs.F("nodes", float64(len(a.featIDs))),
 			obs.F("clusters", float64(formed)))
 	}
 }
@@ -269,6 +275,36 @@ func (a *ADF) Forget(node int) {
 	}
 	a.nodes.Delete(node)
 	a.clusters.Remove(cluster.NodeID(node))
+}
+
+// MoveNodeTo implements filter.NodeStateMover: it transfers one node's
+// classifier state and cluster membership from a to dst, the ADF
+// instance owned by the region shard the node migrated into, so the
+// destination continues from the learned pattern instead of re-filling
+// a fresh classification window. A node unknown to a is a successful
+// no-op (the destination births state on the node's next Offer). The
+// per-pattern population gauges are untouched — the node keeps its
+// pattern, only its owner changes. It reports false, moving nothing,
+// when dst is not an *ADF; the caller falls back to Forget + relearn.
+func (a *ADF) MoveNodeTo(dst filter.Filter, node int) bool {
+	d, ok := dst.(*ADF)
+	if !ok {
+		return false
+	}
+	if d == a {
+		return true
+	}
+	st, ok := a.nodes.Get(node)
+	if !ok {
+		return true
+	}
+	a.nodes.Delete(node)
+	a.clusters.Remove(cluster.NodeID(node))
+	d.nodes.Put(node, st)
+	if st.classifier.Ready() && st.pattern != PatternStop {
+		d.clusters.Assign(cluster.NodeID(node), st.classifier.Feature())
+	}
+	return true
 }
 
 // PatternOf returns the current mobility pattern of a node.

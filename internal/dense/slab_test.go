@@ -1,0 +1,142 @@
+package dense
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSlabBasicOps(t *testing.T) {
+	var s Slab[string]
+	if s.Ptr(0) != nil {
+		t.Fatal("empty slab reports presence")
+	}
+	s.Put(3, "c")
+	s.Put(0, "a")
+	s.Put(3, "c2")
+	if s.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", s.Count())
+	}
+	if v := s.Ptr(3); v == nil || *v != "c2" {
+		t.Fatalf("Ptr(3) = %v", v)
+	}
+	if !s.Delete(3) || s.Delete(3) {
+		t.Fatal("Delete semantics wrong")
+	}
+	if s.Count() != 1 {
+		t.Fatalf("Count after delete = %d, want 1", s.Count())
+	}
+}
+
+// TestSlabPtrMutation: dense and sparse entries alike must be mutable
+// in place through the returned pointer.
+func TestSlabPtrMutation(t *testing.T) {
+	var s Slab[int]
+	for _, k := range []int{7, -2, maxDense + 5} {
+		s.Put(k, 1)
+		*s.Ptr(k) = 42
+		if v := s.Ptr(k); v == nil || *v != 42 {
+			t.Fatalf("key %d: mutation through Ptr lost, got %v", k, v)
+		}
+	}
+	if p := s.PutPtr(9, 3); p == nil {
+		t.Fatal("PutPtr returned nil")
+	} else {
+		*p = 8
+	}
+	if v := s.Ptr(9); *v != 8 {
+		t.Fatalf("PutPtr pointer not in place: %d", *v)
+	}
+}
+
+func TestSlabSparseFallback(t *testing.T) {
+	var s Slab[int]
+	for _, k := range []int{-5, maxDense, maxDense + 7} {
+		s.Put(k, k)
+	}
+	s.Put(4, 8)
+	if s.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", s.Count())
+	}
+	for _, k := range []int{-5, maxDense, maxDense + 7} {
+		if v := s.Ptr(k); v == nil || *v != k {
+			t.Fatalf("Ptr(%d) = %v", k, v)
+		}
+	}
+	if !s.Delete(-5) || s.Ptr(-5) != nil {
+		t.Fatal("sparse delete failed")
+	}
+}
+
+// TestSlabGrowStopsReallocation: after Grow(n), puts below n must not
+// move the storage, so pointers taken before stay valid.
+func TestSlabGrowStopsReallocation(t *testing.T) {
+	var s Slab[int]
+	s.Grow(100)
+	if s.Cap() < 100 {
+		t.Fatalf("Cap = %d, want >= 100", s.Cap())
+	}
+	s.Put(0, 1)
+	p := s.Ptr(0)
+	for k := 1; k < 100; k++ {
+		s.Put(k, k)
+	}
+	if q := s.Ptr(0); q != p {
+		t.Fatal("in-window Put moved the storage")
+	}
+}
+
+// TestSlabRangeOrder: dense keys are visited in ascending order (the
+// digest and snapshot paths rely on it).
+func TestSlabRangeOrder(t *testing.T) {
+	var s Slab[int]
+	for _, k := range []int{5, 1, 3} {
+		s.Put(k, k)
+	}
+	var got []int
+	s.Range(func(k int, _ *int) bool { got = append(got, k); return true })
+	want := []int{1, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range visited %v, want ascending %v", got, want)
+		}
+	}
+}
+
+// TestSlabDisjointConcurrency exercises the shard-safety contract under
+// the race detector: after Grow, goroutines writing disjoint key ranges
+// need no synchronisation.
+func TestSlabDisjointConcurrency(t *testing.T) {
+	var s Slab[int]
+	const n, shards = 1000, 4
+	s.Grow(n)
+	var wg sync.WaitGroup
+	for w := 0; w < shards; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := w * n / shards; k < (w+1)*n/shards; k++ {
+				s.Put(k, k)
+				*s.Ptr(k) += 1
+				if k%7 == 0 {
+					s.Delete(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for k := 0; k < n; k++ {
+		v := s.Ptr(k)
+		if k%7 == 0 {
+			if v != nil {
+				t.Fatalf("key %d: deleted entry present", k)
+			}
+			continue
+		}
+		if v == nil || *v != k+1 {
+			t.Fatalf("key %d: got %v, want %d", k, v, k+1)
+		}
+	}
+}

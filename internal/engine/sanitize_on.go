@@ -4,6 +4,7 @@ package engine
 
 import (
 	"github.com/mobilegrid/adf/internal/geo"
+	"github.com/mobilegrid/adf/internal/node"
 	"github.com/mobilegrid/adf/internal/sanitize"
 )
 
@@ -18,34 +19,46 @@ type sanitizerState struct {
 	ticked    bool
 }
 
-// sanitizeTick verifies the tick's invariants right after the advance
+// checkTick verifies one tick's invariants right after the advance
 // stage filled the sample buffer: the virtual clock only moves forward,
 // and every node's sampled position is finite and inside the union of
 // the campus region bounds (the mobility models bounce or clamp inside
 // their region, so any escape is a model bug, not a modelling choice).
-func (p *Pipeline) sanitizeTick(now float64) {
-	if !p.san.hasBounds {
-		bounds := p.Nodes[0].Region().Bounds
-		for _, n := range p.Nodes[1:] {
+// Shared by both pipeline shapes, so the sharded path is sanitized by
+// the exact same invariants as the classic one.
+func (st *sanitizerState) checkTick(nodes []*node.Node, samples []Sample, now float64) {
+	if !st.hasBounds {
+		bounds := nodes[0].Region().Bounds
+		for _, n := range nodes[1:] {
 			bounds = bounds.Union(n.Region().Bounds)
 		}
-		p.san.bounds, p.san.hasBounds = bounds, true
+		st.bounds, st.hasBounds = bounds, true
 	}
 	prev := now
-	if p.san.ticked {
-		prev = p.san.lastTick
+	if st.ticked {
+		prev = st.lastTick
 	}
 	//adf:invariant monotone-clock — sampling rounds may only move forward in virtual time.
 	sanitize.CheckMonotone("engine: tick clock", prev, now)
-	p.san.lastTick, p.san.ticked = now, true
+	st.lastTick, st.ticked = now, true
 
-	for i := range p.samples {
-		s := &p.samples[i]
+	for i := range samples {
+		s := &samples[i]
 		//adf:invariant finite-position — a NaN/Inf coordinate silently corrupts every downstream RMSE and traffic figure.
 		sanitize.CheckPoint("engine: node position", s.Pos)
 		//adf:invariant campus-bounds — positions stay inside the union of the campus region bounds.
-		sanitize.CheckInBounds("engine: node position", s.Pos, p.san.bounds)
+		sanitize.CheckInBounds("engine: node position", s.Pos, st.bounds)
 		//adf:invariant finite-position — sample timestamps feed the estimators and must be finite.
 		sanitize.CheckFinite("engine: sample time", s.Time)
 	}
+}
+
+// sanitizeTick checks the classic pipeline's tick invariants.
+func (p *Pipeline) sanitizeTick(now float64) {
+	p.san.checkTick(p.Nodes, p.samples, now)
+}
+
+// sanitizeTick checks the sharded pipeline's tick invariants.
+func (p *Sharded) sanitizeTick(now float64) {
+	p.san.checkTick(p.Nodes, p.samples, now)
 }

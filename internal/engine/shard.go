@@ -1,0 +1,588 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/mobilegrid/adf/internal/broker"
+	"github.com/mobilegrid/adf/internal/campus"
+	"github.com/mobilegrid/adf/internal/filter"
+	"github.com/mobilegrid/adf/internal/gateway"
+	"github.com/mobilegrid/adf/internal/node"
+	"github.com/mobilegrid/adf/internal/obs"
+	"github.com/mobilegrid/adf/internal/sanitize"
+	"github.com/mobilegrid/adf/internal/sim"
+)
+
+// Sharded is the region-sharded whole-tick pipeline: the same stage
+// chain as Pipeline — mobility advance → churn → gateway collect →
+// filter → broker delivery — but with the per-node stages partitioned
+// into one shard per campus region, executed by a bounded worker pool
+// and folded back by a deterministic merge.
+//
+// The shard key is the gateway: every node is owned by exactly one
+// region shard, and a shard's stage chain touches only shard-local
+// state — the region's gateway (and its private RNG stream), the
+// shard's own filter instance, and each owned node's broker records
+// (shard-safe after Preallocate because the dense.Slab does no shared
+// bookkeeping). Cross-shard effects — observer fan-out, broker tallies,
+// migration handoff — are buffered per shard and applied by the merge
+// step in ascending region-ID order, never in map-range or completion
+// order. Results are therefore bit-for-bit identical at every worker
+// count: Workers only changes which OS thread runs a shard, never what
+// the shard computes or the order the effects are applied in.
+//
+// Two draws remain global and run as a sequential prepass in node
+// order, exactly as Pipeline consumes them: the churn stream (one
+// shared RNG) and migration detection (the Rehome hook). Everything
+// downstream is shard-local.
+//
+// Relative to Pipeline, each shard owns a private filter instance, so a
+// clustering filter like the ADF clusters per region rather than
+// campus-wide — the per-region cost-model independence that makes the
+// shards embarrassingly parallel. Per-node filters (GeneralDF, IdealLU)
+// behave identically either way.
+type Sharded struct {
+	// Nodes is the mobile population, advanced in slice order every tick.
+	Nodes []*node.Node
+	// Net is the per-region wireless gateway network.
+	Net *gateway.Network
+	// NewFilter builds one filter instance per region shard.
+	NewFilter func() (filter.Filter, error)
+	// NoLE and WithLE are the two broker variants, shared across shards:
+	// the location DB is the wired-grid side and stays global. Their
+	// dense windows are Preallocate-d at build so concurrent shard Steps
+	// on disjoint node sets are race-free.
+	NoLE, WithLE *broker.Broker
+	// Churn, when non-nil, lets nodes leave and rejoin the grid. Its
+	// single RNG stream is consumed by the sequential prepass in node
+	// order, exactly as Pipeline consumes it.
+	Churn *Churn
+	// SamplePeriod is the sampling interval in virtual seconds.
+	SamplePeriod float64
+	// Observers receive the pipeline's events, replayed sequentially by
+	// the merge step in shard order (they are never called concurrently).
+	Observers Observers
+	// Workers bounds the shard worker pool; 0 or 1 runs the shards
+	// inline in shard order (the sequential reference). The mobility
+	// advance stage uses the same worker count.
+	Workers int
+	// Rehome, when set, is the migration hook: it maps a node's sample
+	// to the region shard that should own it from the next tick on. It
+	// must be a pure function of the sample so every worker count agrees
+	// on the handoff set. The node is still processed by its old shard
+	// on the tick it migrates; ownership and filter state transfer at
+	// merge. A nil Rehome pins every node to its home region (the
+	// current mobility models never change a node's region).
+	Rehome func(s Sample) campus.RegionID
+
+	built   bool
+	samples []Sample
+	// present[i] is the churn prepass verdict for node index i.
+	present []bool
+	// owner[i] is the index in shards of node i's owning shard.
+	owner    []int
+	shards   []*shardCtx
+	shardOf  map[campus.RegionID]int
+	handoffs []handoff
+	pool     *advancePool
+	spool    *shardPool
+	san      sanitizerState
+
+	obsOn  bool
+	tid    uint32
+	master obs.TickLocal
+}
+
+// shardCtx is one region shard's private state: everything its stage
+// chain touches without synchronisation, plus the buffered cross-shard
+// effects the merge step applies.
+type shardCtx struct {
+	idx      int
+	regionID campus.RegionID
+	gw       gateway.Collector
+	filt     filter.Filter
+	// members are the owned node indices, ascending — the same relative
+	// order Pipeline's global loop visits them in, so the shard consumes
+	// its gateway stream as the identical subsequence.
+	members []int
+	// outcomes buffers this tick's per-node results for the merge step's
+	// observer replay. Reused; capacity settles at the member count.
+	outcomes []outcome
+	// local batches the shard's counter/histogram tallies; merged into
+	// the pipeline's master batch in shard order.
+	local obs.TickLocal
+	// offered/sent accumulate the region's labeled counters between
+	// observability flushes.
+	offered, sent   uint64
+	offeredC, sentC *obs.Counter
+	// noLE/withLE collect the shard's broker attributions, folded back
+	// via Broker.AddTally in shard order.
+	noLE, withLE broker.Tally
+	shardH       *obs.Histogram
+	nodesG       *obs.Gauge
+	// startNS/endNS are the shard span endpoints, read inside the worker
+	// and recorded sequentially at merge.
+	startNS, endNS int64
+}
+
+// outcome is one node's buffered tick result: which observer events to
+// replay and the believed-vs-true distances measured in the shard.
+type outcome struct {
+	idx   int32
+	flags uint8
+	// distNoLE/distWithLE are the broker error distances (valid when the
+	// corresponding flag is set).
+	distNoLE, distWithLE float64
+}
+
+const (
+	ocOffered uint8 = 1 << iota
+	ocTransmitted
+	ocNoLE
+	ocWithLE
+)
+
+// handoff is one node's pending migration, applied at merge.
+type handoff struct {
+	node     int
+	from, to int
+}
+
+// Validate reports wiring errors.
+func (p *Sharded) Validate() error {
+	switch {
+	case len(p.Nodes) == 0:
+		return fmt.Errorf("engine: sharded pipeline has no nodes")
+	case p.Net == nil:
+		return fmt.Errorf("engine: sharded pipeline has no gateway network")
+	case p.NewFilter == nil:
+		return fmt.Errorf("engine: sharded pipeline has no filter factory")
+	case p.NoLE == nil || p.WithLE == nil:
+		return fmt.Errorf("engine: sharded pipeline needs both broker variants")
+	case p.SamplePeriod <= 0:
+		return fmt.Errorf("engine: non-positive sample period %v", p.SamplePeriod)
+	case p.Workers < 0:
+		return fmt.Errorf("engine: negative Workers %d", p.Workers)
+	}
+	return nil
+}
+
+// build resolves the shard set: one shard per distinct home region, in
+// ascending region-ID order, each with its gateway, its own filter
+// instance and its member list. It also pre-sizes the brokers' dense
+// windows and the reusable tick buffers.
+func (p *Sharded) build() error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	p.shardOf = make(map[campus.RegionID]int)
+	var ids []campus.RegionID
+	for _, n := range p.Nodes {
+		id := n.Region().ID
+		if _, ok := p.shardOf[id]; !ok {
+			p.shardOf[id] = -1 // placeholder until sorted
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	p.shards = make([]*shardCtx, len(ids))
+	for i, id := range ids {
+		gw, err := p.Net.Gateway(id)
+		if err != nil {
+			return err
+		}
+		filt, err := p.NewFilter()
+		if err != nil {
+			return fmt.Errorf("engine: shard %s filter: %w", id, err)
+		}
+		p.shards[i] = &shardCtx{
+			idx:      i,
+			regionID: id,
+			gw:       gw,
+			filt:     filt,
+			offeredC: obs.RegionOffered(string(id)),
+			sentC:    obs.RegionSent(string(id)),
+			shardH:   obs.ShardSeconds(string(id)),
+			nodesG:   obs.ShardNodes(string(id)),
+		}
+		p.shards[i].local.Init()
+		p.shardOf[id] = i
+	}
+	p.owner = make([]int, len(p.Nodes))
+	p.present = make([]bool, len(p.Nodes))
+	maxID := 0
+	for i, n := range p.Nodes {
+		s := p.shardOf[n.Region().ID]
+		p.owner[i] = s
+		p.shards[s].members = append(p.shards[s].members, i)
+		if n.ID() > maxID {
+			maxID = n.ID()
+		}
+	}
+	p.NoLE.Preallocate(maxID + 1)
+	p.WithLE.Preallocate(maxID + 1)
+	p.samples = make([]Sample, len(p.Nodes))
+	p.tid = obs.NextTID()
+	p.master.Init()
+	if p.Churn != nil {
+		p.Churn.obsv = &p.master
+	}
+	p.built = true
+	return nil
+}
+
+// Run schedules the sharded pipeline on s at every sample period and
+// executes until the horizon, surfacing the first stage or observer
+// error. The worker pools are released before Run returns.
+func (p *Sharded) Run(s *sim.Simulator, horizon float64) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	defer p.Close()
+	if _, err := s.EveryErr(p.SamplePeriod, p.SamplePeriod, p.Tick); err != nil {
+		return err
+	}
+	return s.RunUntil(horizon)
+}
+
+// Close releases the worker pools, if started. Safe to call repeatedly;
+// a later Tick restarts them.
+func (p *Sharded) Close() {
+	if p.pool != nil {
+		p.pool.close()
+		p.pool = nil
+	}
+	if p.spool != nil {
+		p.spool.close()
+		p.spool = nil
+	}
+}
+
+// Tick processes one sampling round: advance positions every node, the
+// sequential prepass draws churn and detects migrations in node order,
+// the shard stage runs every region shard on the worker pool, and the
+// merge step replays the buffered effects in ascending region-ID order.
+func (p *Sharded) Tick(now float64) error {
+	if !p.built {
+		if err := p.build(); err != nil {
+			return err
+		}
+	}
+	p.obsOn = obs.Enabled()
+	t0 := obs.StageStart()
+	p.stageAdvance(now)
+	t1 := obs.StageEnd(p.tid, obs.StageAdvance, t0)
+	p.sanitizeTick(now)
+	p.stagePrepass()
+	p.stageShards()
+	t2 := obs.StageEnd(p.tid, obs.StageNodes, t1)
+	if err := p.merge(); err != nil {
+		return err
+	}
+	t3 := obs.StageEnd(p.tid, obs.StageMerge, t2)
+	err := p.Observers.OnTick(now)
+	t4 := obs.StageEnd(p.tid, obs.StageObservers, t3)
+	obs.RecordSpan(p.tid, obs.StageTick, t0, t4)
+	if p.obsOn {
+		p.master.Flush()
+	}
+	return err
+}
+
+// stageAdvance advances every node one sample period (in parallel when
+// Workers > 1) and fills the sample buffer. Like Pipeline, movement
+// continues while a node is absent from the grid.
+func (p *Sharded) stageAdvance(now float64) {
+	if p.Workers > 1 && p.pool == nil {
+		p.pool = newAdvancePool(p.Workers)
+	}
+	if p.pool != nil {
+		p.pool.advance(p.Nodes, p.samples, p.SamplePeriod, now)
+		return
+	}
+	advanceRange(p.Nodes, p.samples, p.SamplePeriod, now, 0, len(p.Nodes))
+}
+
+// stagePrepass is the sequential prefix of the per-node stages: it
+// draws the shared churn stream in node order (the identical sequence
+// Pipeline consumes), performs departure forgets against the owning
+// shard's filter and both brokers, and asks Rehome for this tick's
+// migrations. Handoffs are recorded in node order, so the merge step
+// applies them deterministically at every worker count.
+func (p *Sharded) stagePrepass() {
+	p.handoffs = p.handoffs[:0]
+	for i := range p.samples {
+		s := &p.samples[i]
+		present := true
+		if p.Churn != nil {
+			var left bool
+			present, left = p.Churn.Step(s.Node)
+			if left {
+				p.master.ChurnLeft++
+				p.shards[p.owner[i]].filt.Forget(s.Node)
+				p.NoLE.Forget(s.Node)
+				p.WithLE.Forget(s.Node)
+			}
+		}
+		p.present[i] = present
+		if p.Rehome != nil && present {
+			if to, ok := p.shardOf[p.Rehome(*s)]; ok && to != p.owner[i] {
+				p.handoffs = append(p.handoffs, handoff{node: i, from: p.owner[i], to: to})
+			}
+		}
+	}
+}
+
+// stageShards runs every shard's stage chain, inline in shard order
+// when Workers <= 1, otherwise on the persistent worker pool. Either
+// way each shard computes exactly the same thing — the pool only
+// changes which thread runs it.
+func (p *Sharded) stageShards() {
+	if p.Workers > 1 && p.spool == nil {
+		p.spool = newShardPool(p.Workers, p.runShard)
+	}
+	if p.spool != nil {
+		p.spool.dispatch(p.shards)
+		return
+	}
+	for _, sh := range p.shards {
+		p.runShard(sh)
+	}
+}
+
+// runShard executes one shard's per-node stage chain — gateway collect,
+// filter, broker delivery — over its members in ascending index order,
+// buffering the observer events and error distances for the merge step.
+// Everything it writes is shard-local or keyed by an owned node; the
+// shardstage lint rule holds it (and future edits) to that.
+//
+//adf:hotpath
+//adf:shardstage
+func (p *Sharded) runShard(sh *shardCtx) {
+	sh.startNS = obs.StageStart()
+	sh.outcomes = sh.outcomes[:0]
+	for _, i := range sh.members {
+		if !p.present[i] {
+			continue
+		}
+		s := &p.samples[i]
+		o := outcome{idx: int32(i)}
+		forwarded, connected := sh.gw.Collect(filter.LU{Node: s.Node, Time: s.Time, Pos: s.Pos})
+		transmitted := false
+		if connected {
+			o.flags |= ocOffered
+			d := sh.filt.Offer(forwarded)
+			sh.local.Offered++
+			filter.Observe(d, &sh.local, p.obsOn)
+			sh.offered++
+			if d.Transmit {
+				sh.sent++
+				transmitted = true
+			}
+		}
+		if transmitted {
+			o.flags |= ocTransmitted
+			sh.local.BrokerReceived++
+		}
+		if e, ok := p.NoLE.StepTally(s.Node, s.Time, s.Pos, transmitted, &sh.noLE); ok {
+			o.flags |= ocNoLE
+			o.distNoLE = e.Pos.Dist(s.Pos)
+		}
+		if e, ok := p.WithLE.StepTally(s.Node, s.Time, s.Pos, transmitted, &sh.withLE); ok {
+			o.flags |= ocWithLE
+			o.distWithLE = e.Pos.Dist(s.Pos)
+			if e.Estimated {
+				sh.local.BrokerEstimated++
+			}
+		}
+		sh.outcomes = append(sh.outcomes, o) //adf:allow hotpath — reused buffer; capacity settles at the member count
+	}
+	sh.endNS = obs.StageStart()
+}
+
+// merge is the deterministic fold: for every shard in ascending
+// region-ID order it replays the buffered observer events (the same
+// per-node event order Pipeline emits), folds the broker tallies and
+// the observability batch, then applies the migration handoffs in the
+// node order the prepass recorded them. No step here depends on worker
+// scheduling, so the merged state is identical at every worker count.
+func (p *Sharded) merge() error {
+	for _, sh := range p.shards {
+		for k := range sh.outcomes {
+			o := &sh.outcomes[k]
+			s := p.samples[o.idx]
+			if o.flags&ocOffered != 0 {
+				if err := p.Observers.OnOffered(s); err != nil {
+					return err
+				}
+			}
+			if o.flags&ocTransmitted != 0 {
+				if err := p.Observers.OnTransmitted(s); err != nil {
+					return err
+				}
+			}
+			if o.flags&ocNoLE != 0 {
+				if err := p.Observers.OnError(s, NoLE, o.distNoLE); err != nil {
+					return err
+				}
+			}
+			if o.flags&ocWithLE != 0 {
+				if err := p.Observers.OnError(s, WithLE, o.distWithLE); err != nil {
+					return err
+				}
+			}
+		}
+		p.NoLE.AddTally(&sh.noLE)
+		p.WithLE.AddTally(&sh.withLE)
+		p.master.Merge(&sh.local)
+		if p.obsOn {
+			if sh.offered > 0 {
+				sh.offeredC.Add(sh.offered)
+				sh.offered = 0
+			}
+			if sh.sent > 0 {
+				sh.sentC.Add(sh.sent)
+				sh.sent = 0
+			}
+			obs.RecordShardSpan(p.tid, sh.idx, sh.shardH, sh.startNS, sh.endNS)
+		}
+	}
+	p.applyHandoffs()
+	if p.obsOn {
+		for _, sh := range p.shards {
+			sh.nodesG.Set(int64(len(sh.members)))
+		}
+	}
+	return nil
+}
+
+// applyHandoffs moves each migrating node to its new shard: the filter
+// state transfers through filter.NodeStateMover when both instances
+// support it (the ADF moves the classifier window and re-assigns the
+// cluster membership), otherwise the source forgets and the destination
+// re-learns. Membership lists stay ascending.
+func (p *Sharded) applyHandoffs() {
+	for _, h := range p.handoffs {
+		src, dst := p.shards[h.from], p.shards[h.to]
+		nodeID := p.samples[h.node].Node
+		if mv, ok := src.filt.(filter.NodeStateMover); !ok || !mv.MoveNodeTo(dst.filt, nodeID) {
+			src.filt.Forget(nodeID)
+		}
+		src.members = removeSorted(src.members, h.node)
+		dst.members = insertSorted(dst.members, h.node)
+		p.owner[h.node] = h.to
+	}
+}
+
+// removeSorted deletes v from an ascending slice, preserving order.
+func removeSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	if i < len(s) && s[i] == v {
+		return append(s[:i], s[i+1:]...)
+	}
+	return s
+}
+
+// insertSorted inserts v into an ascending slice, preserving order.
+func insertSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// StateDigest returns the FNV-1a checksum of the sharded pipeline's
+// full simulation state: every node's identity and true position, both
+// brokers' DBs and counters, then per shard (ascending region ID) the
+// shard's identity, membership and filter state when the filter exposes
+// a digest, and finally the churn population. Two runs at different
+// worker counts are bit-for-bit identical exactly when this digest
+// matches tick for tick; CompareShardDigests drives it.
+func (p *Sharded) StateDigest() uint64 {
+	d := sanitize.NewDigest()
+	for _, n := range p.Nodes {
+		d.WriteInt(n.ID())
+		pos := n.Pos()
+		d.WriteFloat64(pos.X)
+		d.WriteFloat64(pos.Y)
+	}
+	p.NoLE.DigestState(&d)
+	p.WithLE.DigestState(&d)
+	for _, sh := range p.shards {
+		d.WriteString(string(sh.regionID))
+		d.WriteInt(len(sh.members))
+		for _, i := range sh.members {
+			d.WriteInt(p.Nodes[i].ID())
+		}
+		if f, ok := sh.filt.(StateDigester); ok {
+			f.DigestState(&d)
+		}
+	}
+	if p.Churn != nil {
+		d.WriteInt(p.Churn.AbsentCount())
+	}
+	return d.Sum()
+}
+
+// ShardCount returns the number of region shards (0 before the first
+// tick builds them).
+func (p *Sharded) ShardCount() int { return len(p.shards) }
+
+// ShardFilters returns each shard's filter instance in ascending
+// region-ID order (empty before the first tick builds the shards), so
+// callers can fold per-shard filter summaries — e.g. total ADF cluster
+// counts — after a run.
+func (p *Sharded) ShardFilters() []filter.Filter {
+	out := make([]filter.Filter, len(p.shards))
+	for i, sh := range p.shards {
+		out[i] = sh.filt
+	}
+	return out
+}
+
+// OwnerOf returns the region ID of the shard currently owning the node
+// at slice index i, for tests asserting migration handoff.
+func (p *Sharded) OwnerOf(i int) campus.RegionID {
+	return p.shards[p.owner[i]].regionID
+}
+
+// shardPool is a persistent worker pool for the shard stage: goroutines
+// are started once and fed shard contexts through a channel, so a
+// steady-state tick dispatches with no allocation.
+type shardPool struct {
+	work chan *shardCtx
+	wg   sync.WaitGroup
+	run  func(*shardCtx)
+}
+
+func newShardPool(workers int, run func(*shardCtx)) *shardPool {
+	p := &shardPool{work: make(chan *shardCtx), run: run}
+	for w := 0; w < workers; w++ {
+		//adf:allow determinism — shard workers mutate only shard-local
+		// state (plus disjoint broker records behind Preallocate); all
+		// cross-shard effects are buffered and merged in stable shard
+		// order, so results are bit-for-bit identical to the inline
+		// shard-order run.
+		go func() {
+			for sh := range p.work {
+				p.run(sh)
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// dispatch feeds every shard to the pool and blocks until all complete.
+func (p *shardPool) dispatch(shards []*shardCtx) {
+	p.wg.Add(len(shards))
+	for _, sh := range shards {
+		p.work <- sh
+	}
+	p.wg.Wait()
+}
+
+func (p *shardPool) close() { close(p.work) }

@@ -1,0 +1,333 @@
+package engine
+
+import (
+	"testing"
+
+	"github.com/mobilegrid/adf/internal/broker"
+	"github.com/mobilegrid/adf/internal/campus"
+	"github.com/mobilegrid/adf/internal/core"
+	"github.com/mobilegrid/adf/internal/filter"
+	"github.com/mobilegrid/adf/internal/gateway"
+	"github.com/mobilegrid/adf/internal/node"
+	"github.com/mobilegrid/adf/internal/sanitize"
+	"github.com/mobilegrid/adf/internal/sim"
+)
+
+// newTestSharded builds a one-per-group campus population behind the
+// sharded pipeline, mirroring newTestPipeline.
+func newTestSharded(t *testing.T, seed int64, dropProb float64, churnProbs [2]float64,
+	workers int, newFilter func() (filter.Filter, error)) *Sharded {
+	t.Helper()
+	world := campus.New()
+	streams := sim.NewStreams(seed)
+	nodes, err := node.Population(campus.PopulationN(world, 1), world, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := gateway.NewNetwork(world, dropProb, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var churn *Churn
+	if churnProbs[0] > 0 || churnProbs[1] > 0 {
+		churn = NewChurn(churnProbs[0], churnProbs[1], streams.Stream("churn"))
+	}
+	return &Sharded{
+		Nodes:        nodes,
+		Net:          net,
+		NewFilter:    newFilter,
+		NoLE:         broker.New(nil),
+		WithLE:       broker.New(nil),
+		Churn:        churn,
+		SamplePeriod: 1,
+		Workers:      workers,
+	}
+}
+
+func generalDFFactory() (filter.Filter, error) {
+	return filter.NewGeneralDFWithSemantics(2.0, filter.PerStep)
+}
+
+func adfFactory() (filter.Filter, error) {
+	cfg := core.DefaultConfig()
+	cfg.ReclusterInterval = 5
+	return core.New(cfg)
+}
+
+// worldDigest folds the state both pipeline shapes share — node
+// positions, broker DBs and counters, churn population — so classic and
+// sharded runs can be compared even though their full StateDigest
+// formats differ (the sharded one also folds shard membership).
+func worldDigest(nodes []*node.Node, noLE, withLE *broker.Broker, churn *Churn) uint64 {
+	d := sanitize.NewDigest()
+	for _, n := range nodes {
+		d.WriteInt(n.ID())
+		pos := n.Pos()
+		d.WriteFloat64(pos.X)
+		d.WriteFloat64(pos.Y)
+	}
+	noLE.DigestState(&d)
+	withLE.DigestState(&d)
+	if churn != nil {
+		d.WriteInt(churn.AbsentCount())
+	}
+	return d.Sum()
+}
+
+// TestShardedMatchesClassicState: for a per-node filter the sharded
+// pipeline must be bit-identical to the classic sequential Pipeline —
+// same node positions, same broker beliefs, same counters — tick for
+// tick. Drops and churn are on so every stage participates.
+func TestShardedMatchesClassicState(t *testing.T) {
+	const ticks = 60
+	churnProbs := [2]float64{0.02, 0.3}
+
+	classic := newTestPipeline(t, 0.3, nil)
+	{
+		// Rebuild with the same seed newTestSharded uses, plus churn and
+		// the matching per-node filter.
+		world := campus.New()
+		streams := sim.NewStreams(11)
+		nodes, err := node.Population(campus.PopulationN(world, 1), world, streams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net, err := gateway.NewNetwork(world, 0.3, streams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := generalDFFactory()
+		if err != nil {
+			t.Fatal(err)
+		}
+		classic = &Pipeline{
+			Nodes:        nodes,
+			Net:          net,
+			Filter:       f,
+			NoLE:         broker.New(nil),
+			WithLE:       broker.New(nil),
+			Churn:        NewChurn(churnProbs[0], churnProbs[1], streams.Stream("churn")),
+			SamplePeriod: 1,
+		}
+	}
+	sharded := newTestSharded(t, 11, 0.3, churnProbs, 1, generalDFFactory)
+	defer sharded.Close()
+
+	for tick := 1; tick <= ticks; tick++ {
+		now := float64(tick)
+		if err := classic.Tick(now); err != nil {
+			t.Fatal(err)
+		}
+		if err := sharded.Tick(now); err != nil {
+			t.Fatal(err)
+		}
+		cd := worldDigest(classic.Nodes, classic.NoLE, classic.WithLE, classic.Churn)
+		sd := worldDigest(sharded.Nodes, sharded.NoLE, sharded.WithLE, sharded.Churn)
+		if cd != sd {
+			t.Fatalf("tick %d: classic digest %x != sharded digest %x", tick, cd, sd)
+		}
+	}
+	if got, want := sharded.NoLE.ReceivedLUs(), classic.NoLE.ReceivedLUs(); got != want {
+		t.Errorf("ReceivedLUs = %d, want %d", got, want)
+	}
+	if got, want := sharded.WithLE.EstimatedLUs(), classic.WithLE.EstimatedLUs(); got != want {
+		t.Errorf("EstimatedLUs = %d, want %d", got, want)
+	}
+}
+
+// TestShardedWorkerDeterminism: the full StateDigest — including every
+// shard's ADF clustering — must agree at every worker count, tick for
+// tick. This is the core merge-order contract.
+func TestShardedWorkerDeterminism(t *testing.T) {
+	const ticks = 60
+	workerCounts := []int{1, 2, 4, 8}
+	var ref []uint64
+	for _, w := range workerCounts {
+		p := newTestSharded(t, 23, 0.2, [2]float64{0.01, 0.2}, w, adfFactory)
+		digests := make([]uint64, 0, ticks)
+		for tick := 1; tick <= ticks; tick++ {
+			if err := p.Tick(float64(tick)); err != nil {
+				t.Fatal(err)
+			}
+			digests = append(digests, p.StateDigest())
+		}
+		p.Close()
+		if ref == nil {
+			ref = digests
+			if p.ShardCount() == 0 {
+				t.Fatal("no shards built")
+			}
+			continue
+		}
+		for i := range ref {
+			if digests[i] != ref[i] {
+				t.Fatalf("workers=%d: tick %d digest %x != workers=%d digest %x",
+					w, i+1, digests[i], workerCounts[0], ref[i])
+			}
+		}
+	}
+}
+
+// TestShardedMigration: table-driven cross-shard migrations, including
+// on recluster ticks (ReclusterInterval is 5 in adfFactory, so with a
+// 1 s sample period reclusters land on every fifth tick). Each case
+// asserts digest equality across worker counts — migration handoff is
+// applied at merge in prepass order, so worker scheduling must not be
+// able to reorder it — and that ownership actually moved.
+func TestShardedMigration(t *testing.T) {
+	cases := []struct {
+		name      string
+		migrateAt float64
+		target    campus.RegionID
+		pick      func(nodeID int) bool
+		filters   func() (filter.Filter, error)
+	}{
+		{
+			name:      "adf-on-recluster-tick",
+			migrateAt: 10, // recluster cadence tick for ReclusterInterval 5
+			target:    campus.RegionID("B1"),
+			pick:      func(id int) bool { return id%5 == 0 },
+			filters:   adfFactory,
+		},
+		{
+			name:      "adf-mass-migration",
+			migrateAt: 7,
+			target:    campus.RegionID("R3"),
+			pick:      func(id int) bool { return id%2 == 0 },
+			filters:   adfFactory,
+		},
+		{
+			name:      "generaldf-forget-fallback-path",
+			migrateAt: 15,
+			target:    campus.RegionID("B4"),
+			pick:      func(id int) bool { return id%3 == 1 },
+			filters:   generalDFFactory,
+		},
+		{
+			name:      "unknown-target-ignored",
+			migrateAt: 5,
+			target:    campus.RegionID("nowhere"),
+			pick:      func(id int) bool { return true },
+			filters:   adfFactory,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			const ticks = 30
+			rehome := func(s Sample) campus.RegionID {
+				if s.Time >= tc.migrateAt && tc.pick(s.Node) {
+					return tc.target
+				}
+				return s.Region.ID
+			}
+			var ref []uint64
+			var refOwners []campus.RegionID
+			for _, w := range []int{1, 4} {
+				p := newTestSharded(t, 31, 0.1, [2]float64{0.01, 0.2}, w, tc.filters)
+				p.Rehome = rehome
+				digests := make([]uint64, 0, ticks)
+				for tick := 1; tick <= ticks; tick++ {
+					if err := p.Tick(float64(tick)); err != nil {
+						t.Fatal(err)
+					}
+					digests = append(digests, p.StateDigest())
+				}
+				owners := make([]campus.RegionID, len(p.Nodes))
+				for i := range p.Nodes {
+					owners[i] = p.OwnerOf(i)
+				}
+				p.Close()
+				if ref == nil {
+					ref, refOwners = digests, owners
+					continue
+				}
+				for i := range ref {
+					if digests[i] != ref[i] {
+						t.Fatalf("workers=4: tick %d digest %x != workers=1 digest %x",
+							i+1, digests[i], ref[i])
+					}
+				}
+				for i := range owners {
+					if owners[i] != refOwners[i] {
+						t.Fatalf("node index %d: owner %s != workers=1 owner %s",
+							i, owners[i], refOwners[i])
+					}
+				}
+			}
+			// Ownership must have moved for picked nodes (except when the
+			// target region does not exist — then it must NOT move).
+			p := newTestSharded(t, 31, 0.1, [2]float64{0.01, 0.2}, 1, tc.filters)
+			p.Rehome = rehome
+			for tick := 1; tick <= ticks; tick++ {
+				if err := p.Tick(float64(tick)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			defer p.Close()
+			_, targetExists := p.shardOf[tc.target]
+			for i, n := range p.Nodes {
+				if !tc.pick(n.ID()) {
+					continue
+				}
+				home := n.Region().ID
+				owner := p.OwnerOf(i)
+				if targetExists && owner != tc.target {
+					t.Fatalf("node %d (home %s): owner %s, want %s", n.ID(), home, owner, tc.target)
+				}
+				if !targetExists && owner != home {
+					t.Fatalf("node %d: owner %s, want home %s (unknown target must be ignored)",
+						n.ID(), owner, home)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedObserverEvents: the merge step must replay exactly the
+// event multiset the classic pipeline emits.
+func TestShardedObserverEvents(t *testing.T) {
+	obs := &countingObserver{}
+	p := newTestSharded(t, 7, 0, [2]float64{}, 2, func() (filter.Filter, error) {
+		return filter.NewIdealLU(), nil
+	})
+	p.Observers = Observers{obs}
+	if err := p.Run(sim.New(), 10); err != nil {
+		t.Fatal(err)
+	}
+	nodes := len(p.Nodes)
+	if obs.ticks != 10 {
+		t.Errorf("ticks = %d, want 10", obs.ticks)
+	}
+	if obs.offered != nodes*10 || obs.transmitted != nodes*10 {
+		t.Errorf("offered/transmitted = %d/%d, want %d/%d",
+			obs.offered, obs.transmitted, nodes*10, nodes*10)
+	}
+	if obs.errs != 2*nodes*10 {
+		t.Errorf("errs = %d, want %d", obs.errs, 2*nodes*10)
+	}
+	if got := p.NoLE.NodeCount(); got != nodes {
+		t.Errorf("broker tracks %d nodes, want %d", got, nodes)
+	}
+}
+
+func TestShardedValidate(t *testing.T) {
+	p := newTestSharded(t, 3, 0, [2]float64{}, 1, generalDFFactory)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid sharded pipeline rejected: %v", err)
+	}
+	bad := *p
+	bad.NewFilter = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("nil NewFilter accepted")
+	}
+	bad = *p
+	bad.Workers = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative Workers accepted")
+	}
+	bad = *p
+	bad.Nodes = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("empty population accepted")
+	}
+}

@@ -74,6 +74,15 @@ type Config struct {
 	// node draws from a private RNG stream, so results are bit-for-bit
 	// identical at any worker count; only the execution schedule changes.
 	MobilityWorkers int
+	// ShardWorkers > 0 replaces the classic whole-tick pipeline with the
+	// region-sharded one (engine.Sharded): every stage past mobility
+	// advance runs shard-locally per campus region on that many workers,
+	// merged deterministically in ascending region-ID order. 1 is the
+	// sequential sharded reference; any count produces bit-identical
+	// results to it. 0 keeps engine.Pipeline. Note the ADF filter is
+	// instantiated per shard, so its clustering is region-scoped here
+	// (DESIGN.md "Sharded pipeline").
+	ShardWorkers int
 }
 
 // ChurnConfig parameterises node departure and return.
@@ -204,6 +213,9 @@ func (c Config) Validate() error {
 	if c.MobilityWorkers < 0 {
 		return fmt.Errorf("experiment: negative MobilityWorkers %d", c.MobilityWorkers)
 	}
+	if c.ShardWorkers < 0 {
+		return fmt.Errorf("experiment: negative ShardWorkers %d", c.ShardWorkers)
+	}
 	adf := c.ADF
 	adf.DTHFactor = 1 // factor is overridden per run; validate the rest
 	adf.SamplePeriod = c.SamplePeriod
@@ -325,6 +337,9 @@ func PopulationMeanSpeed(specs []campus.NodeSpec) float64 {
 // inputs, are directly comparable, and can execute concurrently with
 // other runs without changing results.
 func (c Config) runFilter(mk filterFactory) (*Run, error) {
+	if c.ShardWorkers > 0 {
+		return c.runFilterSharded(mk)
+	}
 	pipeline, run, f, err := c.buildRun(mk)
 	if err != nil {
 		return nil, err
@@ -345,6 +360,43 @@ func (c Config) runFilter(mk filterFactory) (*Run, error) {
 	return run, nil
 }
 
+// runFilterSharded is runFilter on the region-sharded pipeline. The
+// filter is instantiated once per shard, so the ADF cluster summary is
+// the sum over the per-region filters.
+func (c Config) runFilterSharded(mk filterFactory) (*Run, error) {
+	p, run, err := c.buildSharded(mk)
+	if err != nil {
+		return nil, err
+	}
+	defer p.Close()
+
+	simulations.Add(1)
+	if err := p.Run(sim.New(), c.Duration); err != nil {
+		return nil, err
+	}
+
+	for _, f := range p.ShardFilters() {
+		if adf, ok := f.(*core.ADF); ok {
+			run.FinalClusters += adf.ClusterCount()
+		}
+	}
+	_ = run.ErrNoLE.Max()
+	_ = run.ErrWithLE.Max()
+	return run, nil
+}
+
+// simWorld bundles the simulation pieces both pipeline shapes share:
+// the campus population, the gateway network, the broker pair, churn
+// and the Run record with its pre-sized metric sinks.
+type simWorld struct {
+	nodes  []*node.Node
+	net    *gateway.Network
+	noLE   *broker.Broker
+	withLE *broker.Broker
+	churn  *engine.Churn
+	run    *Run
+}
+
 // buildRun wires one simulation: the filter under test, the campus
 // population, gateways, brokers, metric sinks and the staged pipeline.
 // Callers that need tick-level control (benchmarks, allocation tests)
@@ -358,7 +410,69 @@ func (c Config) buildRun(mk filterFactory) (*engine.Pipeline, *Run, filter.Filte
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	w, err := c.buildWorld(name, factor)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	pipeline := &engine.Pipeline{
+		Nodes:           w.nodes,
+		Net:             w.net,
+		Filter:          f,
+		NoLE:            w.noLE,
+		WithLE:          w.withLE,
+		Churn:           w.churn,
+		SamplePeriod:    c.SamplePeriod,
+		MobilityWorkers: c.MobilityWorkers,
+		Observers:       c.observers(w.run),
+	}
+	return pipeline, w.run, f, nil
+}
 
+// buildSharded wires one simulation behind the region-sharded pipeline.
+// The factory is probed once for the run's name and factor, then every
+// shard builds its own filter instance through NewFilter, so no filter
+// state is shared across regions.
+func (c Config) buildSharded(mk filterFactory) (*engine.Sharded, *Run, error) {
+	if err := c.Validate(); err != nil {
+		return nil, nil, err
+	}
+	_, name, factor, err := mk()
+	if err != nil {
+		return nil, nil, err
+	}
+	w, err := c.buildWorld(name, factor)
+	if err != nil {
+		return nil, nil, err
+	}
+	p := &engine.Sharded{
+		Nodes: w.nodes,
+		Net:   w.net,
+		NewFilter: func() (filter.Filter, error) {
+			f, _, _, err := mk()
+			return f, err
+		},
+		NoLE:         w.noLE,
+		WithLE:       w.withLE,
+		Churn:        w.churn,
+		SamplePeriod: c.SamplePeriod,
+		Workers:      c.ShardWorkers,
+		Observers:    c.observers(w.run),
+	}
+	return p, w.run, nil
+}
+
+// observers wires the three metric sinks every run records into.
+func (c Config) observers(run *Run) engine.Observers {
+	return engine.Observers{
+		&trafficObserver{run: run},
+		energyObserver{acc: run.Energy, period: c.SamplePeriod},
+		newErrorObserver(run),
+	}
+}
+
+// buildWorld constructs the pipeline-shape-independent simulation world
+// for one run.
+func (c Config) buildWorld(name string, factor float64) (*simWorld, error) {
 	world := campus.New()
 	perGroup := c.PerGroup
 	if perGroup == 0 {
@@ -368,7 +482,7 @@ func (c Config) buildRun(mk filterFactory) (*engine.Pipeline, *Run, filter.Filte
 	streams := sim.NewStreams(c.Seed)
 	nodes, err := node.Population(specs, world, streams)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
 	var net *gateway.Network
 	if c.Burst != nil {
@@ -377,12 +491,12 @@ func (c Config) buildRun(mk filterFactory) (*engine.Pipeline, *Run, filter.Filte
 		net, err = gateway.NewNetwork(world, c.DropProb, streams)
 	}
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
 
 	leFactory, err := c.estimatorFactory(c.Estimator)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
 	noLE := broker.New(nil)
 	withLE := broker.New(leFactory)
@@ -409,7 +523,7 @@ func (c Config) buildRun(mk filterFactory) (*engine.Pipeline, *Run, filter.Filte
 	}
 	run.Energy, err = energy.NewAccountant(energy.DefaultModel())
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
 
 	// The horizon and population are known up front: pre-size every series
@@ -427,22 +541,14 @@ func (c Config) buildRun(mk filterFactory) (*engine.Pipeline, *Run, filter.Filte
 	if c.Churn != nil {
 		churn = engine.NewChurn(c.Churn.LeaveProb, c.Churn.RejoinProb, streams.Stream("churn"))
 	}
-	pipeline := &engine.Pipeline{
-		Nodes:           nodes,
-		Net:             net,
-		Filter:          f,
-		NoLE:            noLE,
-		WithLE:          withLE,
-		Churn:           churn,
-		SamplePeriod:    c.SamplePeriod,
-		MobilityWorkers: c.MobilityWorkers,
-		Observers: engine.Observers{
-			&trafficObserver{run: run},
-			energyObserver{acc: run.Energy, period: c.SamplePeriod},
-			newErrorObserver(run),
-		},
-	}
-	return pipeline, run, f, nil
+	return &simWorld{
+		nodes:  nodes,
+		net:    net,
+		noLE:   noLE,
+		withLE: withLE,
+		churn:  churn,
+		run:    run,
+	}, nil
 }
 
 // Results bundles the paired runs every figure draws from: the ideal

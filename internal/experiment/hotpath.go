@@ -8,23 +8,43 @@ import (
 )
 
 // HotpathStats is one scale point of the hot-path benchmark: end-to-end
-// wall-clock throughput and allocation rate of a full simulation.
+// wall-clock throughput and allocation rate of a full simulation, plus
+// the steady-state allocation rate measured past a warmup boundary.
 type HotpathStats struct {
-	Nodes         int     `json:"nodes"`
-	Ticks         int     `json:"ticks"`
-	ElapsedMS     float64 `json:"elapsed_ms"`
-	NsPerTick     float64 `json:"ns_per_tick"`
-	TicksPerSec   float64 `json:"ticks_per_sec"`
+	Nodes        int `json:"nodes"`
+	Ticks        int `json:"ticks"`
+	WarmupTicks  int `json:"warmup_ticks"`
+	ShardWorkers int `json:"shard_workers,omitempty"`
+
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	NsPerTick   float64 `json:"ns_per_tick"`
+	TicksPerSec float64 `json:"ticks_per_sec"`
+	// AllocsPerTick averages runtime.MemStats.Mallocs over the whole run,
+	// setup and one-time births (estimators, cluster growth) included.
 	AllocsPerTick float64 `json:"allocs_per_tick"`
-	TotalLU       float64 `json:"total_lu"`
+	// SteadyAllocsPerTick averages Mallocs over the ticks past the warmup
+	// boundary only — the zero-allocation steady-state claim is about
+	// this number.
+	SteadyAllocsPerTick float64 `json:"steady_allocs_per_tick"`
+	TotalLU             float64 `json:"total_lu"`
 }
 
-// MeasureHotpath executes one ADF run (DTH factor 1.0) under c and
-// reports its end-to-end throughput: virtual ticks per wall-clock
-// second, nanoseconds per tick and heap allocations per tick
-// (runtime.MemStats.Mallocs delta across the run). The protocol matches
-// the pre-optimization baselines recorded in BENCH_hotpath.json: the
-// whole simulation is timed, setup and summary sorting included.
+// tickRunner is the tick-level surface both pipeline shapes share.
+type tickRunner interface {
+	Tick(now float64) error
+	Close()
+}
+
+// MeasureHotpath executes one ADF run (DTH factor 1.0) under c —
+// through the classic pipeline, or the region-sharded one when
+// c.ShardWorkers > 0 — and reports its end-to-end throughput: virtual
+// ticks per wall-clock second, nanoseconds per tick and heap
+// allocations per tick (runtime.MemStats.Mallocs deltas). The whole
+// simulation is timed, setup and summary sorting included, matching the
+// protocol of the BENCH_hotpath.json baselines; the tick loop is driven
+// manually so a second MemStats read at the warmup boundary — half the
+// run, capped at 300 ticks — isolates SteadyAllocsPerTick from one-time
+// births.
 func (c Config) MeasureHotpath() (HotpathStats, error) {
 	world := campus.New()
 	perGroup := c.PerGroup
@@ -33,25 +53,68 @@ func (c Config) MeasureHotpath() (HotpathStats, error) {
 	}
 	nodes := len(campus.PopulationN(world, perGroup))
 	ticks := int(c.Duration / c.SamplePeriod)
+	warmup := ticks / 2
+	if warmup > 300 {
+		warmup = 300
+	}
 
-	var before, after runtime.MemStats
+	var before, mid, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
 	start := time.Now() //adf:allow determinism — measures wall-clock throughput, not simulation state
-	run, err := c.runFilter(c.adfFactory(1.0))
-	elapsed := time.Since(start) //adf:allow determinism — measures wall-clock throughput
-	runtime.ReadMemStats(&after)
-	if err != nil {
-		return HotpathStats{}, err
-	}
 
+	var (
+		loop tickRunner
+		run  *Run
+	)
+	if c.ShardWorkers > 0 {
+		p, r, err := c.buildSharded(c.adfFactory(1.0))
+		if err != nil {
+			return HotpathStats{}, err
+		}
+		loop, run = p, r
+	} else {
+		p, r, _, err := c.buildRun(c.adfFactory(1.0))
+		if err != nil {
+			return HotpathStats{}, err
+		}
+		loop, run = p, r
+	}
+	defer loop.Close()
+	simulations.Add(1)
+
+	now := 0.0
+	for i := 0; i < ticks; i++ {
+		if i == warmup {
+			runtime.ReadMemStats(&mid)
+		}
+		now += c.SamplePeriod
+		if err := loop.Tick(now); err != nil {
+			return HotpathStats{}, err
+		}
+	}
+	runtime.ReadMemStats(&after)
+	// Summary sorting stays inside the timed window (the baseline
+	// protocol times it) but outside the allocation windows — the sorts
+	// are in-place over pre-reserved storage.
+	_ = run.ErrNoLE.Max()
+	_ = run.ErrWithLE.Max()
+	elapsed := time.Since(start) //adf:allow determinism — measures wall-clock throughput
+
+	steady := 0.0
+	if ticks > warmup {
+		steady = float64(after.Mallocs-mid.Mallocs) / float64(ticks-warmup)
+	}
 	return HotpathStats{
-		Nodes:         nodes,
-		Ticks:         ticks,
-		ElapsedMS:     float64(elapsed.Nanoseconds()) / 1e6,
-		NsPerTick:     float64(elapsed.Nanoseconds()) / float64(ticks),
-		TicksPerSec:   float64(ticks) / elapsed.Seconds(),
-		AllocsPerTick: float64(after.Mallocs-before.Mallocs) / float64(ticks),
-		TotalLU:       run.TotalLUs(),
+		Nodes:               nodes,
+		Ticks:               ticks,
+		WarmupTicks:         warmup,
+		ShardWorkers:        c.ShardWorkers,
+		ElapsedMS:           float64(elapsed.Nanoseconds()) / 1e6,
+		NsPerTick:           float64(elapsed.Nanoseconds()) / float64(ticks),
+		TicksPerSec:         float64(ticks) / elapsed.Seconds(),
+		AllocsPerTick:       float64(after.Mallocs-before.Mallocs) / float64(ticks),
+		SteadyAllocsPerTick: steady,
+		TotalLU:             run.TotalLUs(),
 	}, nil
 }

@@ -81,6 +81,84 @@ func TestMobilityWorkersDeterminism(t *testing.T) {
 	}
 }
 
+// TestZeroAllocTickSharded is TestZeroAllocTick for the region-sharded
+// pipeline: past warmup, a whole sharded tick — prepass, shard fan-out
+// over the worker pool, outcome replay, broker tally merge — allocates
+// nothing.
+func TestZeroAllocTickSharded(t *testing.T) {
+	c := DefaultConfig()
+	c.Duration = 4000
+	c.ShardWorkers = 2
+	p, _, err := c.buildSharded(c.adfFactory(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	now := 0.0
+	tick := func() {
+		now += c.SamplePeriod
+		if err := p.Tick(now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 600; i++ {
+		tick()
+	}
+	if allocs := testing.AllocsPerRun(200, tick); allocs != 0 {
+		t.Fatalf("steady-state sharded tick allocates: %v allocs/tick, want 0", allocs)
+	}
+}
+
+// TestShardWorkersDeterminism proves the sharded pipeline's merge-order
+// contract at the metrics level: every series a Run produces is
+// identical between ShardWorkers=1 (the sequential sharded reference)
+// and higher worker counts. Observer events are buffered per shard and
+// replayed in ascending region order at merge, so worker scheduling
+// cannot reorder a single float addition.
+func TestShardWorkersDeterminism(t *testing.T) {
+	base := DefaultConfig()
+	base.Seed = 5
+	base.Duration = 150
+	base.Churn = &ChurnConfig{LeaveProb: 0.01, RejoinProb: 0.2}
+
+	var ref *Run
+	for _, w := range []int{1, 2, 8} {
+		c := base
+		c.ShardWorkers = w
+		r, err := c.runFilter(c.adfFactory(1.0))
+		if err != nil {
+			t.Fatalf("ShardWorkers=%d: %v", w, err)
+		}
+		if ref == nil {
+			ref = r
+			continue
+		}
+		if !slices.Equal(ref.LUPerSecond.Series(), r.LUPerSecond.Series()) {
+			t.Errorf("ShardWorkers=%d: LU series differ from 1 worker", w)
+		}
+		if !slices.Equal(ref.OfferedPerSecond.Series(), r.OfferedPerSecond.Series()) {
+			t.Errorf("ShardWorkers=%d: offered series differ", w)
+		}
+		if !slices.Equal(ref.RMSENoLE.Series(), r.RMSENoLE.Series()) {
+			t.Errorf("ShardWorkers=%d: no-LE RMSE series differ", w)
+		}
+		if !slices.Equal(ref.RMSEWithLE.Series(), r.RMSEWithLE.Series()) {
+			t.Errorf("ShardWorkers=%d: with-LE RMSE series differ", w)
+		}
+		if at, bt := ref.Energy.Total(), r.Energy.Total(); at != bt {
+			t.Errorf("ShardWorkers=%d: energy totals differ: %v vs %v", w, bt, at)
+		}
+		if ref.FinalClusters != r.FinalClusters {
+			t.Errorf("ShardWorkers=%d: final cluster counts differ: %d vs %d",
+				w, r.FinalClusters, ref.FinalClusters)
+		}
+	}
+	if ref.FinalClusters == 0 {
+		t.Error("sharded ADF run reports zero clusters; ShardFilters summary broken")
+	}
+}
+
 // benchmarkTick measures the steady-state cost of one pipeline tick at a
 // given population scale, allocation-counted.
 func benchmarkTick(b *testing.B, perGroup int) {

@@ -46,6 +46,22 @@ type Filter interface {
 	Forget(node int)
 }
 
+// NodeStateMover is implemented by filters that can hand one node's
+// state to another instance of the same filter type. The sharded engine
+// keeps one filter per region shard; when a node migrates between
+// regions the merge step moves its state so the destination shard
+// continues from the learned anchor (and, for the ADF, the classifier
+// window and cluster membership) instead of re-learning from scratch.
+// Implementations report false — moving nothing — when dst is of a
+// different concrete type; the engine then falls back to Forget on the
+// source and the destination re-learns.
+type NodeStateMover interface {
+	// MoveNodeTo transfers node's per-node state into dst. Moving a node
+	// the filter has never seen, or into the same instance, is a
+	// successful no-op.
+	MoveNodeTo(dst Filter, node int) bool
+}
+
 // Observe mirrors one filter verdict into a pipeline's observability
 // batch: the transmit/suppress tallies are plain adds recorded
 // unconditionally, while the distance and threshold histograms — which
@@ -73,7 +89,10 @@ type IdealLU struct {
 	lastSent dense.Map[geo.Point]
 }
 
-var _ Filter = (*IdealLU)(nil)
+var (
+	_ Filter         = (*IdealLU)(nil)
+	_ NodeStateMover = (*IdealLU)(nil)
+)
 
 // NewIdealLU returns the pass-through baseline filter.
 func NewIdealLU() *IdealLU {
@@ -95,6 +114,22 @@ func (f *IdealLU) Offer(lu LU) Decision {
 
 // Forget implements Filter.
 func (f *IdealLU) Forget(node int) { f.lastSent.Delete(node) }
+
+// MoveNodeTo implements NodeStateMover.
+func (f *IdealLU) MoveNodeTo(dst Filter, node int) bool {
+	d, ok := dst.(*IdealLU)
+	if !ok {
+		return false
+	}
+	if d == f {
+		return true
+	}
+	if p, seen := f.lastSent.Get(node); seen {
+		d.lastSent.Put(node, p)
+		f.lastSent.Delete(node)
+	}
+	return true
+}
 
 // Semantics selects what "the MN's moving distance" is compared against
 // the DTH.
@@ -148,7 +183,10 @@ type GeneralDF struct {
 	anchor dense.Map[geo.Point]
 }
 
-var _ Filter = (*GeneralDF)(nil)
+var (
+	_ Filter         = (*GeneralDF)(nil)
+	_ NodeStateMover = (*GeneralDF)(nil)
+)
 
 // NewGeneralDF returns an anchored general distance filter with the given
 // DTH in metres. DTH must be positive.
@@ -196,3 +234,19 @@ func (f *GeneralDF) Offer(lu LU) Decision {
 
 // Forget implements Filter.
 func (f *GeneralDF) Forget(node int) { f.anchor.Delete(node) }
+
+// MoveNodeTo implements NodeStateMover.
+func (f *GeneralDF) MoveNodeTo(dst Filter, node int) bool {
+	d, ok := dst.(*GeneralDF)
+	if !ok {
+		return false
+	}
+	if d == f {
+		return true
+	}
+	if p, seen := f.anchor.Get(node); seen {
+		d.anchor.Put(node, p)
+		f.anchor.Delete(node)
+	}
+	return true
+}

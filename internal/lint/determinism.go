@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // Determinism enforces the reproduction's bit-for-bit reproducibility
@@ -13,9 +14,20 @@ import (
 // statements: concurrency there must go through the engine's worker pools
 // (engine.Group, the mobility advance pool), whose sharding is designed to
 // consume RNG streams identically to a sequential run.
+//
+// Functions annotated //adf:shardstage — the bodies the region-sharded
+// pipeline runs concurrently, one shard at a time per worker — are
+// additionally forbidden from writing package-level variables. A shard
+// stage's effects must land in shard-indexed state (the shard context,
+// per-shard tallies, preallocated disjoint slots) and be folded into
+// shared state only by the deterministic merge that runs in ascending
+// shard order; a direct global write both races and makes the result
+// depend on worker scheduling. Genuinely synchronized or
+// scheduling-independent writes carry //adf:allow determinism with a
+// reason.
 var Determinism = &Analyzer{
 	Name: "determinism",
-	Doc:  "forbid wall-clock reads, the global math/rand source, and bare goroutines in simulation packages",
+	Doc:  "forbid wall-clock reads, the global math/rand source, bare goroutines in simulation packages, and package-level writes in //adf:shardstage functions",
 	Run:  runDeterminism,
 }
 
@@ -38,6 +50,12 @@ var allowedRandFuncs = map[string]bool{
 
 func runDeterminism(p *Pass) {
 	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok && fn.Body != nil && isShardStage(fn) {
+				p.checkShardStage(fn)
+			}
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.GoStmt:
@@ -68,5 +86,89 @@ func runDeterminism(p *Pass) {
 			}
 			return true
 		})
+	}
+}
+
+// shardStageDirective marks a function the region-sharded pipeline runs
+// concurrently across shards; its writes must stay shard-indexed.
+const shardStageDirective = "//adf:shardstage"
+
+// isShardStage reports whether a function declaration carries the
+// //adf:shardstage directive. Directive comments are excluded from
+// CommentGroup.Text, so the raw list is scanned.
+func isShardStage(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if c.Text == shardStageDirective || strings.HasPrefix(c.Text, shardStageDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkShardStage flags every direct write — assignment, compound
+// assignment or ++/-- — whose target is rooted in a package-level
+// variable. Writes through parameters and receivers (the shard context)
+// are the designed data path and stay silent; so do reads.
+func (p *Pass) checkShardStage(fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	report := func(n ast.Node, v *types.Var) {
+		p.Reportf(n.Pos(), "write to package-level %s in //adf:shardstage function %s is an unmerged cross-shard write: buffer it in the shard context and fold it in the deterministic merge (or //adf:allow determinism for synchronized, order-independent state)", v.Name(), name)
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if v := p.pkgLevelVarRoot(lhs); v != nil {
+					report(lhs, v)
+				}
+			}
+		case *ast.IncDecStmt:
+			if v := p.pkgLevelVarRoot(n.X); v != nil {
+				report(n.X, v)
+			}
+		}
+		return true
+	})
+}
+
+// pkgLevelVarRoot unwraps index, dereference, field-selection and
+// parenthesis layers around an assignment target and returns the
+// package-level variable at its root, or nil when the root is a local,
+// a parameter or anything else.
+func (p *Pass) pkgLevelVarRoot(e ast.Expr) *types.Var {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			// other.Global: step to the selected object when the base is a
+			// package name, otherwise keep unwrapping the base expression.
+			if id, ok := x.X.(*ast.Ident); ok {
+				if _, isPkg := p.Pkg.Info.Uses[id].(*types.PkgName); isPkg {
+					e = x.Sel
+					continue
+				}
+			}
+			e = x.X
+		case *ast.Ident:
+			o := p.Pkg.Info.Uses[x]
+			if o == nil {
+				o = p.Pkg.Info.Defs[x]
+			}
+			v, ok := o.(*types.Var)
+			if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+				return nil
+			}
+			return v
+		default:
+			return nil
+		}
 	}
 }

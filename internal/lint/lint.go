@@ -7,7 +7,11 @@
 //     source, or — inside the simulation packages — spawn bare
 //     goroutines. Randomness comes from injected *sim.RNG streams and
 //     concurrency from the engine's worker pools, so parallel runs stay
-//     bit-for-bit identical to sequential ones.
+//     bit-for-bit identical to sequential ones. Functions annotated
+//     //adf:shardstage (the region-sharded pipeline's concurrent stage
+//     bodies) additionally may not write package-level variables: their
+//     effects must stay shard-indexed and be folded by the deterministic
+//     merge.
 //   - maporder: ranging over a Go map yields a random order; in the
 //     simulation packages any map iteration whose effects are order
 //     dependent is flagged unless the keys are collected and sorted

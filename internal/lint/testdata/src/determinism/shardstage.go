@@ -1,0 +1,47 @@
+// Shard-stage half of the determinism fixture: functions annotated
+// //adf:shardstage run concurrently across region shards, so every
+// direct write to a package-level variable inside one is an unmerged
+// cross-shard write.
+package determinism
+
+// Aggregates that must only be touched by the merge step.
+var totalSent int
+var perRegion = map[string]int{}
+var tallies struct{ sent, dropped int }
+var latest *shardLocal
+
+// shardLocal is the per-shard state a stage may mutate freely.
+type shardLocal struct {
+	sent    int
+	byNode  []int
+	dropped int
+}
+
+// RunShard is a shard stage: shard-context writes are fine, every
+// package-level write is flagged — plain assignment, compound
+// assignment, increment, map store, field store and pointer store alike.
+//
+//adf:shardstage
+func RunShard(sh *shardLocal, region string, n int) {
+	sh.sent += n      // shard-indexed: silent
+	sh.byNode[0] = n  // shard-indexed: silent
+	totalSent += n    // flagged: compound assignment to a global
+	perRegion[region] = n
+	tallies.sent++
+	latest = sh
+}
+
+// Merge is not annotated: folding the shard locals into the globals in
+// deterministic shard order is exactly the designed idiom.
+func Merge(sh *shardLocal) {
+	totalSent += sh.sent
+	tallies.dropped += sh.dropped
+}
+
+// SanctionedWrite shows the escape hatch for synchronized,
+// order-independent state.
+//
+//adf:shardstage
+func SanctionedWrite(sh *shardLocal, n int) {
+	totalSent += n //adf:allow determinism — fixture: atomic counter, order independent
+}

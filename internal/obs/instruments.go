@@ -107,6 +107,8 @@ var (
 		Default.Histogram("adf_stage_seconds", StageSecondsBounds, "stage", "nodes"),
 		Default.Histogram("adf_stage_seconds", StageSecondsBounds, "stage", "observers"),
 		Default.Histogram("adf_stage_seconds", StageSecondsBounds, "stage", "tick"),
+		Default.Histogram("adf_stage_seconds", StageSecondsBounds, "stage", "shard"),
+		Default.Histogram("adf_stage_seconds", StageSecondsBounds, "stage", "merge"),
 	}
 	// FilterDistance is the per-LU displacement distribution.
 	FilterDistance = Default.Histogram("adf_filter_distance_meters", MetersBounds)
@@ -114,6 +116,21 @@ var (
 	// against.
 	FilterDTH = Default.Histogram("adf_filter_dth_meters", MetersBounds)
 )
+
+// ShardSeconds returns the per-region latency histogram for one shard's
+// worker stage in the sharded pipeline, so a skewed region (one campus
+// road carrying most of the population) is visible per shard rather
+// than folded into the aggregate "shard" stage series.
+func ShardSeconds(region string) *Histogram {
+	return Default.Histogram("adf_shard_seconds", StageSecondsBounds, "region", region)
+}
+
+// ShardNodes returns the gauge of nodes currently owned by a region
+// shard, updated by the sharded engine after each tick's migration
+// handoff.
+func ShardNodes(region string) *Gauge {
+	return Default.Gauge("adf_shard_nodes", "region", region)
+}
 
 // RegionOffered returns the per-region offered-LU counter.
 func RegionOffered(region string) *Counter {

@@ -49,6 +49,26 @@ func (t *TickLocal) Flush() {
 	t.DTH.flush()
 }
 
+// Merge folds src — one region shard's batch — into t and zeroes src
+// for reuse. The sharded engine gives every shard a private TickLocal
+// so the worker stage stays contention-free, then merges them into the
+// pipeline's master batch in stable shard order before the single
+// per-tick Flush.
+func (t *TickLocal) Merge(src *TickLocal) {
+	t.Offered += src.Offered
+	t.Sent += src.Sent
+	t.Filtered += src.Filtered
+	t.BrokerReceived += src.BrokerReceived
+	t.BrokerEstimated += src.BrokerEstimated
+	t.ChurnLeft += src.ChurnLeft
+	t.ChurnRejoined += src.ChurnRejoined
+	src.Offered, src.Sent, src.Filtered = 0, 0, 0
+	src.BrokerReceived, src.BrokerEstimated = 0, 0
+	src.ChurnLeft, src.ChurnRejoined = 0, 0
+	t.Distance.merge(&src.Distance)
+	t.DTH.merge(&src.DTH)
+}
+
 func flushCount(c *Counter, n *uint64) {
 	if *n > 0 {
 		c.add(*n)
@@ -81,6 +101,25 @@ func (l *LocalHist) Observe(v float64) {
 	l.counts[l.h.bucket(v)]++
 	l.sum += v
 	l.n++
+}
+
+// merge folds src's local accumulation into l and zeroes src. Both
+// sides must be bound to the same global Histogram (the sharded engine
+// binds every shard's TickLocal through Init); an unbound or empty src
+// is a no-op.
+func (l *LocalHist) merge(src *LocalHist) {
+	if src.h == nil || src.n == 0 || l.h != src.h {
+		return
+	}
+	for i, c := range src.counts {
+		if c > 0 {
+			l.counts[i] += c
+			src.counts[i] = 0
+		}
+	}
+	l.sum += src.sum
+	l.n += src.n
+	src.sum, src.n = 0, 0
 }
 
 func (l *LocalHist) flush() {

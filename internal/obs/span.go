@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -21,6 +22,14 @@ const (
 	StageObservers
 	// StageTick is the whole sampling round.
 	StageTick
+	// StageShard is one region shard's stage chain in the sharded
+	// pipeline (churn-gated collect → filter → broker delivery over the
+	// shard's members).
+	StageShard
+	// StageMerge is the sharded pipeline's deterministic merge step:
+	// observer replay, tally folding and migration handoff in stable
+	// shard order.
+	StageMerge
 	// numStages sizes stage-indexed arrays.
 	numStages
 )
@@ -28,7 +37,7 @@ const (
 // stageNames maps Stage values to their trace and metric names. Indexed
 // by int rather than switched over so no exhaustiveness obligation
 // spreads to callers.
-var stageNames = [numStages]string{"advance", "nodes", "observers", "tick"}
+var stageNames = [numStages]string{"advance", "nodes", "observers", "tick", "shard", "merge"}
 
 // String returns the stage's name.
 func (s Stage) String() string {
@@ -38,10 +47,12 @@ func (s Stage) String() string {
 	return stageNames[s]
 }
 
-// spanRecord is one completed span in the ring.
+// spanRecord is one completed span in the ring. shard identifies the
+// region shard for StageShard records (-1 otherwise).
 type spanRecord struct {
 	stage   Stage
 	tid     uint32
+	shard   int32
 	startNS int64
 	durNS   int64
 }
@@ -87,7 +98,7 @@ func StageEnd(tid uint32, s Stage, start int64) int64 {
 		return 0
 	}
 	end := nowNanos()
-	spans.record(spanRecord{stage: s, tid: tid, startNS: start, durNS: end - start})
+	spans.record(spanRecord{stage: s, tid: tid, shard: -1, startNS: start, durNS: end - start})
 	stageSeconds[s].observe(float64(end-start) / 1e9)
 	return end
 }
@@ -98,8 +109,26 @@ func RecordSpan(tid uint32, s Stage, start, end int64) {
 	if start == 0 || end < start || !on.Load() {
 		return
 	}
-	spans.record(spanRecord{stage: s, tid: tid, startNS: start, durNS: end - start})
+	spans.record(spanRecord{stage: s, tid: tid, shard: -1, startNS: start, durNS: end - start})
 	stageSeconds[s].observe(float64(end-start) / 1e9)
+}
+
+// RecordShardSpan records one region shard's StageShard span with
+// explicit endpoints, tagging the trace record with the shard index and
+// feeding both the aggregate stage histogram and the shard's own series
+// when one is supplied. The endpoints are read inside the shard worker
+// (StageStart there is race-free — it touches no shared state); the
+// engine's merge step calls this sequentially in shard order.
+func RecordShardSpan(tid uint32, shard int, h *Histogram, start, end int64) {
+	if start == 0 || end < start || !on.Load() {
+		return
+	}
+	spans.record(spanRecord{stage: StageShard, tid: tid, shard: int32(shard), startNS: start, durNS: end - start})
+	sec := float64(end-start) / 1e9
+	stageSeconds[StageShard].observe(sec)
+	if h != nil {
+		h.observe(sec)
+	}
 }
 
 func (r *spanRing) record(rec spanRecord) {
@@ -161,8 +190,12 @@ func WriteChromeTrace(w io.Writer) error {
 	records := spans.snapshot()
 	events := make([]traceEvent, len(records))
 	for i, rec := range records {
+		name := rec.stage.String()
+		if rec.stage == StageShard && rec.shard >= 0 {
+			name = "shard:" + strconv.Itoa(int(rec.shard))
+		}
 		events[i] = traceEvent{
-			Name: rec.stage.String(),
+			Name: name,
 			Ph:   "X",
 			Pid:  1,
 			Tid:  rec.tid,

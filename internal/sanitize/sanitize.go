@@ -74,5 +74,16 @@ func (d *Digest) WriteFloat64(v float64) {
 	d.WriteUint64(math.Float64bits(v))
 }
 
+// WriteString folds a string — length first, then each byte — into the
+// digest, so shard identities (region IDs) can participate in state
+// checksums without ambiguity between adjacent strings.
+func (d *Digest) WriteString(s string) {
+	d.WriteInt(len(s))
+	for i := 0; i < len(s); i++ {
+		d.h ^= uint64(s[i])
+		d.h *= fnvPrime64
+	}
+}
+
 // Sum returns the accumulated checksum.
 func (d *Digest) Sum() uint64 { return d.h }
