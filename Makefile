@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race race-core check check-sharded obs-check ci bench-runner bench bench-obs profile
+.PHONY: build test vet lint race race-core check check-sharded obs-check bench-smoke ci bench-runner bench bench-obs profile
 
 build:
 	$(GO) build ./...
@@ -49,9 +49,12 @@ check:
 # node positions, broker beliefs, shard membership, per-shard cluster
 # statistics — must be bit-identical across all worker counts. The race
 # detector rides along so the same run also proves the shard fan-out is
-# data-race free.
+# data-race free. The second pass repeats the gate in keyed RNG mode
+# with node churn on, so the counter-based draw sites and the geometric
+# churn timeline are held to the same bit-identity bar.
 check-sharded:
 	$(GO) run -race -tags adfcheck ./cmd/adfbench -shard-digest -duration 120
+	$(GO) run -race -tags adfcheck ./cmd/adfbench -shard-digest -duration 120 -rng keyed -churn 0.02,0.3
 
 # obs-check is the observability gate: the end-to-end smoke test (full
 # run with obs enabled; Chrome trace must parse as JSON, the registry
@@ -62,10 +65,20 @@ obs-check:
 	$(GO) test -race -run 'TestObsSmoke|TestZeroAllocTick' ./internal/experiment/
 	$(GO) test -race ./internal/obs/
 
+# bench-smoke is the perf-regression gate: a short hot-path run at the
+# ~5k-node scale under both RNG modes that fails if the steady-state
+# (post-warmup) allocation rate of the tick pipeline rises above 2
+# allocs/tick — the pinned budget the optimized pipeline holds with
+# double-digit headroom (the recorded number is 0). Throughput is not
+# gated (CI machines vary); the allocation floor is machine-independent.
+bench-smoke:
+	$(GO) run ./cmd/adfbench -hotpath -duration 120 -seed 1 -scales 5k \
+		-alloc-budget 2 -hotpath-out /dev/null
+
 # ci builds with -trimpath so artifacts are reproducible regardless of
 # the checkout location.
 ci: export GOFLAGS += -trimpath
-ci: build vet lint test race obs-check check-sharded
+ci: build vet lint test race obs-check check-sharded bench-smoke
 
 # Benchmark the campaign runner (sequential vs parallel figure
 # regeneration) and write BENCH_runner.json.
@@ -74,11 +87,14 @@ bench-runner:
 
 # Run the hot-path microbenchmarks (cluster assignment, geometry, tick
 # loop) and regenerate BENCH_hotpath.json at the baseline protocol
-# (duration 300, seed 1) so the speedup columns are populated.
+# (duration 300, seed 1) so the speedup columns are populated. Both RNG
+# modes are measured at every scale up to a million nodes; the 200k and
+# 1m points dominate the wall clock (~20 minutes total on one CPU).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem \
 		./internal/cluster/... ./internal/geo/... ./internal/experiment/...
-	$(GO) run ./cmd/adfbench -hotpath -duration 300 -seed 1
+	$(GO) run ./cmd/adfbench -hotpath -duration 300 -seed 1 \
+		-scales 140,1k,5k,20k,50k,200k,1m
 
 # Measure the observability layer's overhead (disabled vs enabled
 # hot-path throughput at each scale) and regenerate BENCH_obs.json; the

@@ -126,7 +126,7 @@ func runBench(w io.Writer, cfg experiment.Config, path string) error {
 		return fmt.Errorf("parallel pass: %w", err)
 	}
 	report := BenchReport{
-		Meta:            runMeta(cfg.MobilityWorkers, cfg.ShardWorkers),
+		Meta:            runMeta(cfg),
 		GOMAXPROCS:      runtime.GOMAXPROCS(0),
 		DurationSeconds: cfg.Duration,
 		Seed:            cfg.Seed,

@@ -7,12 +7,13 @@
 //
 //	adfbench [-ablation all|adf-vs-gdf|alpha|estimators|recluster|smoothing|semantics|outages|churn]
 //	         [-duration 600] [-seed 1] [-factor 1.0] [-workers 0] [-mobility-workers 0]
-//	         [-shard-workers 0]
+//	         [-shard-workers 0] [-rng sequential|keyed] [-churn leave,rejoin]
 //	adfbench -json [-json-out BENCH_runner.json] [-duration 600] [-seed 1]
 //	adfbench -hotpath [-hotpath-out BENCH_hotpath.json] [-duration 300] [-seed 1]
+//	         [-scales 140,1k,5k,20k,50k] [-rng keyed] [-alloc-budget 2]
 //	adfbench -obs-bench [-obs-out BENCH_obs.json] [-duration 300] [-seed 1] [-force]
 //	adfbench -sanitize [-duration 120] [-mobility-workers 4]   (requires -tags adfcheck)
-//	adfbench -shard-digest [-duration 120]                     (requires -tags adfcheck)
+//	adfbench -shard-digest [-duration 120] [-rng keyed]        (requires -tags adfcheck)
 //	adfbench -trace out.json ...
 //	adfbench -cpuprofile cpu.out -memprofile mem.out ...
 //
@@ -22,10 +23,14 @@
 // simulation-count and allocation report is written as JSON.
 //
 // With -hotpath the per-tick pipeline is benchmarked instead: one full ADF
-// run at 140, ~1k and ~5k mobile nodes, reporting ticks/sec, ns/tick and
-// allocs/tick per scale, with speedups against the recorded
-// pre-optimization baselines (use -duration 300 -seed 1, the baseline
-// protocol, to get the comparison).
+// run per -scales entry (default 140 through ~50k mobile nodes; "1m" runs
+// a million), reporting ticks/sec, ns/tick and allocs/tick per scale under
+// each RNG mode — both sequential and keyed unless -rng picks one — with
+// speedups against the recorded pre-optimization baselines (use
+// -duration 300 -seed 1, the baseline protocol, to get the comparison).
+// A positive -alloc-budget fails the run if any scale's steady
+// allocs/tick exceeds it; `make bench-smoke` uses this as CI's perf
+// regression gate.
 //
 // With -sanitize (a binary built with -tags adfcheck) a sequential and a
 // parallel pipeline run the same scenario in lockstep, every runtime
@@ -62,10 +67,26 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	"github.com/mobilegrid/adf/internal/experiment"
 	"github.com/mobilegrid/adf/internal/obs"
 )
+
+// parseChurn converts a -churn "leave,rejoin" spec into a ChurnConfig.
+func parseChurn(s string) (*experiment.ChurnConfig, error) {
+	leaveStr, rejoinStr, ok := strings.Cut(s, ",")
+	if !ok {
+		return nil, fmt.Errorf("bad -churn %q (want leave,rejoin — e.g. 0.02,0.3)", s)
+	}
+	leave, err1 := strconv.ParseFloat(strings.TrimSpace(leaveStr), 64)
+	rejoin, err2 := strconv.ParseFloat(strings.TrimSpace(rejoinStr), 64)
+	if err1 != nil || err2 != nil {
+		return nil, fmt.Errorf("bad -churn %q (want leave,rejoin — e.g. 0.02,0.3)", s)
+	}
+	return &experiment.ChurnConfig{LeaveProb: leave, RejoinProb: rejoin}, nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -123,6 +144,10 @@ func run(w io.Writer, args []string) (err error) {
 		workers     = fs.Int("workers", 0, "worker pool size: 0 = one per CPU, 1 = sequential (never changes results)")
 		mobWorkers  = fs.Int("mobility-workers", 0, "mobility-advance goroutines per simulation; results are identical at any count")
 		shWorkers   = fs.Int("shard-workers", 0, "region-shard workers per simulation: 0 = classic pipeline, >= 1 = sharded (results identical at any count >= 1)")
+		rngMode     = fs.String("rng", "", `RNG stream class: "sequential" (default, the legacy bit-identical streams) or "keyed" (counter-based, order-independent); -hotpath with no -rng measures both`)
+		churnSpec   = fs.String("churn", "", `enable node churn as "leave,rejoin" per-tick probabilities (e.g. 0.02,0.3)`)
+		scales      = fs.String("scales", defaultHotpathScales, "comma-separated node counts -hotpath measures (k = thousand, m = million)")
+		allocBudget = fs.Float64("alloc-budget", 0, "fail -hotpath if any scale's steady allocs/tick exceeds this (0 = no gate)")
 		jsonOut     = fs.Bool("json", false, "benchmark the campaign runner (sequential vs parallel) and write a JSON report instead of running ablations")
 		jsonPath    = fs.String("json-out", "BENCH_runner.json", "where -json writes the report")
 		hotpath     = fs.Bool("hotpath", false, "benchmark the per-tick pipeline at 140/~1k/~5k nodes and write a JSON report instead of running ablations")
@@ -162,6 +187,14 @@ func run(w io.Writer, args []string) (err error) {
 	cfg.Workers = *workers
 	cfg.MobilityWorkers = *mobWorkers
 	cfg.ShardWorkers = *shWorkers
+	cfg.RNGMode = *rngMode
+	if *churnSpec != "" {
+		churn, err := parseChurn(*churnSpec)
+		if err != nil {
+			return err
+		}
+		cfg.Churn = churn
+	}
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
@@ -173,7 +206,7 @@ func run(w io.Writer, args []string) (err error) {
 		return runShardDigest(w, cfg)
 	}
 	if *hotpath {
-		return runHotpath(w, cfg, *hotpathPath)
+		return runHotpath(w, cfg, *hotpathPath, *scales, *allocBudget)
 	}
 	if *obsBench {
 		return runObsBench(w, cfg, *obsPath, *force)

@@ -3,6 +3,8 @@ package main
 import (
 	"runtime"
 	"runtime/debug"
+
+	"github.com/mobilegrid/adf/internal/experiment"
 )
 
 // RunMeta identifies the environment a BENCH_*.json report was produced
@@ -24,10 +26,14 @@ type RunMeta struct {
 	// ShardWorkers is the region-sharded pipeline's worker count the run
 	// was configured with (0 = classic unsharded pipeline).
 	ShardWorkers int `json:"shard_workers,omitempty"`
+	// RNGMode is the random stream class the run was configured with
+	// ("sequential" or "keyed"); empty when the report spans both (the
+	// hot-path report records the mode per run instead).
+	RNGMode string `json:"rng_mode,omitempty"`
 }
 
-// runMeta captures the current environment.
-func runMeta(mobilityWorkers, shardWorkers int) RunMeta {
+// runMeta captures the current environment and cfg's worker/RNG setup.
+func runMeta(cfg experiment.Config) RunMeta {
 	return RunMeta{
 		GoVersion:       runtime.Version(),
 		GOOS:            runtime.GOOS,
@@ -35,8 +41,9 @@ func runMeta(mobilityWorkers, shardWorkers int) RunMeta {
 		NumCPU:          runtime.NumCPU(),
 		GOMAXPROCS:      runtime.GOMAXPROCS(0),
 		BuildTags:       buildTags(),
-		MobilityWorkers: mobilityWorkers,
-		ShardWorkers:    shardWorkers,
+		MobilityWorkers: cfg.MobilityWorkers,
+		ShardWorkers:    cfg.ShardWorkers,
+		RNGMode:         cfg.RNGMode,
 	}
 }
 

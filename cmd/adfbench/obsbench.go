@@ -62,12 +62,16 @@ func runObsBench(w io.Writer, cfg experiment.Config, path string, force bool) er
 	defer obs.SetEnabled(wasEnabled)
 
 	report := ObsReport{
-		Meta:            runMeta(cfg.MobilityWorkers, cfg.ShardWorkers),
+		Meta:            runMeta(cfg),
 		DurationSeconds: cfg.Duration,
 		Seed:            cfg.Seed,
 		PassesPerMode:   obsBenchPasses,
 	}
-	for _, pg := range hotpathPerGroups {
+	perGroups, err := parseScales(defaultHotpathScales)
+	if err != nil {
+		return err
+	}
+	for _, pg := range perGroups {
 		c := cfg
 		c.PerGroup = pg
 		s := ObsScale{PerGroup: pg}

@@ -10,9 +10,9 @@ import (
 
 // statsTol is the tolerance for comparing the incrementally maintained
 // running sums against a from-scratch recompute. The recompute visits
-// members in map order while the increments followed assignment history,
-// so the two sums round differently; anything beyond ~1e-6 relative
-// error is a genuine drift bug, not rounding.
+// members in list order while the increments followed assignment
+// history, so the two sums round differently; anything beyond ~1e-6
+// relative error is a genuine drift bug, not rounding.
 const statsTol = 1e-6
 
 // checkStats recomputes the cluster's representative sums from its
@@ -22,12 +22,11 @@ const statsTol = 1e-6
 // build.
 func (c *Cluster) checkStats() {
 	var speed, cos, sin float64
-	//adf:allow maporder — commutative float sums; iteration order only
-	// perturbs rounding, which the tolerance comparison below absorbs.
-	for _, m := range c.members {
-		speed += m.f.Speed
-		cos += math.Cos(m.f.Heading)
-		sin += math.Sin(m.f.Heading)
+	for id := c.head; id != noMember; id = c.mgr.members.Ptr(int(id)).next {
+		s := c.mgr.members.Ptr(int(id))
+		speed += s.f.Speed
+		cos += math.Cos(s.f.Heading)
+		sin += math.Sin(s.f.Heading)
 	}
 	//adf:invariant cluster-stats — incremental running sums must equal a from-scratch recompute.
 	sanitize.CheckNear("cluster: speed sum", c.speedSum, speed, statsTol)

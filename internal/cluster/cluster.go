@@ -82,19 +82,30 @@ func DefaultConfig() Config {
 	return Config{Alpha: 1.0, HeadingWeight: 0.25}
 }
 
-// member is one node's stored feature plus the trigonometric terms it
-// contributed to the running sums, so removal subtracts exactly what
-// addition added without recomputing cos/sin.
-type member struct {
-	f        Feature
-	cos, sin float64
+// noMember terminates a cluster's intrusive membership list.
+const noMember NodeID = -1
+
+// memberSlot is one node's stored feature plus the trigonometric terms
+// it contributed to the running sums (so removal subtracts exactly what
+// addition added without recomputing cos/sin) and its links in the
+// owning cluster's membership list. Slots live in the manager's dense
+// store, one per node, and are reused across cluster changes — unlike a
+// per-cluster map, membership churn never re-grows storage.
+type memberSlot struct {
+	f          Feature
+	cos, sin   float64
+	prev, next NodeID
 }
 
 // Cluster is one group of similar nodes. Its representative is the running
 // mean of the members' features, cached so reads are O(1).
 type Cluster struct {
-	id      ID
-	members map[NodeID]member
+	id  ID
+	mgr *Manager
+	// head starts the intrusive membership list through the manager's
+	// slot store; size counts members.
+	head NodeID
+	size int
 	// Running sums for the representative.
 	speedSum float64
 	cosSum   float64
@@ -116,7 +127,7 @@ type Cluster struct {
 func (c *Cluster) ID() ID { return c.id }
 
 // Size returns the number of member nodes.
-func (c *Cluster) Size() int { return len(c.members) }
+func (c *Cluster) Size() int { return c.size }
 
 // MeanSpeed returns the mean speed of the members, the quantity the ADF
 // sizes its distance threshold from. It is O(1): the value is cached and
@@ -133,7 +144,7 @@ func (c *Cluster) MeanHeading() float64 { return c.meanHeading }
 func (c *Cluster) Members() []NodeID {
 	if c.membersDirty {
 		c.memberIDs = c.memberIDs[:0]
-		for id := range c.members {
+		for id := c.head; id != noMember; id = c.mgr.members.Ptr(int(id)).next {
 			c.memberIDs = append(c.memberIDs, id)
 		}
 		slices.Sort(c.memberIDs)
@@ -145,10 +156,10 @@ func (c *Cluster) Members() []NodeID {
 // refresh recomputes the cached representative from the running sums. The
 // arithmetic matches a from-scratch mean over the same sums bit for bit.
 func (c *Cluster) refresh() {
-	if len(c.members) == 0 {
+	if c.size == 0 {
 		c.meanSpeed = 0
 	} else {
-		c.meanSpeed = c.speedSum / float64(len(c.members))
+		c.meanSpeed = c.speedSum / float64(c.size)
 	}
 	if c.cosSum == 0 && c.sinSum == 0 {
 		c.meanHeading = 0
@@ -158,38 +169,55 @@ func (c *Cluster) refresh() {
 }
 
 func (c *Cluster) add(id NodeID, f Feature) {
-	m := member{f: f, cos: math.Cos(f.Heading), sin: math.Sin(f.Heading)}
-	c.members[id] = m
+	s := c.mgr.slotFor(id)
+	s.f = f
+	s.cos, s.sin = math.Cos(f.Heading), math.Sin(f.Heading)
+	s.prev = noMember
+	s.next = c.head
+	if c.head != noMember {
+		c.mgr.members.Ptr(int(c.head)).prev = id
+	}
+	c.head = id
+	c.size++
 	c.speedSum += f.Speed
-	c.cosSum += m.cos
-	c.sinSum += m.sin
+	c.cosSum += s.cos
+	c.sinSum += s.sin
 	c.membersDirty = true
 	c.refresh()
 	c.checkStats()
 }
 
-func (c *Cluster) remove(id NodeID) bool {
-	m, ok := c.members[id]
-	if !ok {
-		return false
+// remove unlinks a current member. The caller (the manager, via its
+// byNode index) guarantees id is a member of this cluster.
+func (c *Cluster) remove(id NodeID) {
+	s := c.mgr.members.Ptr(int(id))
+	if s.prev != noMember {
+		c.mgr.members.Ptr(int(s.prev)).next = s.next
+	} else {
+		c.head = s.next
 	}
-	delete(c.members, id)
-	c.speedSum -= m.f.Speed
-	c.cosSum -= m.cos
-	c.sinSum -= m.sin
-	if len(c.members) == 0 {
+	if s.next != noMember {
+		c.mgr.members.Ptr(int(s.next)).prev = s.prev
+	}
+	c.size--
+	c.speedSum -= s.f.Speed
+	c.cosSum -= s.cos
+	c.sinSum -= s.sin
+	if c.size == 0 {
 		c.speedSum, c.cosSum, c.sinSum = 0, 0, 0
 	}
 	c.membersDirty = true
 	c.refresh()
 	c.checkStats()
-	return true
 }
 
 // reset returns a retired cluster to its empty state so the manager can
-// pool and reuse the struct (and its member map) for a later cluster.
+// pool and reuse the struct for a later cluster. Member slots need no
+// cleanup: they are only reachable through a cluster's list head, and
+// are fully rewritten when their node next joins a cluster.
 func (c *Cluster) reset() {
-	clear(c.members)
+	c.head = noMember
+	c.size = 0
 	c.speedSum, c.cosSum, c.sinSum = 0, 0, 0
 	c.meanSpeed, c.meanHeading = 0, 0
 	c.inBucket = false
@@ -206,7 +234,14 @@ type Manager struct {
 	// the per-tick membership and mean-speed reads (ClusterOf, MeanSpeedOf)
 	// are slice indexes, not hashed lookups.
 	byNode dense.Map[*Cluster]
-	nextID ID
+	// members holds every node's feature slot, linked into its cluster's
+	// intrusive list. One slot per node, allocated on the node's first
+	// membership (or up front by Preallocate) and reused forever after —
+	// per-cluster maps would instead re-grow whenever a pooled cluster
+	// received a larger membership than the struct had ever held, which
+	// at large populations never stops.
+	members dense.Slab[memberSlot]
+	nextID  ID
 
 	// Speed-bucketed nearest index: clusters filed by
 	// floor(meanSpeed/bucketWidth). The heading term of the distance is
@@ -261,6 +296,26 @@ func (m *Manager) distance(f Feature, c *Cluster) float64 {
 		d += m.cfg.HeadingWeight * geo.AngleDiff(f.Heading, c.meanHeading)
 	}
 	return d
+}
+
+// Preallocate sizes the dense per-node stores for node IDs in [0, n),
+// so membership changes never grow storage afterwards.
+func (m *Manager) Preallocate(n int) {
+	m.members.Grow(n)
+	m.byNode.Grow(n)
+}
+
+// slotFor returns node id's member slot, creating it on the node's
+// first-ever membership.
+//
+//adf:hotpath
+func (m *Manager) slotFor(id NodeID) *memberSlot {
+	if s := m.members.Ptr(int(id)); s != nil {
+		return s
+	}
+	//adf:allow hotpath — the node's first membership births its slot;
+	// every later cluster change reuses it in place.
+	return m.members.PutPtr(int(id), memberSlot{})
 }
 
 // bucketOf returns the index key for a mean speed.
@@ -391,7 +446,7 @@ func (m *Manager) newCluster() *Cluster {
 	} else {
 		//adf:allow hotpath — pool miss: a genuinely new cluster is born;
 		// retired structs are reused first.
-		c = &Cluster{members: make(map[NodeID]member)}
+		c = &Cluster{mgr: m, head: noMember}
 	}
 	c.id = m.nextID
 	m.nextID++

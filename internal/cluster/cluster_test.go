@@ -201,7 +201,7 @@ func TestMeanHeading(t *testing.T) {
 	if got := c.MeanHeading(); got > 0.01 && got < 2*math.Pi-0.01 {
 		t.Errorf("MeanHeading = %v, want ~0", got)
 	}
-	empty := &Cluster{members: map[NodeID]member{}}
+	empty := &Cluster{head: noMember}
 	if empty.MeanSpeed() != 0 || empty.MeanHeading() != 0 {
 		t.Error("empty cluster stats not zero")
 	}

@@ -268,6 +268,13 @@ func (a *ADF) dthFor(node int, st *nodeState) float64 {
 	return dth
 }
 
+// Preallocate implements filter.Preallocator: it sizes the per-node
+// state window and the clustering's per-node stores for IDs in [0, n).
+func (a *ADF) Preallocate(n int) {
+	a.nodes.Grow(n)
+	a.clusters.Preallocate(n)
+}
+
 // Forget implements filter.Filter.
 func (a *ADF) Forget(node int) {
 	if st, ok := a.nodes.Get(node); ok {

@@ -118,7 +118,20 @@ func NewClassifier(cfg ClassifierConfig) (*Classifier, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Classifier{cfg: cfg}, nil
+	// Pre-size every window to its WindowSize cap so Observe never
+	// allocates: lazily grown windows leave a long warm-up tail at large
+	// populations (a node's headings window only grows the first time it
+	// moves, which can be arbitrarily late).
+	w := cfg.WindowSize
+	return &Classifier{
+		cfg:      cfg,
+		times:    make([]float64, 0, w),
+		points:   make([]geo.Point, 0, w),
+		speeds:   make([]float64, 0, w),
+		headings: make([]float64, 0, w),
+		hcos:     make([]float64, 0, w),
+		hsin:     make([]float64, 0, w),
+	}, nil
 }
 
 // Observe feeds the node's next position sample. Samples with

@@ -59,6 +59,24 @@ func (m *Map[V]) Put(key int, value V) {
 	m.sparse[key] = value
 }
 
+// Grow extends the dense window to cover keys [0, n) up front, so a
+// population of known size pays one allocation instead of append's
+// doubling walk on first touch. Requests beyond the dense bound clamp
+// to it; existing entries are untouched.
+func (m *Map[V]) Grow(n int) {
+	if n > maxDense {
+		n = maxDense
+	}
+	if n <= len(m.vals) {
+		return
+	}
+	vals := make([]V, n)
+	copy(vals, m.vals)
+	present := make([]bool, n)
+	copy(present, m.present)
+	m.vals, m.present = vals, present
+}
+
 // Delete removes key and reports whether it was present.
 func (m *Map[V]) Delete(key int) bool {
 	if key >= 0 && key < len(m.vals) {

@@ -27,6 +27,34 @@ func TestBasicOps(t *testing.T) {
 	}
 }
 
+func TestGrow(t *testing.T) {
+	var m Map[int]
+	m.Put(2, 20)
+	m.Grow(100)
+	if v, ok := m.Get(2); !ok || v != 20 {
+		t.Fatalf("Get(2) after Grow = %d, %v", v, ok)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len after Grow = %d, want 1", m.Len())
+	}
+	if _, ok := m.Get(99); ok {
+		t.Fatal("grown slot reports presence before Put")
+	}
+	m.Put(99, 1)
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	// Shrinking and over-bound requests are clamped no-ops.
+	m.Grow(10)
+	if v, ok := m.Get(99); !ok || v != 1 {
+		t.Fatal("Grow(10) disturbed existing entries")
+	}
+	m.Grow(maxDense + 1)
+	if len(m.vals) != maxDense {
+		t.Fatalf("dense window %d, want clamp at %d", len(m.vals), maxDense)
+	}
+}
+
 func TestSparseFallback(t *testing.T) {
 	var m Map[int]
 	for _, k := range []int{-5, maxDense, maxDense + 7, 1 << 40} {

@@ -1,0 +1,191 @@
+package engine
+
+import (
+	"github.com/mobilegrid/adf/internal/sim"
+)
+
+// ChurnSink receives churn events as a timeline partition processes
+// them: left reports a departure (the node's filter and broker state
+// must be forgotten), otherwise the node rejoined this tick. Pipelines
+// implement it directly so event delivery allocates nothing.
+type ChurnSink interface {
+	ChurnEvent(id int, left bool)
+}
+
+// KeyedChurn is the churn model for the keyed RNG mode: instead of one
+// Bernoulli draw per node per tick (the sequential Churn's O(N) cost,
+// dominated by the absent majority at scale), it samples each node's
+// next state flip from the geometric distribution — the exact law of
+// "count Bernoulli trials until the first success" — and files it in a
+// bucketed event timeline. A tick then costs O(events due), i.e.
+// O(departures + rejoins), and absent nodes consume no randomness at
+// all while away.
+//
+// Draws come from the order-independent keyed PRF (sim.Keyed), keyed by
+// the node and the tick the schedule was made on, so the timeline is
+// identical however its partitions are laid out: one global partition
+// (Pipeline) and one partition per region shard (Sharded) produce the
+// same flips on the same ticks, and shard workers can process their own
+// partitions concurrently.
+type KeyedChurn struct {
+	leave  float64
+	rejoin float64
+	keyed  *sim.Keyed
+
+	// absent[id] is the node's current state; next[id] is the tick of
+	// its pending flip (0 = none scheduled).
+	absent []bool
+	next   []uint64
+	parts  []churnPart
+}
+
+// churnPart is one timeline partition: the due-tick buckets for the
+// nodes it owns plus its share of the absent count. Each partition is
+// touched by exactly one shard worker per tick.
+type churnPart struct {
+	absent  int
+	buckets map[uint64][]int32
+	// free recycles drained bucket slices so steady-state scheduling
+	// does not allocate.
+	free [][]int32
+}
+
+// NewKeyedChurn returns a keyed churn timeline: an active node departs
+// with probability leave per tick, a departed one returns with rejoin.
+// The probabilities carry the exact per-tick Bernoulli semantics of the
+// sequential Churn; only the sample path differs.
+func NewKeyedChurn(leave, rejoin float64, keyed *sim.Keyed) *KeyedChurn {
+	return &KeyedChurn{leave: leave, rejoin: rejoin, keyed: keyed}
+}
+
+// InitParts partitions the timeline: parts[p] lists the node IDs owned
+// by partition p. Every node starts present with its first departure
+// scheduled from tick 0, so a flip can land on the first processed tick
+// (tick 1) with probability leave — matching the sequential model's
+// first draw. Calling InitParts again resets the timeline.
+func (c *KeyedChurn) InitParts(parts [][]int) {
+	maxID := 0
+	for _, ids := range parts {
+		for _, id := range ids {
+			if id > maxID {
+				maxID = id
+			}
+		}
+	}
+	c.absent = make([]bool, maxID+1)
+	c.next = make([]uint64, maxID+1)
+	c.parts = make([]churnPart, len(parts))
+	for p := range c.parts {
+		c.parts[p].buckets = make(map[uint64][]int32)
+	}
+	if c.leave <= 0 {
+		return
+	}
+	for p, ids := range parts {
+		for _, id := range ids {
+			c.schedule(p, id, c.keyed.Geometric(sim.StreamChurnLeave, id, 0, c.leave))
+		}
+	}
+}
+
+// schedule files node id's next flip at tick at in partition part.
+func (c *KeyedChurn) schedule(part, id int, at uint64) {
+	c.next[id] = at
+	pt := &c.parts[part]
+	b, ok := pt.buckets[at]
+	if !ok && len(pt.free) > 0 {
+		b = pt.free[len(pt.free)-1]
+		pt.free = pt.free[:len(pt.free)-1]
+	}
+	pt.buckets[at] = append(b, int32(id))
+}
+
+// Absent reports whether the node is currently departed. Reading it is
+// shard-safe during the shard stage: partitions own disjoint node sets,
+// and a shard only queries nodes it owns.
+//
+//adf:hotpath
+func (c *KeyedChurn) Absent(id int) bool { return c.absent[id] }
+
+// AbsentCount returns the number of currently departed nodes.
+func (c *KeyedChurn) AbsentCount() int {
+	n := 0
+	for i := range c.parts {
+		n += c.parts[i].absent
+	}
+	return n
+}
+
+// ProcessPart drains partition part's bucket for tick: each due node
+// flips state, schedules its next flip from a geometric draw keyed by
+// (node, tick), and is reported to sink. A departing node is absent
+// from this tick on; a rejoining node takes part in this same tick —
+// both matching the sequential Churn's semantics. Draining is
+// idempotent: a second call for the same tick finds no bucket and
+// returns, which lets a prepass that needed the verdicts early run the
+// partitions before the shard stage would.
+//
+//adf:shardstage
+func (c *KeyedChurn) ProcessPart(part int, tick uint64, sink ChurnSink) {
+	pt := &c.parts[part]
+	b, ok := pt.buckets[tick]
+	if !ok {
+		return
+	}
+	delete(pt.buckets, tick)
+	for _, id32 := range b {
+		id := int(id32)
+		c.next[id] = 0
+		if c.absent[id] {
+			c.absent[id] = false
+			pt.absent--
+			if c.leave > 0 {
+				c.schedule(part, id, tick+c.keyed.Geometric(sim.StreamChurnLeave, id, tick, c.leave))
+			}
+			sink.ChurnEvent(id, false)
+			continue
+		}
+		c.absent[id] = true
+		pt.absent++
+		if c.rejoin > 0 {
+			c.schedule(part, id, tick+c.keyed.Geometric(sim.StreamChurnRejoin, id, tick, c.rejoin))
+		}
+		sink.ChurnEvent(id, true)
+	}
+	pt.free = append(pt.free, b[:0])
+}
+
+// Move migrates node id's timeline state from partition from to
+// partition to (the shard handoff path): its share of the absent count
+// and its pending flip, if any, transfer so each partition keeps owning
+// exactly its nodes' events. Bucket order is preserved, keeping the
+// timeline deterministic after any handoff history.
+func (c *KeyedChurn) Move(id, from, to int) {
+	if from == to {
+		return
+	}
+	if c.absent[id] {
+		c.parts[from].absent--
+		c.parts[to].absent++
+	}
+	at := c.next[id]
+	if at == 0 {
+		return
+	}
+	src := &c.parts[from]
+	b := src.buckets[at]
+	for k, v := range b {
+		if int(v) == id {
+			b = append(b[:k], b[k+1:]...)
+			break
+		}
+	}
+	if len(b) == 0 {
+		delete(src.buckets, at)
+		src.free = append(src.free, b)
+	} else {
+		src.buckets[at] = b
+	}
+	dst := &c.parts[to]
+	dst.buckets[at] = append(dst.buckets[at], int32(id))
+}

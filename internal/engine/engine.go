@@ -202,6 +202,10 @@ type Pipeline struct {
 	NoLE, WithLE *broker.Broker
 	// Churn, when non-nil, lets nodes leave and rejoin the grid.
 	Churn *Churn
+	// ChurnK is the keyed-mode churn timeline (at most one of Churn and
+	// ChurnK may be set): flips are pre-scheduled geometric events, so a
+	// tick costs O(events due) instead of one draw per node.
+	ChurnK *KeyedChurn
 	// SamplePeriod is the sampling interval in virtual seconds.
 	SamplePeriod float64
 	// Observers receive the pipeline's events.
@@ -231,6 +235,8 @@ type Pipeline struct {
 	// bump and Tick flushes into the global registry while obs.Enabled
 	// (see obs.go).
 	obsv obsState
+	// tick counts processed sampling rounds; it keys the churn timeline.
+	tick uint64
 }
 
 // Validate reports wiring errors.
@@ -248,6 +254,8 @@ func (p *Pipeline) Validate() error {
 		return fmt.Errorf("engine: non-positive sample period %v", p.SamplePeriod)
 	case p.MobilityWorkers < 0:
 		return fmt.Errorf("engine: negative MobilityWorkers %d", p.MobilityWorkers)
+	case p.Churn != nil && p.ChurnK != nil:
+		return fmt.Errorf("engine: both Churn and ChurnK set; pick one churn model")
 	}
 	return nil
 }
@@ -293,6 +301,10 @@ func (p *Pipeline) Tick(now float64) error {
 	p.stageAdvance(now)
 	t1 := obs.StageEnd(p.obsv.tid, obs.StageAdvance, t0)
 	p.sanitizeTick(now)
+	p.tick++
+	if p.ChurnK != nil {
+		p.ChurnK.ProcessPart(0, p.tick, p)
+	}
 	for i := range p.samples {
 		if err := p.tickNode(i, p.samples[i]); err != nil {
 			return err
@@ -418,6 +430,9 @@ func (p *advancePool) close() { close(p.work) }
 //
 //adf:hotpath
 func (p *Pipeline) stageChurn(s Sample) bool {
+	if p.ChurnK != nil {
+		return !p.ChurnK.Absent(s.Node)
+	}
 	if p.Churn == nil {
 		return true
 	}
@@ -429,6 +444,20 @@ func (p *Pipeline) stageChurn(s Sample) bool {
 		p.WithLE.Forget(s.Node)
 	}
 	return present
+}
+
+// ChurnEvent implements ChurnSink: the keyed churn timeline reports
+// each flip here, mirroring the departure forgets and the tick tallies
+// the sequential stageChurn performs.
+func (p *Pipeline) ChurnEvent(id int, left bool) {
+	if left {
+		p.obsv.local.ChurnLeft++
+		p.Filter.Forget(id)
+		p.NoLE.Forget(id)
+		p.WithLE.Forget(id)
+		return
+	}
+	p.obsv.local.ChurnRejoined++
 }
 
 // buildCollectors resolves each node's home-region gateway once, so the
@@ -443,6 +472,13 @@ func (p *Pipeline) buildCollectors() error {
 		cs[i] = g
 	}
 	p.collectors = cs
+	if p.ChurnK != nil {
+		ids := make([]int, len(p.Nodes))
+		for i, n := range p.Nodes {
+			ids[i] = n.ID()
+		}
+		p.ChurnK.InitParts([][]int{ids})
+	}
 	p.buildObs()
 	return nil
 }

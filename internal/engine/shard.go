@@ -59,6 +59,11 @@ type Sharded struct {
 	// single RNG stream is consumed by the sequential prepass in node
 	// order, exactly as Pipeline consumes it.
 	Churn *Churn
+	// ChurnK is the keyed-mode churn timeline (at most one of Churn and
+	// ChurnK may be set). Its draws are order-independent, so each shard
+	// processes its own timeline partition inside the shard stage — with
+	// a nil Rehome the sequential prepass disappears entirely.
+	ChurnK *KeyedChurn
 	// SamplePeriod is the sampling interval in virtual seconds.
 	SamplePeriod float64
 	// Observers receive the pipeline's events, replayed sequentially by
@@ -93,6 +98,8 @@ type Sharded struct {
 	obsOn  bool
 	tid    uint32
 	master obs.TickLocal
+	// tick counts processed sampling rounds; it keys the churn timeline.
+	tick uint64
 }
 
 // shardCtx is one region shard's private state: everything its stage
@@ -120,11 +127,31 @@ type shardCtx struct {
 	// noLE/withLE collect the shard's broker attributions, folded back
 	// via Broker.AddTally in shard order.
 	noLE, withLE broker.Tally
-	shardH       *obs.Histogram
-	nodesG       *obs.Gauge
+	// noLEB/withLEB are the shared brokers, held here so the shard's
+	// churn partition can Forget departing members itself (record
+	// deletes are shard-safe after Preallocate; the forget counter is
+	// atomic).
+	noLEB, withLEB *broker.Broker
+	shardH         *obs.Histogram
+	nodesG         *obs.Gauge
 	// startNS/endNS are the shard span endpoints, read inside the worker
 	// and recorded sequentially at merge.
 	startNS, endNS int64
+}
+
+// ChurnEvent implements ChurnSink for the shard's own churn partition:
+// tallies go into the shard-local batch (merged in shard order), and a
+// departure forgets the node from the shard's filter and both brokers —
+// all shard-safe, since the partition only ever reports owned nodes.
+func (sh *shardCtx) ChurnEvent(id int, left bool) {
+	if left {
+		sh.local.ChurnLeft++
+		sh.filt.Forget(id)
+		sh.noLEB.Forget(id)
+		sh.withLEB.Forget(id)
+		return
+	}
+	sh.local.ChurnRejoined++
 }
 
 // outcome is one node's buffered tick result: which observer events to
@@ -165,6 +192,8 @@ func (p *Sharded) Validate() error {
 		return fmt.Errorf("engine: non-positive sample period %v", p.SamplePeriod)
 	case p.Workers < 0:
 		return fmt.Errorf("engine: negative Workers %d", p.Workers)
+	case p.Churn != nil && p.ChurnK != nil:
+		return fmt.Errorf("engine: both Churn and ChurnK set; pick one churn model")
 	}
 	return nil
 }
@@ -229,6 +258,18 @@ func (p *Sharded) build() error {
 	if p.Churn != nil {
 		p.Churn.obsv = &p.master
 	}
+	if p.ChurnK != nil {
+		partIDs := make([][]int, len(p.shards))
+		for i, sh := range p.shards {
+			ids := make([]int, len(sh.members))
+			for k, m := range sh.members {
+				ids[k] = p.Nodes[m].ID()
+			}
+			partIDs[i] = ids
+			sh.noLEB, sh.withLEB = p.NoLE, p.WithLE
+		}
+		p.ChurnK.InitParts(partIDs)
+	}
 	p.built = true
 	return nil
 }
@@ -275,6 +316,7 @@ func (p *Sharded) Tick(now float64) error {
 	p.stageAdvance(now)
 	t1 := obs.StageEnd(p.tid, obs.StageAdvance, t0)
 	p.sanitizeTick(now)
+	p.tick++
 	p.stagePrepass()
 	p.stageShards()
 	t2 := obs.StageEnd(p.tid, obs.StageNodes, t1)
@@ -313,6 +355,30 @@ func (p *Sharded) stageAdvance(now float64) {
 // applies them deterministically at every worker count.
 func (p *Sharded) stagePrepass() {
 	p.handoffs = p.handoffs[:0]
+	if p.ChurnK != nil {
+		// Keyed mode: churn needs no sequential prefix. Without a
+		// migration hook there is nothing to do here at all — each shard
+		// processes its own churn partition inside the shard stage. With
+		// one, the timeline partitions are drained now (runShard's drain
+		// is then an idempotent no-op) so the handoff scan sees this
+		// tick's verdicts.
+		if p.Rehome == nil {
+			return
+		}
+		for _, sh := range p.shards {
+			p.ChurnK.ProcessPart(sh.idx, p.tick, sh)
+		}
+		for i := range p.samples {
+			s := &p.samples[i]
+			if p.ChurnK.Absent(s.Node) {
+				continue
+			}
+			if to, ok := p.shardOf[p.Rehome(*s)]; ok && to != p.owner[i] {
+				p.handoffs = append(p.handoffs, handoff{node: i, from: p.owner[i], to: to})
+			}
+		}
+		return
+	}
 	for i := range p.samples {
 		s := &p.samples[i]
 		present := true
@@ -363,8 +429,15 @@ func (p *Sharded) stageShards() {
 func (p *Sharded) runShard(sh *shardCtx) {
 	sh.startNS = obs.StageStart()
 	sh.outcomes = sh.outcomes[:0]
+	if p.ChurnK != nil {
+		p.ChurnK.ProcessPart(sh.idx, p.tick, sh) //adf:allow hotpath — event timeline; buckets recycle through a free list
+	}
 	for _, i := range sh.members {
-		if !p.present[i] {
+		if p.ChurnK != nil {
+			if p.ChurnK.Absent(p.samples[i].Node) {
+				continue
+			}
+		} else if !p.present[i] {
 			continue
 		}
 		s := &p.samples[i]
@@ -470,6 +543,9 @@ func (p *Sharded) applyHandoffs() {
 		if mv, ok := src.filt.(filter.NodeStateMover); !ok || !mv.MoveNodeTo(dst.filt, nodeID) {
 			src.filt.Forget(nodeID)
 		}
+		if p.ChurnK != nil {
+			p.ChurnK.Move(nodeID, h.from, h.to)
+		}
 		src.members = removeSorted(src.members, h.node)
 		dst.members = insertSorted(dst.members, h.node)
 		p.owner[h.node] = h.to
@@ -523,6 +599,8 @@ func (p *Sharded) StateDigest() uint64 {
 	}
 	if p.Churn != nil {
 		d.WriteInt(p.Churn.AbsentCount())
+	} else if p.ChurnK != nil {
+		d.WriteInt(p.ChurnK.AbsentCount())
 	}
 	return d.Sum()
 }

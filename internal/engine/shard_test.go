@@ -54,11 +54,55 @@ func adfFactory() (filter.Filter, error) {
 	return core.New(cfg)
 }
 
+// newTestShardedKeyed mirrors newTestSharded in the keyed RNG mode:
+// keyed gateway drops and the keyed churn timeline, light sequential
+// streams for mobility.
+func newTestShardedKeyed(t *testing.T, seed int64, dropProb float64, churnProbs [2]float64,
+	workers int, newFilter func() (filter.Filter, error)) *Sharded {
+	t.Helper()
+	world := campus.New()
+	streams := sim.NewLightStreams(seed)
+	keyed := sim.NewKeyed(seed)
+	nodes, err := node.Population(campus.PopulationN(world, 1), world, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := gateway.NewNetworkKeyed(world, dropProb, keyed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var churnK *KeyedChurn
+	if churnProbs[0] > 0 || churnProbs[1] > 0 {
+		churnK = NewKeyedChurn(churnProbs[0], churnProbs[1], keyed)
+	}
+	return &Sharded{
+		Nodes:        nodes,
+		Net:          net,
+		NewFilter:    newFilter,
+		NoLE:         broker.New(nil),
+		WithLE:       broker.New(nil),
+		ChurnK:       churnK,
+		SamplePeriod: 1,
+		Workers:      workers,
+	}
+}
+
 // worldDigest folds the state both pipeline shapes share — node
 // positions, broker DBs and counters, churn population — so classic and
 // sharded runs can be compared even though their full StateDigest
 // formats differ (the sharded one also folds shard membership).
 func worldDigest(nodes []*node.Node, noLE, withLE *broker.Broker, churn *Churn) uint64 {
+	absent := -1
+	if churn != nil {
+		absent = churn.AbsentCount()
+	}
+	return worldDigestAbsent(nodes, noLE, withLE, absent)
+}
+
+// worldDigestAbsent is worldDigest with the churn population passed as
+// a plain count (absent < 0 skips it), so keyed-churn runs fold the
+// same digest shape.
+func worldDigestAbsent(nodes []*node.Node, noLE, withLE *broker.Broker, absent int) uint64 {
 	d := sanitize.NewDigest()
 	for _, n := range nodes {
 		d.WriteInt(n.ID())
@@ -68,8 +112,8 @@ func worldDigest(nodes []*node.Node, noLE, withLE *broker.Broker, churn *Churn) 
 	}
 	noLE.DigestState(&d)
 	withLE.DigestState(&d)
-	if churn != nil {
-		d.WriteInt(churn.AbsentCount())
+	if absent >= 0 {
+		d.WriteInt(absent)
 	}
 	return d.Sum()
 }
@@ -165,6 +209,107 @@ func TestShardedWorkerDeterminism(t *testing.T) {
 					w, i+1, digests[i], workerCounts[0], ref[i])
 			}
 		}
+	}
+}
+
+// TestShardedKeyedMatchesClassicState: in the keyed RNG mode the
+// sharded pipeline must still match the classic one bit for bit, even
+// though the churn timeline is partitioned per shard there and globally
+// in the classic pipeline — keyed draws depend only on the node, never
+// on the partition or processing order.
+func TestShardedKeyedMatchesClassicState(t *testing.T) {
+	const (
+		ticks = 60
+		seed  = 11
+		drop  = 0.3
+	)
+	churnProbs := [2]float64{0.02, 0.3}
+
+	world := campus.New()
+	streams := sim.NewLightStreams(seed)
+	keyed := sim.NewKeyed(seed)
+	nodes, err := node.Population(campus.PopulationN(world, 1), world, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := gateway.NewNetworkKeyed(world, drop, keyed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := generalDFFactory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	classic := &Pipeline{
+		Nodes:        nodes,
+		Net:          net,
+		Filter:       f,
+		NoLE:         broker.New(nil),
+		WithLE:       broker.New(nil),
+		ChurnK:       NewKeyedChurn(churnProbs[0], churnProbs[1], keyed),
+		SamplePeriod: 1,
+	}
+	sharded := newTestShardedKeyed(t, seed, drop, churnProbs, 2, generalDFFactory)
+	defer sharded.Close()
+
+	for tick := 1; tick <= ticks; tick++ {
+		now := float64(tick)
+		if err := classic.Tick(now); err != nil {
+			t.Fatal(err)
+		}
+		if err := sharded.Tick(now); err != nil {
+			t.Fatal(err)
+		}
+		cd := worldDigestAbsent(classic.Nodes, classic.NoLE, classic.WithLE, classic.ChurnK.AbsentCount())
+		sd := worldDigestAbsent(sharded.Nodes, sharded.NoLE, sharded.WithLE, sharded.ChurnK.AbsentCount())
+		if cd != sd {
+			t.Fatalf("tick %d: classic keyed digest %x != sharded keyed digest %x", tick, cd, sd)
+		}
+	}
+	if classic.ChurnK.AbsentCount() == 0 {
+		t.Error("churn never removed a node; the keyed timeline was not exercised")
+	}
+	if got, want := sharded.NoLE.ReceivedLUs(), classic.NoLE.ReceivedLUs(); got != want {
+		t.Errorf("ReceivedLUs = %d, want %d", got, want)
+	}
+}
+
+// TestShardedKeyedWorkerDeterminism: keyed-mode digests must agree at
+// every worker count, and stay pinned across releases — the keyed PRF
+// is a frozen function of (seed, stream, id, tick), so this digest only
+// moves when the simulation semantics themselves change. Re-pin
+// deliberately if they do.
+func TestShardedKeyedWorkerDeterminism(t *testing.T) {
+	const (
+		ticks = 60
+		// Final-tick StateDigest of the seed-23 keyed run below.
+		pinnedFinal = uint64(0x1c10c40c62c21fe8)
+	)
+	workerCounts := []int{1, 2, 4, 8}
+	var ref []uint64
+	for _, w := range workerCounts {
+		p := newTestShardedKeyed(t, 23, 0.2, [2]float64{0.01, 0.2}, w, adfFactory)
+		digests := make([]uint64, 0, ticks)
+		for tick := 1; tick <= ticks; tick++ {
+			if err := p.Tick(float64(tick)); err != nil {
+				t.Fatal(err)
+			}
+			digests = append(digests, p.StateDigest())
+		}
+		p.Close()
+		if ref == nil {
+			ref = digests
+			continue
+		}
+		for i := range ref {
+			if digests[i] != ref[i] {
+				t.Fatalf("workers=%d: tick %d keyed digest %x != workers=%d digest %x",
+					w, i+1, digests[i], workerCounts[0], ref[i])
+			}
+		}
+	}
+	if got := ref[len(ref)-1]; got != pinnedFinal {
+		t.Errorf("final keyed digest %#016x, pinned %#016x (re-pin only on a deliberate semantics change)", got, pinnedFinal)
 	}
 }
 

@@ -83,7 +83,22 @@ type Config struct {
 	// instantiated per shard, so its clustering is region-scoped here
 	// (DESIGN.md "Sharded pipeline").
 	ShardWorkers int
+	// RNGMode selects the random stream class (DESIGN.md "RNG stream
+	// classes"). Empty or RNGSequential keeps the classic per-entity
+	// sequential streams — bit-identical to every run recorded so far.
+	// RNGKeyed switches the gateway, outage and churn draws to the
+	// counter-based keyed PRF (sim.Keyed) and the remaining per-entity
+	// streams to the 8-byte light source: statistically equivalent but
+	// different sample paths, order-independent draws, O(events) churn,
+	// and memory that scales to million-node populations.
+	RNGMode string
 }
+
+// RNG mode names accepted by Config.RNGMode.
+const (
+	RNGSequential = "sequential"
+	RNGKeyed      = "keyed"
+)
 
 // ChurnConfig parameterises node departure and return.
 type ChurnConfig struct {
@@ -215,6 +230,11 @@ func (c Config) Validate() error {
 	}
 	if c.ShardWorkers < 0 {
 		return fmt.Errorf("experiment: negative ShardWorkers %d", c.ShardWorkers)
+	}
+	switch c.RNGMode {
+	case "", RNGSequential, RNGKeyed:
+	default:
+		return fmt.Errorf("experiment: unknown RNGMode %q (want %q or %q)", c.RNGMode, RNGSequential, RNGKeyed)
 	}
 	adf := c.ADF
 	adf.DTHFactor = 1 // factor is overridden per run; validate the rest
@@ -394,7 +414,11 @@ type simWorld struct {
 	noLE   *broker.Broker
 	withLE *broker.Broker
 	churn  *engine.Churn
+	churnK *engine.KeyedChurn
 	run    *Run
+	// idSpan is one past the highest node ID — the pre-sizing hint for
+	// per-node state (broker windows, filter anchors).
+	idSpan int
 }
 
 // buildRun wires one simulation: the filter under test, the campus
@@ -414,6 +438,9 @@ func (c Config) buildRun(mk filterFactory) (*engine.Pipeline, *Run, filter.Filte
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	if pa, ok := f.(filter.Preallocator); ok {
+		pa.Preallocate(w.idSpan)
+	}
 	pipeline := &engine.Pipeline{
 		Nodes:           w.nodes,
 		Net:             w.net,
@@ -421,6 +448,7 @@ func (c Config) buildRun(mk filterFactory) (*engine.Pipeline, *Run, filter.Filte
 		NoLE:            w.noLE,
 		WithLE:          w.withLE,
 		Churn:           w.churn,
+		ChurnK:          w.churnK,
 		SamplePeriod:    c.SamplePeriod,
 		MobilityWorkers: c.MobilityWorkers,
 		Observers:       c.observers(w.run),
@@ -449,11 +477,18 @@ func (c Config) buildSharded(mk filterFactory) (*engine.Sharded, *Run, error) {
 		Net:   w.net,
 		NewFilter: func() (filter.Filter, error) {
 			f, _, _, err := mk()
-			return f, err
+			if err != nil {
+				return nil, err
+			}
+			if pa, ok := f.(filter.Preallocator); ok {
+				pa.Preallocate(w.idSpan)
+			}
+			return f, nil
 		},
 		NoLE:         w.noLE,
 		WithLE:       w.withLE,
 		Churn:        w.churn,
+		ChurnK:       w.churnK,
 		SamplePeriod: c.SamplePeriod,
 		Workers:      c.ShardWorkers,
 		Observers:    c.observers(w.run),
@@ -479,15 +514,28 @@ func (c Config) buildWorld(name string, factor float64) (*simWorld, error) {
 		perGroup = campus.PerGroup
 	}
 	specs := campus.PopulationN(world, perGroup)
+	// The keyed mode swaps both stream classes: order-independent keyed
+	// draws for gateway/outage/churn, and the 8-byte light source for
+	// the per-entity sequential streams mobility keeps.
+	var keyed *sim.Keyed
 	streams := sim.NewStreams(c.Seed)
+	if c.RNGMode == RNGKeyed {
+		keyed = sim.NewKeyed(c.Seed)
+		streams = sim.NewLightStreams(c.Seed)
+	}
 	nodes, err := node.Population(specs, world, streams)
 	if err != nil {
 		return nil, err
 	}
 	var net *gateway.Network
-	if c.Burst != nil {
+	switch {
+	case c.Burst != nil && keyed != nil:
+		net, err = gateway.NewBurstNetworkKeyed(world, *c.Burst, keyed)
+	case c.Burst != nil:
 		net, err = gateway.NewBurstNetwork(world, *c.Burst, streams)
-	} else {
+	case keyed != nil:
+		net, err = gateway.NewNetworkKeyed(world, c.DropProb, keyed)
+	default:
 		net, err = gateway.NewNetwork(world, c.DropProb, streams)
 	}
 	if err != nil {
@@ -528,18 +576,42 @@ func (c Config) buildWorld(name string, factor float64) (*simWorld, error) {
 
 	// The horizon and population are known up front: pre-size every series
 	// and summary so the tick loop records without growth allocations.
+	// Beyond the sample budget the quantile summaries switch to
+	// systematic stride sampling — at a million nodes over 300 ticks an
+	// exact error series would hold 300M float64s per summary.
 	seconds := int(c.Duration) + 1
 	ticks := int(c.Duration / c.SamplePeriod)
 	run.LUPerSecond.Reserve(seconds)
 	run.OfferedPerSecond.Reserve(seconds)
 	run.RMSENoLE.Reserve(seconds)
 	run.RMSEWithLE.Reserve(seconds)
-	run.ErrNoLE.Reserve(ticks * len(nodes))
-	run.ErrWithLE.Reserve(ticks * len(nodes))
+	budget := ticks * len(nodes)
+	if budget > maxSummarySamples {
+		stride := (budget + maxSummarySamples - 1) / maxSummarySamples
+		run.ErrNoLE.SetStride(stride)
+		run.ErrWithLE.SetStride(stride)
+		budget = budget/stride + 1
+	}
+	run.ErrNoLE.Reserve(budget)
+	run.ErrWithLE.Reserve(budget)
+
+	idSpan := 0
+	for _, n := range nodes {
+		if n.ID() >= idSpan {
+			idSpan = n.ID() + 1
+		}
+	}
+	noLE.Preallocate(idSpan)
+	withLE.Preallocate(idSpan)
 
 	var churn *engine.Churn
+	var churnK *engine.KeyedChurn
 	if c.Churn != nil {
-		churn = engine.NewChurn(c.Churn.LeaveProb, c.Churn.RejoinProb, streams.Stream("churn"))
+		if keyed != nil {
+			churnK = engine.NewKeyedChurn(c.Churn.LeaveProb, c.Churn.RejoinProb, keyed)
+		} else {
+			churn = engine.NewChurn(c.Churn.LeaveProb, c.Churn.RejoinProb, streams.Stream("churn"))
+		}
 	}
 	return &simWorld{
 		nodes:  nodes,
@@ -547,9 +619,16 @@ func (c Config) buildWorld(name string, factor float64) (*simWorld, error) {
 		noLE:   noLE,
 		withLE: withLE,
 		churn:  churn,
+		churnK: churnK,
 		run:    run,
+		idSpan: idSpan,
 	}, nil
 }
+
+// maxSummarySamples caps each error summary's exact sample count; a
+// larger budget records a systematic subsample instead (8.4M samples ≈
+// 64 MiB per summary).
+const maxSummarySamples = 1 << 23
 
 // Results bundles the paired runs every figure draws from: the ideal
 // baseline plus one ADF run per DTH factor. Completed Results are shared

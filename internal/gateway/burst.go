@@ -2,6 +2,7 @@ package gateway
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/mobilegrid/adf/internal/campus"
 	"github.com/mobilegrid/adf/internal/filter"
@@ -59,7 +60,11 @@ func (c BurstConfig) MeanLoss() float64 {
 type BurstGateway struct {
 	region campus.RegionID
 	cfg    BurstConfig
-	rng    *sim.RNG
+	// Exactly one of rng (sequential mode) and keyed (keyed mode) is set.
+	rng   *sim.RNG
+	keyed *sim.Keyed
+	// key is the gateway's id slot in the keyed PRF (outage-chain draws).
+	key int
 
 	down     bool
 	lastTime float64
@@ -81,6 +86,20 @@ func NewBurst(region campus.RegionID, cfg BurstConfig, rng *sim.RNG) (*BurstGate
 	return &BurstGateway{region: region, cfg: cfg, rng: rng}, nil
 }
 
+// NewBurstKeyed returns a Gilbert–Elliott gateway on the keyed PRF: the
+// outage chain draws one uniform per sampling period keyed by (gateway,
+// period) and the per-sample drop is keyed by (node, sample time), so
+// neither draw depends on arrival order.
+func NewBurstKeyed(region campus.RegionID, cfg BurstConfig, keyed *sim.Keyed) (*BurstGateway, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if keyed == nil {
+		return nil, fmt.Errorf("gateway: nil keyed PRF")
+	}
+	return &BurstGateway{region: region, cfg: cfg, keyed: keyed, key: regionKey(region)}, nil
+}
+
 // Region returns the covered region.
 func (g *BurstGateway) Region() campus.RegionID { return g.region }
 
@@ -97,6 +116,8 @@ func (g *BurstGateway) Received() uint64 { return g.received }
 func (g *BurstGateway) Dropped() uint64 { return g.dropped }
 
 // advance steps the outage chain once per elapsed sampling period.
+//
+//adf:shardstage
 func (g *BurstGateway) advance(now float64) {
 	if !g.started {
 		g.started = true
@@ -104,11 +125,19 @@ func (g *BurstGateway) advance(now float64) {
 		return
 	}
 	for ; g.lastTime < now; g.lastTime++ {
+		// One uniform per period steps the chain; only the transition
+		// matching the current state consumes it.
+		var u float64
+		if g.keyed != nil {
+			u = g.keyed.Float64(sim.StreamOutage, g.key, math.Float64bits(g.lastTime))
+		} else {
+			u = g.rng.Float64() //adf:allow determinism — per-region sequential stream: the chain (and its stream) is owned by exactly one shard, stepped in that shard's own deterministic sample order
+		}
 		if g.down {
-			if g.rng.Bool(g.cfg.PExitOutage) {
+			if u < g.cfg.PExitOutage {
 				g.down = false
 			}
-		} else if g.rng.Bool(g.cfg.PEnterOutage) {
+		} else if u < g.cfg.PEnterOutage {
 			g.down = true
 			g.outages++
 		}
@@ -116,6 +145,8 @@ func (g *BurstGateway) advance(now float64) {
 }
 
 // Collect offers one sample; false means the sample was lost.
+//
+//adf:shardstage
 func (g *BurstGateway) Collect(lu filter.LU) (filter.LU, bool) {
 	g.advance(lu.Time)
 	g.received++
@@ -123,9 +154,17 @@ func (g *BurstGateway) Collect(lu filter.LU) (filter.LU, bool) {
 	if g.down {
 		drop = g.cfg.DropDown
 	}
-	if drop > 0 && g.rng.Bool(drop) {
-		g.dropped++
-		return filter.LU{}, false
+	if drop > 0 {
+		var lost bool
+		if g.keyed != nil {
+			lost = g.keyed.Bool(sim.StreamGatewayDrop, lu.Node, math.Float64bits(lu.Time), drop)
+		} else {
+			lost = g.rng.Bool(drop) //adf:allow determinism — per-region sequential stream: this gateway (and its stream) is owned by exactly one shard, so consumption order is the shard's own deterministic node order
+		}
+		if lost {
+			g.dropped++
+			return filter.LU{}, false
+		}
 	}
 	return lu, true
 }

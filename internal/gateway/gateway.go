@@ -7,6 +7,8 @@ package gateway
 
 import (
 	"fmt"
+	"hash/fnv"
+	"math"
 	"sort"
 
 	"github.com/mobilegrid/adf/internal/campus"
@@ -18,7 +20,9 @@ import (
 type Gateway struct {
 	region   campus.RegionID
 	dropProb float64
-	rng      *sim.RNG
+	// Exactly one of rng (sequential mode) and keyed (keyed mode) is set.
+	rng   *sim.RNG
+	keyed *sim.Keyed
 
 	received uint64
 	dropped  uint64
@@ -36,6 +40,23 @@ func New(region campus.RegionID, dropProb float64, rng *sim.RNG) (*Gateway, erro
 	return &Gateway{region: region, dropProb: dropProb, rng: rng}, nil
 }
 
+// NewKeyed returns a gateway whose drop decisions come from the
+// order-independent keyed PRF: each sample's draw is keyed by the node
+// and the sample time, so the verdict does not depend on how many other
+// samples the gateway saw first. That removes the stream-alignment
+// bookkeeping the sequential mode needs (a private stream per gateway,
+// consumed in a fixed member order) and makes the draw safe anywhere in
+// the shard stage.
+func NewKeyed(region campus.RegionID, dropProb float64, keyed *sim.Keyed) (*Gateway, error) {
+	if dropProb < 0 || dropProb >= 1 {
+		return nil, fmt.Errorf("gateway: dropProb %v outside [0, 1)", dropProb)
+	}
+	if keyed == nil {
+		return nil, fmt.Errorf("gateway: nil keyed PRF")
+	}
+	return &Gateway{region: region, dropProb: dropProb, keyed: keyed}, nil
+}
+
 // Region returns the region this gateway covers.
 func (g *Gateway) Region() campus.RegionID { return g.region }
 
@@ -43,11 +64,20 @@ func (g *Gateway) Region() campus.RegionID { return g.region }
 // the node was disconnected this period and the LU was lost.
 //
 //adf:hotpath
+//adf:shardstage
 func (g *Gateway) Collect(lu filter.LU) (filter.LU, bool) {
 	g.received++
-	if g.dropProb > 0 && g.rng.Bool(g.dropProb) {
-		g.dropped++
-		return filter.LU{}, false
+	if g.dropProb > 0 {
+		var drop bool
+		if g.keyed != nil {
+			drop = g.keyed.Bool(sim.StreamGatewayDrop, lu.Node, math.Float64bits(lu.Time), g.dropProb)
+		} else {
+			drop = g.rng.Bool(g.dropProb) //adf:allow determinism — per-region sequential stream: this gateway (and its stream) is owned by exactly one shard, so consumption order is the shard's own deterministic node order
+		}
+		if drop {
+			g.dropped++
+			return filter.LU{}, false
+		}
 	}
 	return lu, true
 }
@@ -96,6 +126,22 @@ func NewBurstNetwork(c *campus.Campus, cfg BurstConfig, streams *sim.Streams) (*
 	}, streams)
 }
 
+// NewNetworkKeyed builds one Bernoulli-loss gateway per campus region,
+// all drawing from the shared keyed PRF (see NewKeyed).
+func NewNetworkKeyed(c *campus.Campus, dropProb float64, keyed *sim.Keyed) (*Network, error) {
+	return buildNetworkKeyed(c, func(id campus.RegionID) (Collector, error) {
+		return NewKeyed(id, dropProb, keyed)
+	})
+}
+
+// NewBurstNetworkKeyed builds one Gilbert–Elliott gateway per campus
+// region on the keyed PRF (see NewBurstKeyed).
+func NewBurstNetworkKeyed(c *campus.Campus, cfg BurstConfig, keyed *sim.Keyed) (*Network, error) {
+	return buildNetworkKeyed(c, func(id campus.RegionID) (Collector, error) {
+		return NewBurstKeyed(id, cfg, keyed)
+	})
+}
+
 func buildNetwork(c *campus.Campus, build func(campus.RegionID, *sim.RNG) (Collector, error), streams *sim.Streams) (*Network, error) {
 	n := &Network{gateways: make(map[campus.RegionID]Collector)}
 	for _, r := range c.Regions() {
@@ -106,6 +152,28 @@ func buildNetwork(c *campus.Campus, build func(campus.RegionID, *sim.RNG) (Colle
 		n.gateways[r.ID] = g
 	}
 	return n, nil
+}
+
+func buildNetworkKeyed(c *campus.Campus, build func(campus.RegionID) (Collector, error)) (*Network, error) {
+	n := &Network{gateways: make(map[campus.RegionID]Collector)}
+	for _, r := range c.Regions() {
+		g, err := build(r.ID)
+		if err != nil {
+			return nil, err
+		}
+		n.gateways[r.ID] = g
+	}
+	return n, nil
+}
+
+// regionKey hashes a region ID into the keyed PRF's id slot, giving each
+// gateway's own draws (the outage chain) a distinct key without a
+// per-gateway stream object.
+func regionKey(id campus.RegionID) int {
+	h := fnv.New64a()
+	// hash.Hash Write never errors.
+	_, _ = h.Write([]byte(id))
+	return int(h.Sum64() >> 1)
 }
 
 // Gateway returns the gateway covering a region.

@@ -25,9 +25,19 @@ import (
 // depend on worker scheduling. Genuinely synchronized or
 // scheduling-independent writes carry //adf:allow determinism with a
 // reason.
+//
+// Shard stages are also forbidden from drawing on a sequential *sim.RNG
+// stream: a sequential stream hands out values in consumption order, so
+// the value a draw sees depends on which shard's draw ran first — a
+// nondeterminism the race detector cannot see when the stream object
+// itself is per-shard but the call site is reachable from several
+// shards. Only sim.Keyed draws, which are pure functions of
+// (stream, node, tick), are shard-safe; sequential draws that provably
+// run outside the concurrent phase carry //adf:allow determinism with a
+// reason.
 var Determinism = &Analyzer{
 	Name: "determinism",
-	Doc:  "forbid wall-clock reads, the global math/rand source, bare goroutines in simulation packages, and package-level writes in //adf:shardstage functions",
+	Doc:  "forbid wall-clock reads, the global math/rand source, bare goroutines in simulation packages, and package-level writes or sequential *sim.RNG draws in //adf:shardstage functions",
 	Run:  runDeterminism,
 }
 
@@ -110,8 +120,9 @@ func isShardStage(fn *ast.FuncDecl) bool {
 
 // checkShardStage flags every direct write — assignment, compound
 // assignment or ++/-- — whose target is rooted in a package-level
-// variable. Writes through parameters and receivers (the shard context)
-// are the designed data path and stay silent; so do reads.
+// variable, and every method call on a sequential *sim.RNG stream.
+// Writes through parameters and receivers (the shard context) are the
+// designed data path and stay silent; so do reads and sim.Keyed draws.
 func (p *Pass) checkShardStage(fn *ast.FuncDecl) {
 	name := fn.Name.Name
 	report := func(n ast.Node, v *types.Var) {
@@ -129,9 +140,36 @@ func (p *Pass) checkShardStage(fn *ast.FuncDecl) {
 			if v := p.pkgLevelVarRoot(n.X); v != nil {
 				report(n.X, v)
 			}
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			m, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || m.Signature().Recv() == nil {
+				return true
+			}
+			if isSequentialRNG(m.Signature().Recv().Type()) {
+				p.Reportf(n.Pos(), "sim.RNG.%s draw in //adf:shardstage function %s consumes a sequential stream, so the value depends on shard scheduling: use a sim.Keyed draw keyed by (stream, node, tick) (or //adf:allow determinism if this call provably runs outside the concurrent phase)", sel.Sel.Name, name)
+			}
 		}
 		return true
 	})
+}
+
+// isSequentialRNG reports whether t is sim.RNG (or a pointer to it) —
+// the sequential stream type whose draws are consumption-ordered.
+func isSequentialRNG(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "RNG" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/sim")
 }
 
 // pkgLevelVarRoot unwraps index, dereference, field-selection and

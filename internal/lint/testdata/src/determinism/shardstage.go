@@ -4,6 +4,8 @@
 // cross-shard write.
 package determinism
 
+import "github.com/mobilegrid/adf/internal/sim"
+
 // Aggregates that must only be touched by the merge step.
 var totalSent int
 var perRegion = map[string]int{}
@@ -23,9 +25,9 @@ type shardLocal struct {
 //
 //adf:shardstage
 func RunShard(sh *shardLocal, region string, n int) {
-	sh.sent += n      // shard-indexed: silent
-	sh.byNode[0] = n  // shard-indexed: silent
-	totalSent += n    // flagged: compound assignment to a global
+	sh.sent += n     // shard-indexed: silent
+	sh.byNode[0] = n // shard-indexed: silent
+	totalSent += n   // flagged: compound assignment to a global
 	perRegion[region] = n
 	tallies.sent++
 	latest = sh
@@ -44,4 +46,35 @@ func Merge(sh *shardLocal) {
 //adf:shardstage
 func SanctionedWrite(sh *shardLocal, n int) {
 	totalSent += n //adf:allow determinism — fixture: atomic counter, order independent
+}
+
+// DrawInShard is a shard stage that draws randomness: keyed draws are
+// pure functions of (stream, node, tick) and stay silent, while every
+// method call on a sequential *sim.RNG stream is flagged — the value a
+// sequential draw sees depends on which shard drew first.
+//
+//adf:shardstage
+func DrawInShard(sh *shardLocal, rng *sim.RNG, keyed *sim.Keyed, node int, tick uint64) {
+	if keyed.Bool(sim.StreamGatewayDrop, node, tick, 0.5) { // keyed: silent
+		sh.dropped++
+	}
+	sh.sent += int(keyed.Uint64(sim.StreamOutage, node, tick) % 3) // keyed: silent
+	if rng.Bool(0.5) {                                             // flagged: sequential draw
+		sh.dropped++
+	}
+	sh.byNode[0] = rng.Intn(8) // flagged: sequential draw
+}
+
+// SanctionedDraw shows the sequential-draw escape hatch for call sites
+// that provably run outside the concurrent phase.
+//
+//adf:shardstage
+func SanctionedDraw(sh *shardLocal, rng *sim.RNG) {
+	sh.sent += rng.Intn(2) //adf:allow determinism — fixture: prepass-only branch, runs before shards fork
+}
+
+// FreeDraw is not annotated: sequential draws are the designed idiom
+// everywhere outside shard stages.
+func FreeDraw(rng *sim.RNG) int {
+	return rng.Intn(4)
 }

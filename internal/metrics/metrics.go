@@ -347,12 +347,18 @@ func (t *Table) String() string {
 }
 
 // Summary collects scalar samples for quantile reporting. Samples are
-// stored exactly; memory is linear in the number of samples, which is
-// fine at this simulator's scale (hundreds of thousands per run). The
-// zero value is ready to use.
+// stored exactly by default; memory is linear in the number of samples,
+// which is fine at this simulator's usual scale (hundreds of thousands
+// per run). Million-node runs set a stride (SetStride) to record a
+// systematic subsample instead of exhausting memory. The zero value is
+// ready to use.
 type Summary struct {
 	samples []float64
 	sorted  bool
+	// stride > 1 records every stride-th offered sample; skip counts
+	// down to the next recorded one.
+	stride int
+	skip   int
 }
 
 // Reserve pre-allocates capacity for n samples, so a run with a known
@@ -365,10 +371,31 @@ func (s *Summary) Reserve(n int) {
 	}
 }
 
-// Add records one sample; NaNs are ignored.
+// SetStride makes the summary record every k-th offered sample
+// (systematic sampling): quantiles and mean become estimates over an
+// evenly spaced subsample rather than the exact population — a
+// resolution trade the million-node scales accept to keep a run's
+// error-series memory bounded. k <= 1 restores exact recording.
+func (s *Summary) SetStride(k int) {
+	if k <= 1 {
+		k = 1
+	}
+	s.stride = k
+	s.skip = 0
+}
+
+// Add records one sample; NaNs are ignored, and with a stride set only
+// every stride-th offer lands.
 func (s *Summary) Add(v float64) {
 	if math.IsNaN(v) {
 		return
+	}
+	if s.stride > 1 {
+		if s.skip > 0 {
+			s.skip--
+			return
+		}
+		s.skip = s.stride - 1
 	}
 	s.samples = append(s.samples, v)
 	s.sorted = false

@@ -267,6 +267,44 @@ func TestSummaryQuantiles(t *testing.T) {
 	}
 }
 
+func TestSummaryStride(t *testing.T) {
+	var s Summary
+	s.SetStride(10)
+	for i := 0; i < 1000; i++ {
+		s.Add(float64(i))
+	}
+	if s.N() != 100 {
+		t.Fatalf("stride 10 over 1000 offers recorded %d samples, want 100", s.N())
+	}
+	// Systematic sampling keeps the distribution shape: the subsample
+	// is 0, 10, 20, ..., so mean and median sit near the population's.
+	if got := s.Mean(); math.Abs(got-495) > 1e-9 {
+		t.Errorf("strided mean = %v, want 495", got)
+	}
+	if got := s.Quantile(0.5); got != 490 {
+		t.Errorf("strided p50 = %v, want 490", got)
+	}
+	// NaNs neither record nor advance the stride phase.
+	var n Summary
+	n.SetStride(2)
+	n.Add(1)
+	n.Add(math.NaN())
+	n.Add(2)
+	n.Add(3)
+	if n.N() != 2 {
+		t.Errorf("stride with NaN recorded %d samples, want 2", n.N())
+	}
+	// k <= 1 restores exact recording.
+	var e Summary
+	e.SetStride(0)
+	for i := 0; i < 5; i++ {
+		e.Add(1)
+	}
+	if e.N() != 5 {
+		t.Errorf("stride 0 recorded %d samples, want 5", e.N())
+	}
+}
+
 func TestSummaryQuantileMonotoneProperty(t *testing.T) {
 	f := func(raw []float64) bool {
 		var s Summary

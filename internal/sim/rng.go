@@ -24,6 +24,9 @@ func NewRNG(seed int64) *RNG {
 // randomness in.
 type Streams struct {
 	seed int64
+	// light switches the derived streams to the 8-byte splitmix64
+	// source (see NewLightStreams).
+	light bool
 }
 
 // NewStreams returns a derivation root for the given run seed.
@@ -40,7 +43,11 @@ func (s *Streams) Stream(name string) *RNG {
 	h := fnv.New64a()
 	// hash.Hash Write never errors.
 	_, _ = h.Write([]byte(name))
-	return NewRNG(s.seed ^ int64(h.Sum64()))
+	seed := s.seed ^ int64(h.Sum64())
+	if s.light {
+		return NewLightRNG(seed)
+	}
+	return NewRNG(seed)
 }
 
 // Float64 returns a uniform value in [0, 1).
