@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race race-core check check-sharded obs-check bench-smoke ci bench-runner bench bench-obs profile
+.PHONY: build test vet lint lint-sarif lint-fix-check race race-core check check-sharded obs-check bench-smoke ci bench-runner bench bench-obs profile
 
 build:
 	$(GO) build ./...
@@ -17,12 +17,28 @@ vet:
 
 # adflint is the project's own static-analysis pass (internal/lint):
 # the determinism, maporder, hotpath (call-graph aware), exhaustive,
-# floatcmp and invariant rules. Two passes — bare and with the adfcheck
-# tag — so both halves of every sanitizer file pair are analyzed. The
-# shipped tree must lint clean; any violation exits non-zero and fails ci.
+# floatcmp, invariant, shardsafe, streamowner and allowaudit rules. Two
+# passes — bare and with the adfcheck tag — so both halves of every
+# sanitizer file pair are analyzed. The shipped tree must lint clean;
+# any violation exits non-zero and fails ci.
 lint:
 	$(GO) run ./cmd/adflint
 	$(GO) run ./cmd/adflint -tags adfcheck
+
+# lint-sarif is the lint pass for CI's code-scanning upload: the same
+# two tag passes, each also writing a SARIF v2.1.0 report (written even
+# when clean, so fixed findings are resolved upstream).
+lint-sarif:
+	$(GO) run ./cmd/adflint -sarif adflint.sarif
+	$(GO) run ./cmd/adflint -tags adfcheck -sarif adflint-adfcheck.sarif
+
+# lint-fix-check asserts the suppression inventory is healthy: the
+# allowaudit rule alone, under both tag sets, must report zero stale or
+# reason-less //adf:allow comments. Run after deleting code near an
+# allow to confirm the suppression went with it.
+lint-fix-check:
+	$(GO) run ./cmd/adflint -rules allowaudit
+	$(GO) run ./cmd/adflint -rules allowaudit -tags adfcheck
 
 # Run the whole module under the race detector.
 race:

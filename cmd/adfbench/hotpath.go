@@ -19,6 +19,13 @@ import (
 // "140,1k,5k,200k,1m").
 const defaultHotpathScales = "140,1k,5k,20k,50k"
 
+// hotpathKeyedOnlyNodes is the population size at which the default
+// mode sweep stops measuring the sequential RNG: sequential streams
+// need the serial churn prepass, which dominates the tick loop at large
+// scales and tells us nothing the small points have not already shown.
+// An explicit -rng sequential overrides the cutoff.
+const hotpathKeyedOnlyNodes = 200_000
+
 // hotpathBaselines records the pre-optimization throughput in ticks/sec,
 // measured at commit 295e3d8 (before the hot-path work: per-call cluster
 // statistics, hashed per-tick lookups, allocating tick loop) with exactly
@@ -31,6 +38,13 @@ var hotpathBaselines = map[int]float64{
 	5:   5379.5,
 	36:  736.4,
 	179: 130.9,
+}
+
+// hotpathSkipSequential reports whether the default mode sweep (no
+// explicit -rng) drops the sequential RNG at this scale point: pg
+// groups of `groups` nodes at or beyond the keyed-only cutoff.
+func hotpathSkipSequential(defaultModes bool, mode string, pg, groups int) bool {
+	return defaultModes && mode == experiment.RNGSequential && pg*groups >= hotpathKeyedOnlyNodes
 }
 
 // hotpathBaselineProtocol reports whether cfg matches the settings the
@@ -112,19 +126,37 @@ type HotpathScale struct {
 // runHotpath measures the tick pipeline at each scale point under each
 // RNG mode — both modes when cfg.RNGMode is empty, the requested one
 // otherwise — and writes the JSON report to path (and a per-scale
-// summary to w). A positive allocBudget fails the invocation, after
-// writing the report, if any scale's steady allocs/tick exceeds it.
+// summary to w). With no explicit -rng, scale points of
+// hotpathKeyedOnlyNodes nodes or more are measured keyed-only; the
+// trimmed scales are noted in the report meta. A positive allocBudget
+// fails the invocation, after writing the report, if any scale's steady
+// allocs/tick exceeds it.
 func runHotpath(w io.Writer, cfg experiment.Config, path, scales string, allocBudget float64) error {
 	perGroups, err := parseScales(scales)
 	if err != nil {
 		return err
 	}
+	groups := len(campus.PopulationN(campus.New(), 1))
 	modes := []string{experiment.RNGSequential, experiment.RNGKeyed}
-	if cfg.RNGMode != "" {
+	defaultModes := cfg.RNGMode == ""
+	if !defaultModes {
 		modes = []string{cfg.RNGMode}
 	}
 	meta := runMeta(cfg)
 	meta.RNGMode = ""
+	if defaultModes {
+		var trimmed []string
+		for _, pg := range perGroups {
+			if hotpathSkipSequential(defaultModes, experiment.RNGSequential, pg, groups) {
+				trimmed = append(trimmed, strconv.Itoa(pg*groups))
+			}
+		}
+		if len(trimmed) > 0 {
+			meta.RNGPolicy = fmt.Sprintf(
+				"scales of %d+ nodes measured with keyed RNG only (%s nodes); pass -rng sequential to force the serial churn prepass at those scales",
+				hotpathKeyedOnlyNodes, strings.Join(trimmed, ", "))
+		}
+	}
 	report := HotpathReport{
 		Meta:            meta,
 		DurationSeconds: cfg.Duration,
@@ -140,6 +172,9 @@ func runHotpath(w io.Writer, cfg experiment.Config, path, scales string, allocBu
 		run := HotpathRun{RNGMode: mode}
 		comparable := hotpathBaselineProtocol(cfg) && mode == experiment.RNGSequential
 		for _, pg := range perGroups {
+			if hotpathSkipSequential(defaultModes, mode, pg, groups) {
+				continue
+			}
 			c := cfg
 			c.PerGroup = pg
 			c.RNGMode = mode
@@ -164,6 +199,11 @@ func runHotpath(w io.Writer, cfg experiment.Config, path, scales string, allocBu
 				fmt.Fprintf(w, "%-10s %8d nodes: %9.1f ticks/sec, %6.2f allocs/tick, %5.2f steady allocs/tick\n",
 					mode, stats.Nodes, stats.TicksPerSec, stats.AllocsPerTick, stats.SteadyAllocsPerTick)
 			}
+		}
+		if len(run.Scales) == 0 {
+			// Every requested scale was above the keyed-only cutoff:
+			// there is no sequential data to record.
+			continue
 		}
 		report.Runs = append(report.Runs, run)
 	}

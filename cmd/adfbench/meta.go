@@ -30,6 +30,10 @@ type RunMeta struct {
 	// ("sequential" or "keyed"); empty when the report spans both (the
 	// hot-path report records the mode per run instead).
 	RNGMode string `json:"rng_mode,omitempty"`
+	// RNGPolicy documents a mode-selection default the run applied (the
+	// hot-path benchmark measures keyed only at large scales unless -rng
+	// asks for sequential explicitly); empty when no default kicked in.
+	RNGPolicy string `json:"rng_policy,omitempty"`
 }
 
 // runMeta captures the current environment and cfg's worker/RNG setup.

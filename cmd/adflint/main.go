@@ -1,6 +1,8 @@
 // Command adflint runs the repository's static-analysis pass (see
 // internal/lint): determinism, maporder, hotpath (call-graph aware),
-// exhaustive, floatcmp and invariant. It walks the whole module, prints
+// exhaustive, floatcmp, invariant, the interprocedural shardsafe and
+// streamowner dataflow rules, and the allowaudit suppression audit. It
+// walks the whole module, prints
 // one file:line:col diagnostic per violation and exits 1 when anything
 // is found, so `make ci` fails fast on a stray time.Now(), an
 // order-dependent map range, an allocation in (or reachable from) an
@@ -11,12 +13,15 @@
 // Usage:
 //
 //	adflint [-dir module-root] [-rules determinism,maporder,...]
-//	        [-tags adfcheck] [-json] [-list]
+//	        [-tags adfcheck] [-json] [-sarif findings.sarif] [-list]
 //
 // -tags selects the build-tag set used for file selection; `make lint`
 // runs the module twice, bare and with -tags adfcheck, so both halves
 // of every sanitizer file pair are analyzed. -json emits newline-
 // delimited JSON, one object per finding, for editor and CI tooling.
+// -sarif additionally writes a SARIF v2.1.0 report to the given path
+// (written even when the tree is clean, so CI's code-scanning upload
+// can resolve fixed findings); the exit status is unchanged.
 //
 // Violations that are deliberate (benchmark timing, the sanctioned worker
 // pools) are silenced in the source with an //adf:allow <rule> comment;
@@ -40,6 +45,7 @@ func main() {
 	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
 	tags := flag.String("tags", "", "comma-separated build tags satisfied during file selection (e.g. adfcheck)")
 	jsonOut := flag.Bool("json", false, "emit newline-delimited JSON diagnostics instead of text")
+	sarifPath := flag.String("sarif", "", "also write a SARIF v2.1.0 report to this path (written even when clean)")
 	list := flag.Bool("list", false, "list the available rules and exit")
 	flag.Parse()
 
@@ -49,7 +55,7 @@ func main() {
 		}
 		return
 	}
-	n, err := run(*dir, *rules, *tags, *jsonOut, os.Stdout)
+	n, err := run(*dir, *rules, *tags, *jsonOut, *sarifPath, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "adflint:", err)
 		os.Exit(2)
@@ -71,7 +77,8 @@ type jsonDiagnostic struct {
 
 // run lints the module containing dir, writing diagnostics (with paths
 // relative to the module root) to out, and returns how many there were.
-func run(dir, rules, tags string, jsonOut bool, out io.Writer) (int, error) {
+// When sarifPath is non-empty a SARIF report is also written there.
+func run(dir, rules, tags string, jsonOut bool, sarifPath string, out io.Writer) (int, error) {
 	var tagList []string
 	for _, t := range strings.Split(tags, ",") {
 		if t = strings.TrimSpace(t); t != "" {
@@ -101,11 +108,28 @@ func run(dir, rules, tags string, jsonOut bool, out io.Writer) (int, error) {
 		return 0, err
 	}
 	diags := lint.Run(pkgs, cfg)
+	// Rewrite paths relative to the module root once, up front: the
+	// text, JSON and SARIF renderings all want repo-relative locations.
+	for i := range diags {
+		if rel, err := filepath.Rel(loader.ModuleDir, diags[i].Pos.Filename); err == nil {
+			diags[i].Pos.Filename = rel
+		}
+	}
+	if sarifPath != "" {
+		f, err := os.Create(sarifPath)
+		if err != nil {
+			return len(diags), err
+		}
+		if err := writeSARIF(f, diags); err != nil {
+			f.Close()
+			return len(diags), err
+		}
+		if err := f.Close(); err != nil {
+			return len(diags), err
+		}
+	}
 	enc := json.NewEncoder(out)
 	for _, d := range diags {
-		if rel, err := filepath.Rel(loader.ModuleDir, d.Pos.Filename); err == nil {
-			d.Pos.Filename = rel
-		}
 		if jsonOut {
 			if err := enc.Encode(jsonDiagnostic{
 				Rule:    d.Rule,

@@ -14,7 +14,7 @@ import (
 func TestRealModuleIsClean(t *testing.T) {
 	for _, tags := range []string{"", "adfcheck"} {
 		var out strings.Builder
-		n, err := run(".", "", tags, false, &out)
+		n, err := run(".", "", tags, false, "", &out)
 		if err != nil {
 			t.Fatalf("run(tags=%q): %v", tags, err)
 		}
@@ -38,7 +38,7 @@ import "time"
 func Now() int64 { return time.Now().UnixNano() }
 `)
 	var out strings.Builder
-	n, err := run(dir, "", "", false, &out)
+	n, err := run(dir, "", "", false, "", &out)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -65,7 +65,7 @@ import "time"
 func Now() int64 { return time.Now().UnixNano() }
 `)
 	var out strings.Builder
-	n, err := run(dir, "", "", true, &out)
+	n, err := run(dir, "", "", true, "", &out)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -111,7 +111,7 @@ import "time"
 func now() int64 { return time.Now().UnixNano() }
 `)
 	var out strings.Builder
-	n, err := run(dir, "determinism", "", false, &out)
+	n, err := run(dir, "determinism", "", false, "", &out)
 	if err != nil {
 		t.Fatalf("bare run: %v", err)
 	}
@@ -119,7 +119,7 @@ func now() int64 { return time.Now().UnixNano() }
 		t.Errorf("bare pass saw the tagged file:\n%s", out.String())
 	}
 	out.Reset()
-	n, err = run(dir, "determinism", "adfcheck", false, &out)
+	n, err = run(dir, "determinism", "adfcheck", false, "", &out)
 	if err != nil {
 		t.Fatalf("tagged run: %v", err)
 	}
@@ -141,15 +141,109 @@ import "time"
 func Now() int64 { return time.Now().UnixNano() }
 `)
 	var out strings.Builder
-	n, err := run(dir, "exhaustive", "", false, &out)
+	n, err := run(dir, "exhaustive", "", false, "", &out)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if n != 0 {
 		t.Errorf("exhaustive-only run reported %d violations:\n%s", n, out.String())
 	}
-	if _, err := run(dir, "nosuchrule", "", false, &out); err == nil {
+	if _, err := run(dir, "nosuchrule", "", false, "", &out); err == nil {
 		t.Error("unknown rule name did not error")
+	} else if !strings.Contains(err.Error(), "nosuchrule") {
+		t.Errorf("unknown-rule error %q does not name the rule", err)
+	}
+}
+
+// TestSARIFOutput pins the code-scanning contract: -sarif writes a
+// v2.1.0 document with the driver's rule metadata and one error-level
+// result per diagnostic, located by a slash-separated module-relative
+// URI under the %SRCROOT% base.
+func TestSARIFOutput(t *testing.T) {
+	dir := t.TempDir()
+	mustWrite(t, filepath.Join(dir, "go.mod"), "module github.com/mobilegrid/adf\n\ngo 1.24\n")
+	mustWrite(t, filepath.Join(dir, "internal", "engine", "engine.go"), `package engine
+
+import "time"
+
+// Now leaks the wall clock.
+func Now() int64 { return time.Now().UnixNano() }
+`)
+	sarifPath := filepath.Join(t.TempDir(), "findings.sarif")
+	var out strings.Builder
+	n, err := run(dir, "", "", false, sarifPath, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("got %d violations, want 1:\n%s", n, out.String())
+	}
+	raw, err := os.ReadFile(sarifPath)
+	if err != nil {
+		t.Fatalf("read SARIF: %v", err)
+	}
+	var doc sarifLog
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("SARIF is not valid JSON: %v", err)
+	}
+	if doc.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", doc.Version)
+	}
+	if len(doc.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(doc.Runs))
+	}
+	r := doc.Runs[0]
+	if r.Tool.Driver.Name != "adflint" {
+		t.Errorf("driver name = %q, want adflint", r.Tool.Driver.Name)
+	}
+	if len(r.Tool.Driver.Rules) == 0 {
+		t.Error("driver rule metadata is empty")
+	}
+	if len(r.Results) != 1 {
+		t.Fatalf("got %d results, want 1", len(r.Results))
+	}
+	res := r.Results[0]
+	if res.RuleID != "determinism" || res.Level != "error" {
+		t.Errorf("result = %s/%s, want determinism/error", res.RuleID, res.Level)
+	}
+	loc := res.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/engine/engine.go" {
+		t.Errorf("uri = %q, want internal/engine/engine.go", loc.ArtifactLocation.URI)
+	}
+	if loc.ArtifactLocation.URIBaseID != "%SRCROOT%" {
+		t.Errorf("uriBaseId = %q, want %%SRCROOT%%", loc.ArtifactLocation.URIBaseID)
+	}
+	if loc.Region.StartLine != 6 {
+		t.Errorf("startLine = %d, want 6", loc.Region.StartLine)
+	}
+}
+
+// TestSARIFWrittenWhenClean: a clean tree still produces a report with
+// an empty (not null) results array — that is how code scanning learns
+// old findings are fixed.
+func TestSARIFWrittenWhenClean(t *testing.T) {
+	dir := t.TempDir()
+	mustWrite(t, filepath.Join(dir, "go.mod"), "module github.com/mobilegrid/adf\n\ngo 1.24\n")
+	mustWrite(t, filepath.Join(dir, "internal", "engine", "engine.go"), `package engine
+
+// Tick is harmless.
+func Tick() {}
+`)
+	sarifPath := filepath.Join(t.TempDir(), "clean.sarif")
+	var out strings.Builder
+	n, err := run(dir, "", "", false, sarifPath, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if n != 0 {
+		t.Fatalf("got %d violations, want 0:\n%s", n, out.String())
+	}
+	raw, err := os.ReadFile(sarifPath)
+	if err != nil {
+		t.Fatalf("read SARIF: %v", err)
+	}
+	if !strings.Contains(string(raw), `"results": []`) {
+		t.Errorf("clean report must carry an empty results array:\n%s", raw)
 	}
 }
 

@@ -63,6 +63,8 @@ func NewKeyedChurn(leave, rejoin float64, keyed *sim.Keyed) *KeyedChurn {
 // scheduled from tick 0, so a flip can land on the first processed tick
 // (tick 1) with probability leave — matching the sequential model's
 // first draw. Calling InitParts again resets the timeline.
+//
+//adf:owns StreamChurnLeave — the initial departure schedule is drawn here, keyed by (node, tick 0)
 func (c *KeyedChurn) InitParts(parts [][]int) {
 	maxID := 0
 	for _, ids := range parts {
@@ -126,6 +128,7 @@ func (c *KeyedChurn) AbsentCount() int {
 // partitions before the shard stage would.
 //
 //adf:shardstage
+//adf:owns StreamChurnLeave StreamChurnRejoin — flip rescheduling draws, keyed by (node, flip tick); each partition is drained by exactly one shard worker per tick
 func (c *KeyedChurn) ProcessPart(part int, tick uint64, sink ChurnSink) {
 	pt := &c.parts[part]
 	b, ok := pt.buckets[tick]

@@ -385,12 +385,14 @@ type advancePool struct {
 	now     float64
 }
 
+// newAdvancePool starts the pool's worker goroutines, which advance
+// disjoint node ranges over private RNG streams — results are
+// bit-for-bit identical to the sequential order.
+//
+//adf:owns queue:work — the workers launched here are the work channel's only receivers
 func newAdvancePool(workers int) *advancePool {
 	p := &advancePool{workers: workers, work: make(chan [2]int)}
 	for w := 0; w < workers; w++ {
-		//adf:allow determinism — the mobility pool's workers advance
-		// disjoint node ranges over private RNG streams; results are
-		// bit-for-bit identical to the sequential order.
 		go func() {
 			for r := range p.work {
 				advanceRange(p.nodes, p.samples, p.period, p.now, r[0], r[1])

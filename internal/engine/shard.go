@@ -636,14 +636,16 @@ type shardPool struct {
 	run  func(*shardCtx)
 }
 
+// newShardPool starts the pool's worker goroutines. Shard workers
+// mutate only shard-local state (plus disjoint broker records behind
+// Preallocate); all cross-shard effects are buffered and merged in
+// stable shard order, so results are bit-for-bit identical to the
+// inline shard-order run.
+//
+//adf:owns queue:work — the workers launched here are the work channel's only receivers
 func newShardPool(workers int, run func(*shardCtx)) *shardPool {
 	p := &shardPool{work: make(chan *shardCtx), run: run}
 	for w := 0; w < workers; w++ {
-		//adf:allow determinism — shard workers mutate only shard-local
-		// state (plus disjoint broker records behind Preallocate); all
-		// cross-shard effects are buffered and merged in stable shard
-		// order, so results are bit-for-bit identical to the inline
-		// shard-order run.
 		go func() {
 			for sh := range p.work {
 				p.run(sh)

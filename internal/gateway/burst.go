@@ -118,6 +118,7 @@ func (g *BurstGateway) Dropped() uint64 { return g.dropped }
 // advance steps the outage chain once per elapsed sampling period.
 //
 //adf:shardstage
+//adf:owns rng StreamOutage — per-region sequential stream and the outage-chain draw: the chain (and its stream) is owned by exactly one shard, stepped in that shard's own deterministic sample order
 func (g *BurstGateway) advance(now float64) {
 	if !g.started {
 		g.started = true
@@ -131,7 +132,7 @@ func (g *BurstGateway) advance(now float64) {
 		if g.keyed != nil {
 			u = g.keyed.Float64(sim.StreamOutage, g.key, math.Float64bits(g.lastTime))
 		} else {
-			u = g.rng.Float64() //adf:allow determinism — per-region sequential stream: the chain (and its stream) is owned by exactly one shard, stepped in that shard's own deterministic sample order
+			u = g.rng.Float64()
 		}
 		if g.down {
 			if u < g.cfg.PExitOutage {
@@ -147,6 +148,7 @@ func (g *BurstGateway) advance(now float64) {
 // Collect offers one sample; false means the sample was lost.
 //
 //adf:shardstage
+//adf:owns rng StreamGatewayDrop — per-region sequential stream and the drop draw: this gateway (and its stream) is owned by exactly one shard, so consumption order is the shard's own deterministic node order
 func (g *BurstGateway) Collect(lu filter.LU) (filter.LU, bool) {
 	g.advance(lu.Time)
 	g.received++
@@ -159,7 +161,7 @@ func (g *BurstGateway) Collect(lu filter.LU) (filter.LU, bool) {
 		if g.keyed != nil {
 			lost = g.keyed.Bool(sim.StreamGatewayDrop, lu.Node, math.Float64bits(lu.Time), drop)
 		} else {
-			lost = g.rng.Bool(drop) //adf:allow determinism — per-region sequential stream: this gateway (and its stream) is owned by exactly one shard, so consumption order is the shard's own deterministic node order
+			lost = g.rng.Bool(drop)
 		}
 		if lost {
 			g.dropped++

@@ -65,6 +65,7 @@ func (g *Gateway) Region() campus.RegionID { return g.region }
 //
 //adf:hotpath
 //adf:shardstage
+//adf:owns rng StreamGatewayDrop — per-region sequential stream and the drop draw: this gateway (and its stream) is owned by exactly one shard, so consumption order is the shard's own deterministic node order
 func (g *Gateway) Collect(lu filter.LU) (filter.LU, bool) {
 	g.received++
 	if g.dropProb > 0 {
@@ -72,7 +73,7 @@ func (g *Gateway) Collect(lu filter.LU) (filter.LU, bool) {
 		if g.keyed != nil {
 			drop = g.keyed.Bool(sim.StreamGatewayDrop, lu.Node, math.Float64bits(lu.Time), g.dropProb)
 		} else {
-			drop = g.rng.Bool(g.dropProb) //adf:allow determinism — per-region sequential stream: this gateway (and its stream) is owned by exactly one shard, so consumption order is the shard's own deterministic node order
+			drop = g.rng.Bool(g.dropProb)
 		}
 		if drop {
 			g.dropped++

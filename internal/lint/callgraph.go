@@ -28,15 +28,12 @@ type funcDeclInfo struct {
 	pkg *Package
 }
 
-func runHotPathModule(p *ModulePass) {
-	w := &hotWalker{
-		p:        p,
-		index:    make(map[*types.Func]funcDeclInfo),
-		allows:   make(allowSet),
-		reported: make(map[token.Pos]bool),
-	}
+// buildFuncIndex maps every declared function and method of the run to
+// its declaration, the shared ground for the call-graph walks (hotpath
+// and shardsafe).
+func buildFuncIndex(p *ModulePass) map[*types.Func]funcDeclInfo {
+	index := make(map[*types.Func]funcDeclInfo)
 	for _, pkg := range p.Pkgs {
-		allowIndexInto(w.allows, pkg)
 		for _, f := range pkg.Files {
 			for _, decl := range f.Decls {
 				fn, ok := decl.(*ast.FuncDecl)
@@ -44,10 +41,19 @@ func runHotPathModule(p *ModulePass) {
 					continue
 				}
 				if obj, ok := pkg.Info.Defs[fn.Name].(*types.Func); ok {
-					w.index[obj] = funcDeclInfo{fn: fn, pkg: pkg}
+					index[obj] = funcDeclInfo{fn: fn, pkg: pkg}
 				}
 			}
 		}
+	}
+	return index
+}
+
+func runHotPathModule(p *ModulePass) {
+	w := &hotWalker{
+		p:        p,
+		index:    buildFuncIndex(p),
+		reported: make(map[token.Pos]bool),
 	}
 	for _, pkg := range p.Pkgs {
 		for _, f := range pkg.Files {
@@ -67,13 +73,13 @@ func runHotPathModule(p *ModulePass) {
 }
 
 // hotWalker carries the state of one module walk: the declaration
-// index, the //adf:allow index used to prune vouched-for call sites,
-// and the set of construct positions already reported (a helper shared
-// by several hot roots is reported once, for the first chain found).
+// index and the set of construct positions already reported (a helper
+// shared by several hot roots is reported once, for the first chain
+// found). Vouched-for call sites are pruned through the run's shared
+// allow index, which records the usage for the allowaudit pass.
 type hotWalker struct {
 	p        *ModulePass
 	index    map[*types.Func]funcDeclInfo
-	allows   allowSet
 	reported map[token.Pos]bool
 }
 
@@ -97,13 +103,17 @@ func (w *hotWalker) walkCalls(pkg *Package, fn *ast.FuncDecl, root, chain string
 			return true
 		}
 		decl, ok := w.index[callee]
-		if !ok || isHotPath(decl.fn) || visited[callee] {
+		if !ok {
 			return true
 		}
 		// //adf:allow hotpath on the call site vouches for the callee
-		// as a whole: the call is a declared cold path.
-		pos := w.p.Fset.Position(call.Pos())
-		if w.allows[pos.Filename][pos.Line]["hotpath"] {
+		// as a whole: the call is a declared cold path. Consulted before
+		// the visited short-circuit so the suppression registers as used
+		// even when another path reached the callee first.
+		if w.p.Allowed(call.Pos(), "hotpath") {
+			return true
+		}
+		if isHotPath(decl.fn) || visited[callee] {
 			return true
 		}
 		visited[callee] = true

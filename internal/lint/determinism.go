@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -59,44 +60,101 @@ var allowedRandFuncs = map[string]bool{
 }
 
 func runDeterminism(p *Pass) {
+	// shardlocal vars are exempt from the shard-stage write rule: the
+	// //adf:shardlocal directive declares them shard-indexed storage,
+	// and the shardsafe rule honors the same annotation.
+	shardlocal := make(map[*types.Var]bool)
+	collectShardLocalsPkg(p.Pkg, shardlocal)
+	// spec tracks the enclosing function's //adf:owns claims while
+	// walking its body: a goroutine draining a claimed worker queue is
+	// exempt from the bare-go rule because the streamowner rule proves
+	// the single-drainer property the allow comment used to assert.
+	var spec *ownsSpec
 	for _, f := range p.Pkg.Files {
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if ok && fn.Body != nil && isShardStage(fn) {
-				p.checkShardStage(fn)
+				p.checkShardStage(fn, shardlocal)
+			}
+			if ok {
+				spec = parseOwns(fn)
+			} else {
+				spec = nil
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					if p.Sim && !drainsOwnedQueue(spec, n) {
+						p.Reportf(n.Pos(), "bare go statement in a simulation package: schedule through the engine's worker pool (engine.Group) so RNG-stream consumption stays deterministic")
+					}
+				case *ast.SelectorExpr:
+					obj := p.Pkg.Info.Uses[n.Sel]
+					fn, ok := obj.(*types.Func)
+					if !ok || fn.Pkg() == nil {
+						return true
+					}
+					// Only package-level functions: methods such as
+					// (*rand.Rand).Float64 on an injected source are fine.
+					if fn.Signature().Recv() != nil {
+						return true
+					}
+					switch fn.Pkg().Path() {
+					case "time":
+						if bannedClockFuncs[fn.Name()] {
+							p.Reportf(n.Pos(), "call to time.%s reads the wall clock: use virtual time from sim.Simulator (or //adf:allow determinism for measurement-only code)", fn.Name())
+						}
+					case "math/rand", "math/rand/v2":
+						if !allowedRandFuncs[fn.Name()] {
+							p.Reportf(n.Pos(), "use of global %s.%s: draw from an injected *sim.RNG stream so runs are reproducible per seed", fn.Pkg().Name(), fn.Name())
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// drainsOwnedQueue reports whether a go statement launches the worker
+// closure of a queue the enclosing function claims with
+// //adf:owns queue:<field> — syntactically, a func literal ranging over
+// (or receiving from) a selector of the claimed field name. The
+// streamowner rule carries the semantic proof (channel-typed field,
+// single receive site module-wide); this check only routes the
+// exemption.
+func drainsOwnedQueue(spec *ownsSpec, g *ast.GoStmt) bool {
+	if spec == nil || len(spec.queues) == 0 {
+		return false
+	}
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	drains := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		var x ast.Expr
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			x = n.X
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				x = n.X
 			}
 		}
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.GoStmt:
-				if p.Sim {
-					p.Reportf(n.Pos(), "bare go statement in a simulation package: schedule through the engine's worker pool (engine.Group) so RNG-stream consumption stays deterministic")
-				}
-			case *ast.SelectorExpr:
-				obj := p.Pkg.Info.Uses[n.Sel]
-				fn, ok := obj.(*types.Func)
-				if !ok || fn.Pkg() == nil {
-					return true
-				}
-				// Only package-level functions: methods such as
-				// (*rand.Rand).Float64 on an injected source are fine.
-				if fn.Signature().Recv() != nil {
-					return true
-				}
-				switch fn.Pkg().Path() {
-				case "time":
-					if bannedClockFuncs[fn.Name()] {
-						p.Reportf(n.Pos(), "call to time.%s reads the wall clock: use virtual time from sim.Simulator (or //adf:allow determinism for measurement-only code)", fn.Name())
-					}
-				case "math/rand", "math/rand/v2":
-					if !allowedRandFuncs[fn.Name()] {
-						p.Reportf(n.Pos(), "use of global %s.%s: draw from an injected *sim.RNG stream so runs are reproducible per seed", fn.Pkg().Name(), fn.Name())
-					}
+		if x == nil {
+			return true
+		}
+		if sel, ok := ast.Unparen(x).(*ast.SelectorExpr); ok {
+			for _, q := range spec.queues {
+				if sel.Sel.Name == q {
+					drains = true
+					return false
 				}
 			}
-			return true
-		})
-	}
+		}
+		return true
+	})
+	return drains
 }
 
 // shardStageDirective marks a function the region-sharded pipeline runs
@@ -104,18 +162,9 @@ func runDeterminism(p *Pass) {
 const shardStageDirective = "//adf:shardstage"
 
 // isShardStage reports whether a function declaration carries the
-// //adf:shardstage directive. Directive comments are excluded from
-// CommentGroup.Text, so the raw list is scanned.
+// //adf:shardstage directive.
 func isShardStage(fn *ast.FuncDecl) bool {
-	if fn.Doc == nil {
-		return false
-	}
-	for _, c := range fn.Doc.List {
-		if c.Text == shardStageDirective || strings.HasPrefix(c.Text, shardStageDirective+" ") {
-			return true
-		}
-	}
-	return false
+	return hasDirective(fn.Doc, shardStageDirective)
 }
 
 // checkShardStage flags every direct write — assignment, compound
@@ -123,8 +172,9 @@ func isShardStage(fn *ast.FuncDecl) bool {
 // variable, and every method call on a sequential *sim.RNG stream.
 // Writes through parameters and receivers (the shard context) are the
 // designed data path and stay silent; so do reads and sim.Keyed draws.
-func (p *Pass) checkShardStage(fn *ast.FuncDecl) {
+func (p *Pass) checkShardStage(fn *ast.FuncDecl, shardlocal map[*types.Var]bool) {
 	name := fn.Name.Name
+	spec := parseOwns(fn)
 	report := func(n ast.Node, v *types.Var) {
 		p.Reportf(n.Pos(), "write to package-level %s in //adf:shardstage function %s is an unmerged cross-shard write: buffer it in the shard context and fold it in the deterministic merge (or //adf:allow determinism for synchronized, order-independent state)", v.Name(), name)
 	}
@@ -132,12 +182,12 @@ func (p *Pass) checkShardStage(fn *ast.FuncDecl) {
 		switch n := n.(type) {
 		case *ast.AssignStmt:
 			for _, lhs := range n.Lhs {
-				if v := p.pkgLevelVarRoot(lhs); v != nil {
+				if v := p.pkgLevelVarRoot(lhs); v != nil && !shardlocal[v] {
 					report(lhs, v)
 				}
 			}
 		case *ast.IncDecStmt:
-			if v := p.pkgLevelVarRoot(n.X); v != nil {
+			if v := p.pkgLevelVarRoot(n.X); v != nil && !shardlocal[v] {
 				report(n.X, v)
 			}
 		case *ast.CallExpr:
@@ -150,6 +200,16 @@ func (p *Pass) checkShardStage(fn *ast.FuncDecl) {
 				return true
 			}
 			if isSequentialRNG(m.Signature().Recv().Type()) {
+				// A draw on a receiver field the function claims with
+				// //adf:owns is exempt: the streamowner rule proves the
+				// claimant is the field's sole consumer, so consumption
+				// order is the owner's own deterministic order.
+				if spec != nil {
+					if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok &&
+						containsString(spec.fields, inner.Sel.Name) {
+						return true
+					}
+				}
 				p.Reportf(n.Pos(), "sim.RNG.%s draw in //adf:shardstage function %s consumes a sequential stream, so the value depends on shard scheduling: use a sim.Keyed draw keyed by (stream, node, tick) (or //adf:allow determinism if this call provably runs outside the concurrent phase)", sel.Sel.Name, name)
 			}
 		}
@@ -175,38 +235,12 @@ func isSequentialRNG(t types.Type) bool {
 // pkgLevelVarRoot unwraps index, dereference, field-selection and
 // parenthesis layers around an assignment target and returns the
 // package-level variable at its root, or nil when the root is a local,
-// a parameter or anything else.
+// a parameter or anything else. rootVar (shardsafe.go) does the
+// unwrapping; this adds the package-scope filter.
 func (p *Pass) pkgLevelVarRoot(e ast.Expr) *types.Var {
-	for {
-		switch x := e.(type) {
-		case *ast.ParenExpr:
-			e = x.X
-		case *ast.IndexExpr:
-			e = x.X
-		case *ast.StarExpr:
-			e = x.X
-		case *ast.SelectorExpr:
-			// other.Global: step to the selected object when the base is a
-			// package name, otherwise keep unwrapping the base expression.
-			if id, ok := x.X.(*ast.Ident); ok {
-				if _, isPkg := p.Pkg.Info.Uses[id].(*types.PkgName); isPkg {
-					e = x.Sel
-					continue
-				}
-			}
-			e = x.X
-		case *ast.Ident:
-			o := p.Pkg.Info.Uses[x]
-			if o == nil {
-				o = p.Pkg.Info.Defs[x]
-			}
-			v, ok := o.(*types.Var)
-			if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
-				return nil
-			}
-			return v
-		default:
-			return nil
-		}
+	v := rootVar(p.Pkg.Info, e)
+	if v == nil || !isPkgLevelVar(v) {
+		return nil
 	}
+	return v
 }

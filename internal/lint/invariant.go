@@ -145,8 +145,9 @@ func (p *Pass) checkStubPairs() {
 	}
 	// Files outside the current tag selection are parsed here but were
 	// never seen by Run's allow index, so honor their //adf:allow
-	// comments locally.
-	extraAllows := make(allowSet)
+	// comments locally. (They are invisible to the allowaudit pass for
+	// the same reason; the other tag pass audits them.)
+	extraAllows := newAllowSet()
 	onDecls := make(map[string]pairDecl)
 	offDecls := make(map[string]pairDecl)
 	var names []string
@@ -168,7 +169,7 @@ func (p *Pass) checkStubPairs() {
 				continue // the parse-error rule is go build's job
 			}
 			f = parsed
-			allowIndexInto(extraAllows, &Package{Fset: p.Fset, Files: []*ast.File{f}})
+			extraAllows.indexPackage(&Package{Fset: p.Fset, Files: []*ast.File{f}})
 		}
 		expr := fileConstraint(f)
 		if expr == nil {
@@ -185,7 +186,7 @@ func (p *Pass) checkStubPairs() {
 	}
 	report := func(d pairDecl, format string) {
 		pos := p.Fset.Position(d.pos)
-		if extraAllows[pos.Filename][pos.Line]["invariant"] {
+		if extraAllows.allowedAt(pos.Filename, pos.Line, "invariant") {
 			return
 		}
 		p.Reportf(d.pos, format, d.key)

@@ -138,6 +138,16 @@ type ModulePass struct {
 	rule        string
 	simSuffixes []string
 	diags       *[]Diagnostic
+	allows      *allowSet
+}
+
+// Allowed reports whether an //adf:allow for rule covers pos, marking
+// the suppression used so the allowaudit pass does not call it stale.
+// Module-wide analyzers use it to honor suppressions that prune work
+// (a vouched-for call site) rather than silence an emitted diagnostic.
+func (p *ModulePass) Allowed(pos token.Pos, rule string) bool {
+	position := p.Fset.Position(pos)
+	return p.allows.allowedAt(position.Filename, position.Line, rule)
 }
 
 // Reportf records a finding at pos.
@@ -182,14 +192,19 @@ type Config struct {
 
 // All returns the full analyzer set in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, MapOrder, HotPath, Exhaustive, FloatCmp, Invariant}
+	return []*Analyzer{Determinism, MapOrder, HotPath, Exhaustive, FloatCmp, Invariant, ShardSafe, StreamOwner, AllowAudit}
 }
 
 // isSimPackage reports whether an import path names (or is nested under)
-// one of the simulation packages.
+// one of the simulation packages. Every comparison is anchored on path
+// segment boundaries: the suffix "internal/sim" matches
+// "example.com/internal/sim" and "example.com/internal/sim/sub" but not
+// "example.com/myinternal/sim/x", whose "internal" is a substring of a
+// larger segment.
 func isSimPackage(path string, suffixes []string) bool {
 	for _, s := range suffixes {
-		if path == s || strings.HasSuffix(path, "/"+s) || strings.Contains(path, s+"/") {
+		if path == s || strings.HasSuffix(path, "/"+s) ||
+			strings.HasPrefix(path, s+"/") || strings.Contains(path, "/"+s+"/") {
 			return true
 		}
 	}
@@ -211,12 +226,28 @@ func Run(pkgs []*Package, cfg Config) []Diagnostic {
 	if len(pkgs) == 0 {
 		return nil
 	}
+	// The allowaudit pass judges every //adf:allow against the full raw
+	// fact set: a suppression is only provably stale when the rule it
+	// names actually ran. Selecting allowaudit therefore pulls in every
+	// analyzer for fact generation; the findings are filtered back to
+	// the requested rules at the end.
+	requested := make(map[string]bool, len(analyzers))
+	auditing := false
+	for _, a := range analyzers {
+		requested[a.Name] = true
+		if a.Name == AllowAudit.Name {
+			auditing = true
+		}
+	}
+	if auditing {
+		analyzers = All()
+	}
 	// One allow index for the whole run: a module-wide analyzer reports
 	// findings in any package, so the //adf:allow filter must span all of
-	// them. File names are absolute paths, hence globally unique.
-	allows := make(allowSet)
+	// them.
+	allows := newAllowSet()
 	for _, pkg := range pkgs {
-		allowIndexInto(allows, pkg)
+		allows.indexPackage(pkg)
 	}
 	var raw []Diagnostic
 	for _, pkg := range pkgs {
@@ -239,6 +270,7 @@ func Run(pkgs []*Package, cfg Config) []Diagnostic {
 		Pkgs:        pkgs,
 		simSuffixes: simSuffixes,
 		diags:       &raw,
+		allows:      allows,
 	}
 	for _, a := range analyzers {
 		if a.RunModule == nil {
@@ -255,6 +287,33 @@ func Run(pkgs []*Package, cfg Config) []Diagnostic {
 		}
 		seen[d] = true
 		diags = append(diags, d)
+	}
+	if auditing {
+		// The audit runs after the filter so every suppression's usage
+		// bits are final. Its own findings go through the same filter: an
+		// //adf:allow allowaudit (with a reason) keeps a deliberately
+		// dormant suppression, e.g. one that only fires under another
+		// build-tag pass.
+		ran := make(map[string]bool, len(analyzers))
+		for _, a := range analyzers {
+			ran[a.Name] = true
+		}
+		for _, d := range auditAllows(pkgs[0].Fset, allows, ran) {
+			if allows.allowed(d) || seen[d] {
+				continue
+			}
+			seen[d] = true
+			diags = append(diags, d)
+		}
+	}
+	if len(requested) < len(analyzers) {
+		kept := diags[:0]
+		for _, d := range diags {
+			if requested[d.Rule] {
+				kept = append(kept, d)
+			}
+		}
+		diags = kept
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -277,60 +336,120 @@ func Run(pkgs []*Package, cfg Config) []Diagnostic {
 // and godoc hides it.
 const allowPrefix = "//adf:allow"
 
-// allowSet maps file → line → rules allowed on that line.
-type allowSet map[string]map[int]map[string]bool
+// allowEntry is one //adf:allow comment line: the rules it suppresses,
+// the line span it covers (its comment group's lines plus the line
+// after, so both trailing comments and own-line comments above the
+// offending statement work), whether a free-text reason follows the
+// rule list, and — per rule — whether the suppression did anything this
+// run. The allowaudit pass reads the usage bits after filtering.
+type allowEntry struct {
+	pos       token.Pos
+	file      string
+	startLine int
+	// endLine is the last covered line (group end + 1), inclusive.
+	endLine   int
+	rules     []string
+	hasReason bool
+	used      map[string]bool
+}
 
-// allowIndexInto collects every //adf:allow comment in the package into
-// idx. A comment group containing one covers every line the group spans
-// plus the line immediately after it, so both trailing comments and
-// own-line comments above the offending statement work.
-func allowIndexInto(idx allowSet, pkg *Package) {
+// allowSet indexes every //adf:allow comment of one run.
+type allowSet struct {
+	// lines maps file → covered line → the entries covering that line.
+	// File names are absolute paths, hence globally unique.
+	lines   map[string]map[int][]*allowEntry
+	entries []*allowEntry
+}
+
+func newAllowSet() *allowSet {
+	return &allowSet{lines: make(map[string]map[int][]*allowEntry)}
+}
+
+// indexPackage collects every //adf:allow comment in the package.
+func (s *allowSet) indexPackage(pkg *Package) {
 	for _, f := range pkg.Files {
 		for _, group := range f.Comments {
-			var rules []string
+			start := pkg.Fset.Position(group.Pos())
+			end := pkg.Fset.Position(group.End())
 			for _, c := range group.List {
 				if !strings.HasPrefix(c.Text, allowPrefix) {
 					continue
 				}
 				rest := strings.TrimPrefix(c.Text, allowPrefix)
-				for _, field := range strings.Fields(rest) {
-					// The rule list ends at the first token that is not a
-					// known rule name; the rest is the free-text reason.
+				fields := strings.Fields(rest)
+				var rules []string
+				// The rule list ends at the first token that is not a
+				// known rule name; the rest is the free-text reason.
+				for _, field := range fields {
 					if !isRuleName(field) {
 						break
 					}
 					rules = append(rules, field)
 				}
-			}
-			if len(rules) == 0 {
-				continue
-			}
-			start := pkg.Fset.Position(group.Pos())
-			end := pkg.Fset.Position(group.End())
-			file := idx[start.Filename]
-			if file == nil {
-				file = make(map[int]map[string]bool)
-				idx[start.Filename] = file
-			}
-			for line := start.Line; line <= end.Line+1; line++ {
-				set := file[line]
-				if set == nil {
-					set = make(map[string]bool)
-					file[line] = set
+				if len(rules) == 0 {
+					continue
 				}
-				for _, r := range rules {
-					set[r] = true
+				e := &allowEntry{
+					pos:       c.Pos(),
+					file:      start.Filename,
+					startLine: start.Line,
+					endLine:   end.Line + 1,
+					rules:     rules,
+					hasReason: hasReasonText(fields[len(rules):]),
+					used:      make(map[string]bool),
+				}
+				s.entries = append(s.entries, e)
+				file := s.lines[e.file]
+				if file == nil {
+					file = make(map[int][]*allowEntry)
+					s.lines[e.file] = file
+				}
+				for line := e.startLine; line <= e.endLine; line++ {
+					file[line] = append(file[line], e)
 				}
 			}
 		}
 	}
 }
 
+// hasReasonText reports whether the tokens after an allow's rule list
+// amount to a reason: em-dash or hyphen separators alone do not count.
+func hasReasonText(rest []string) bool {
+	for _, tok := range rest {
+		if tok != "—" && tok != "-" && tok != "--" {
+			return true
+		}
+	}
+	return false
+}
+
+// allowed reports whether an //adf:allow covers the diagnostic, marking
+// the matching entries used.
+func (s *allowSet) allowed(d Diagnostic) bool {
+	return s.allowedAt(d.Pos.Filename, d.Pos.Line, d.Rule)
+}
+
+// allowedAt is the positional form of allowed, for analyzers that
+// consume a suppression without emitting a diagnostic (a vouched-for
+// call site pruning a call-graph walk). It too marks usage.
+func (s *allowSet) allowedAt(file string, line int, rule string) bool {
+	ok := false
+	for _, e := range s.lines[file][line] {
+		for _, r := range e.rules {
+			if r == rule {
+				e.used[rule] = true
+				ok = true
+			}
+		}
+	}
+	return ok
+}
+
 // ruleNames mirrors the Name fields of All(). A static copy rather than
 // a loop over All() because the analyzers' Run functions reference the
 // allow machinery, which references this — going through All() would be
 // an initialization cycle. TestRuleNamesMatchAll keeps the two in sync.
-var ruleNames = []string{"determinism", "maporder", "hotpath", "exhaustive", "floatcmp", "invariant"}
+var ruleNames = []string{"determinism", "maporder", "hotpath", "exhaustive", "floatcmp", "invariant", "shardsafe", "streamowner", "allowaudit"}
 
 func isRuleName(s string) bool {
 	for _, n := range ruleNames {
@@ -341,23 +460,26 @@ func isRuleName(s string) bool {
 	return false
 }
 
-func (s allowSet) allowed(d Diagnostic) bool {
-	return s[d.Pos.Filename][d.Pos.Line][d.Rule]
-}
-
 // hotpathDirective marks a function whose body the hotpath analyzer
 // checks for allocating constructs.
 const hotpathDirective = "//adf:hotpath"
 
 // isHotPath reports whether a function declaration carries the
-// //adf:hotpath directive. Directive comments are excluded from
-// CommentGroup.Text, so the raw list is scanned.
+// //adf:hotpath directive.
 func isHotPath(fn *ast.FuncDecl) bool {
-	if fn.Doc == nil {
+	return hasDirective(fn.Doc, hotpathDirective)
+}
+
+// hasDirective reports whether a comment group carries the given //adf:
+// directive, alone on its line or followed by free text. Directive
+// comments are excluded from CommentGroup.Text, so the raw list is
+// scanned.
+func hasDirective(g *ast.CommentGroup, directive string) bool {
+	if g == nil {
 		return false
 	}
-	for _, c := range fn.Doc.List {
-		if c.Text == hotpathDirective || strings.HasPrefix(c.Text, hotpathDirective+" ") {
+	for _, c := range g.List {
+		if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
 			return true
 		}
 	}

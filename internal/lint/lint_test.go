@@ -56,6 +56,9 @@ func TestGoldenFixtures(t *testing.T) {
 		{"exhaustive", false},
 		{"floatcmp", true},
 		{"invariant", false},
+		{"shardsafe", false},
+		{"streamowner", false},
+		{"allowaudit", false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -75,6 +78,39 @@ func TestGoldenFixtures(t *testing.T) {
 				t.Errorf("diagnostics differ from %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
 			}
 		})
+	}
+}
+
+// TestStreamOwnerDoublyOwned loads the two streamduo fixture packages
+// into one run: each package's StreamOutage claim is fine alone, and
+// only the module-wide view catches the cross-package double ownership.
+func TestStreamOwnerDoublyOwned(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	var pkgs []*Package
+	for _, half := range []string{"alpha", "beta"} {
+		pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "streamduo", half), "fixtures/streamduo/"+half)
+		if err != nil {
+			t.Fatalf("LoadDir(%s): %v", half, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	got := render(Run(pkgs, Config{}))
+	goldenPath := filepath.Join("testdata", "golden", "streamduo.golden")
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run `go test ./internal/lint -update` to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostics differ from %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
 	}
 }
 
@@ -156,6 +192,82 @@ func writeFile(t *testing.T, path, content string) {
 	}
 }
 
+// TestAllowSpanSemantics pins the line coverage of an //adf:allow
+// entry: the whole comment group plus one line, so a trailing comment
+// covers its own statement and an own-line comment (possibly inside a
+// larger group) covers the statement below the group.
+func TestAllowSpanSemantics(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module github.com/mobilegrid/adf\n\ngo 1.24\n")
+	file := filepath.Join(dir, "internal", "engine", "engine.go")
+	writeFile(t, file, `package engine
+
+// A has an own-line allow: the comment line and the line after.
+func A() int {
+	//adf:allow determinism — span fixture
+	return 1
+}
+
+// B buries the allow in a three-line group: every group line plus one
+// is covered.
+func B() int {
+	// leading context line
+	//adf:allow determinism — span fixture
+	// trailing context line
+	return 2
+}
+
+// C has a trailing allow: the statement's own line and the next.
+func C() int {
+	return 3 //adf:allow determinism — span fixture
+}
+`)
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	allows := newAllowSet()
+	for _, p := range pkgs {
+		allows.indexPackage(p)
+	}
+	cases := []struct {
+		line int
+		want bool
+	}{
+		{4, false}, // func A line, above the comment
+		{5, true},  // the allow comment itself
+		{6, true},  // the statement after it
+		{7, false}, // one past the span
+
+		{11, false}, // func B line
+		{12, true},  // leading group line
+		{13, true},  // the allow line
+		{14, true},  // trailing group line
+		{15, true},  // statement after the group
+		{16, false}, // closing brace
+
+		{19, false}, // func C line
+		{20, true},  // trailing comment covers its own statement
+		{21, true},  // and the line after
+		{22, false},
+	}
+	for _, tc := range cases {
+		if got := allows.allowedAt(file, tc.line, "determinism"); got != tc.want {
+			t.Errorf("allowedAt(line %d) = %v, want %v", tc.line, got, tc.want)
+		}
+	}
+	// The wrong rule never matches, anywhere in the spans.
+	for line := 1; line <= 22; line++ {
+		if allows.allowedAt(file, line, "maporder") {
+			t.Errorf("allowedAt(line %d, maporder) = true, want false", line)
+		}
+	}
+}
+
 // TestRuleNamesMatchAll keeps the static ruleNames list (needed to
 // break an initialization cycle) in sync with the registered analyzers.
 func TestRuleNamesMatchAll(t *testing.T) {
@@ -182,6 +294,12 @@ func TestIsSimPackage(t *testing.T) {
 		{"github.com/mobilegrid/adf/internal/hla", false},
 		{"github.com/mobilegrid/adf/cmd/adfbench", false},
 		{"github.com/mobilegrid/adf", false},
+		// Segment anchoring: "myinternal/sim" must not match the
+		// "internal/sim" suffix as a raw substring.
+		{"example.com/myinternal/sim", false},
+		{"example.com/myinternal/sim/x", false},
+		{"internal/sim", true},
+		{"github.com/mobilegrid/adf/internal/sim/shard", true},
 	}
 	for _, tc := range cases {
 		if got := isSimPackage(tc.path, SimPackages); got != tc.want {

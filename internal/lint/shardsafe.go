@@ -1,0 +1,272 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ShardSafe is the interprocedural half of the shard-ownership proof.
+// The determinism rule checks each //adf:shardstage body in isolation;
+// ShardSafe follows the stage's *static* module-local callees —
+// transitively — and proves every mutation the whole reachable region
+// performs resolves to shard-owned state:
+//
+//   - writes whose root is a local, a parameter or the receiver are the
+//     designed data path: shard stages receive exactly the shard
+//     context (and state keyed by nodes the shard owns, such as
+//     dense.Slab rows indexed by the member list), so a receiver- or
+//     parameter-rooted chain stays inside the shard by construction;
+//   - writes whose root is a package-level variable are flagged unless
+//     the variable's declaration carries //adf:shardlocal — the
+//     annotation that declares a global to be shard-indexed storage
+//     (one disjoint slot per shard) rather than shared state;
+//   - writes to captured variables inside closures are flagged: a
+//     closure can outlive the stage or run under a scheduler the merge
+//     never ordered, so mutations must be passed explicitly;
+//   - go statements anywhere in the reachable region are flagged: a
+//     goroutine forked mid-stage escapes the deterministic merge.
+//
+// Dynamic dispatch (interface methods, func values) and calls out of
+// the module are not followed: like the hotpath walk, the rule is a
+// sound-for-static-calls approximation, not an escape analysis — the
+// gateway/filter interfaces a stage calls through are proved at their
+// own //adf:shardstage implementations. Silencing works at either end:
+// //adf:allow shardsafe on the call site declares the callee runs
+// outside the concurrent phase and prunes the walk, while //adf:allow
+// shardsafe on the offending write silences just that write.
+var ShardSafe = &Analyzer{
+	Name:      "shardsafe",
+	Doc:       "prove mutations reachable from //adf:shardstage stages resolve to shard-owned state (no package-level writes, captured-variable writes, or goroutines)",
+	RunModule: runShardSafe,
+}
+
+// shardLocalDirective marks a package-level variable as shard-indexed
+// storage: every shard touches only its own disjoint slot, so writes
+// rooted there cannot cross shards.
+const shardLocalDirective = "//adf:shardlocal"
+
+func runShardSafe(p *ModulePass) {
+	w := &shardWalker{
+		p:          p,
+		index:      buildFuncIndex(p),
+		shardlocal: collectShardLocals(p),
+		reported:   make(map[token.Pos]bool),
+	}
+	for _, pkg := range p.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || !isShardStage(fn) {
+					continue
+				}
+				visited := make(map[*types.Func]bool)
+				if obj, ok := pkg.Info.Defs[fn.Name].(*types.Func); ok {
+					visited[obj] = true
+				}
+				d := funcDeclInfo{fn: fn, pkg: pkg}
+				w.checkFunc(d, fn.Name.Name, fn.Name.Name)
+				w.walkCalls(d, fn.Name.Name, fn.Name.Name, visited)
+			}
+		}
+	}
+}
+
+// shardWalker carries the state of one module walk: the declaration
+// index, the //adf:shardlocal variable set, and the write/goroutine
+// positions already reported (a helper shared by several stage roots is
+// reported once, for the first chain found).
+type shardWalker struct {
+	p          *ModulePass
+	index      map[*types.Func]funcDeclInfo
+	shardlocal map[*types.Var]bool
+	reported   map[token.Pos]bool
+}
+
+// walkCalls scans fn's body (closures included — they run within the
+// stage unless a flagged construct says otherwise) for static calls to
+// module-local functions and checks each resolved callee. A callee that
+// is itself //adf:shardstage is its own root and not re-walked.
+func (w *shardWalker) walkCalls(d funcDeclInfo, root, chain string, visited map[*types.Func]bool) {
+	ast.Inspect(d.fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := staticCallee(d.pkg, call)
+		if callee == nil {
+			return true
+		}
+		decl, ok := w.index[callee]
+		if !ok {
+			return true
+		}
+		// //adf:allow shardsafe on the call site declares the callee
+		// runs outside the concurrent phase (a prepass or merge helper)
+		// and prunes the walk. Consulted before the visited
+		// short-circuit so the suppression registers as used even when
+		// another path reached the callee first.
+		if w.p.Allowed(call.Pos(), "shardsafe") {
+			return true
+		}
+		if isShardStage(decl.fn) || visited[callee] {
+			return true
+		}
+		visited[callee] = true
+		sub := chain + " -> " + decl.fn.Name.Name
+		w.checkFunc(decl, root, sub)
+		w.walkCalls(decl, root, sub, visited)
+		return true
+	})
+}
+
+// checkFunc flags the shard-unsafe constructs of one reachable function
+// body, naming the call chain from the stage root.
+func (w *shardWalker) checkFunc(d funcDeclInfo, root, chain string) {
+	name := d.fn.Name.Name
+	ast.Inspect(d.fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			w.report(n.Pos(), "goroutine launched in %s, reachable from //adf:shardstage root %s (%s), escapes the deterministic merge: run the work inline in the stage, or //adf:allow shardsafe if it provably runs outside the concurrent phase", name, root, chain)
+		case *ast.FuncLit:
+			w.checkCaptures(d, n, name, root, chain)
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				w.checkWrite(d, lhs, name, root, chain)
+			}
+		case *ast.IncDecStmt:
+			w.checkWrite(d, n.X, name, root, chain)
+		}
+		return true
+	})
+}
+
+// checkWrite flags a write whose root resolves to a package-level
+// variable not declared //adf:shardlocal.
+func (w *shardWalker) checkWrite(d funcDeclInfo, lhs ast.Expr, name, root, chain string) {
+	v := rootVar(d.pkg.Info, lhs)
+	if v == nil || !isPkgLevelVar(v) || w.shardlocal[v] {
+		return
+	}
+	w.report(lhs.Pos(), "write to package-level %s in %s can alias another shard (reachable from //adf:shardstage root %s via %s): keep mutations on the shard context, declare the variable //adf:shardlocal if every shard owns a disjoint slot, or //adf:allow shardsafe with a reason", v.Name(), name, root, chain)
+}
+
+// checkCaptures flags writes inside a closure whose target is a
+// variable declared outside the closure (and not package-level, which
+// checkWrite already covers): the mutation escapes into captured state
+// the merge cannot order.
+func (w *shardWalker) checkCaptures(d funcDeclInfo, lit *ast.FuncLit, name, root, chain string) {
+	captured := func(e ast.Expr) *types.Var {
+		v := rootVar(d.pkg.Info, e)
+		if v == nil || isPkgLevelVar(v) {
+			return nil
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return nil // declared inside this closure (param or local)
+		}
+		return v
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if v := captured(lhs); v != nil {
+					w.report(lhs.Pos(), "write to captured variable %s in a closure in %s (reachable from //adf:shardstage root %s via %s) escapes the shard stage: pass the state as an explicit argument, or //adf:allow shardsafe with a reason", v.Name(), name, root, chain)
+				}
+			}
+		case *ast.IncDecStmt:
+			if v := captured(n.X); v != nil {
+				w.report(n.X.Pos(), "write to captured variable %s in a closure in %s (reachable from //adf:shardstage root %s via %s) escapes the shard stage: pass the state as an explicit argument, or //adf:allow shardsafe with a reason", v.Name(), name, root, chain)
+			}
+		}
+		return true
+	})
+}
+
+func (w *shardWalker) report(pos token.Pos, format string, args ...any) {
+	if w.reported[pos] {
+		return
+	}
+	w.reported[pos] = true
+	w.p.Reportf(pos, format, args...)
+}
+
+// collectShardLocals gathers every package-level variable of the run
+// whose declaration carries the //adf:shardlocal directive.
+func collectShardLocals(p *ModulePass) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	for _, pkg := range p.Pkgs {
+		collectShardLocalsPkg(pkg, out)
+	}
+	return out
+}
+
+// collectShardLocalsPkg adds one package's //adf:shardlocal variables
+// (declared on the var block or the individual spec, doc or trailing
+// comment) to the set. The determinism rule uses the per-package form:
+// its shard-stage write check honors the same annotation.
+func collectShardLocalsPkg(pkg *Package, out map[*types.Var]bool) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			declHas := hasDirective(gd.Doc, shardLocalDirective)
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				if !declHas && !hasDirective(vs.Doc, shardLocalDirective) && !hasDirective(vs.Comment, shardLocalDirective) {
+					continue
+				}
+				for _, name := range vs.Names {
+					if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+						out[v] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// isPkgLevelVar reports whether v is declared at package scope.
+func isPkgLevelVar(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// rootVar unwraps index, dereference, field-selection and parenthesis
+// layers around an assignment target and returns the variable at its
+// root, or nil when the root is not a variable.
+func rootVar(info *types.Info, e ast.Expr) *types.Var {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			// other.Global: step to the selected object when the base is a
+			// package name, otherwise keep unwrapping the base expression.
+			if id, ok := x.X.(*ast.Ident); ok {
+				if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+					e = x.Sel
+					continue
+				}
+			}
+			e = x.X
+		case *ast.Ident:
+			o := info.Uses[x]
+			if o == nil {
+				o = info.Defs[x]
+			}
+			v, _ := o.(*types.Var)
+			return v
+		default:
+			return nil
+		}
+	}
+}

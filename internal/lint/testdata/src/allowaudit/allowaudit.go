@@ -1,0 +1,33 @@
+// Allowaudit fixture: suppressions are standing claims, and the audit
+// flags the ones that rot — stale allows covering no diagnostic, and
+// reason-less allows that cannot be reviewed.
+package allowaudit
+
+import "time"
+
+// Fresh suppresses a diagnostic that really fires, with a reason:
+// silent.
+func Fresh() int64 {
+	return time.Now().UnixNano() //adf:allow determinism — fixture: measurement-only helper
+}
+
+// NoReason suppresses a real diagnostic but says nothing about why: the
+// clock read stays silenced, the bare allow is flagged.
+func NoReason() int64 {
+	return time.Now().UnixNano() //adf:allow determinism
+}
+
+// Stale vouches for a diagnostic that no longer exists — the clock
+// read was refactored away and the comment stayed behind: flagged.
+func Stale() int64 {
+	//adf:allow determinism — fixture: this line stopped reading the clock long ago
+	return 42
+}
+
+// Dormant shows the opt-out: the suppression fires only under another
+// build-tag pass, so it carries allowaudit in its own rule list and the
+// audit leaves it alone.
+func Dormant() int64 {
+	//adf:allow determinism allowaudit — fixture: fires only under -tags adfcheck
+	return 43
+}

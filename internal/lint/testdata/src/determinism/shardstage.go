@@ -41,19 +41,23 @@ func Merge(sh *shardLocal) {
 }
 
 // SanctionedWrite shows the escape hatch for synchronized,
-// order-independent state.
+// order-independent state: the allow names both rules that would flag
+// the global write (determinism intraprocedurally, shardsafe through
+// the call graph).
 //
 //adf:shardstage
 func SanctionedWrite(sh *shardLocal, n int) {
-	totalSent += n //adf:allow determinism — fixture: atomic counter, order independent
+	totalSent += n //adf:allow determinism shardsafe — fixture: atomic counter, order independent
 }
 
 // DrawInShard is a shard stage that draws randomness: keyed draws are
-// pure functions of (stream, node, tick) and stay silent, while every
+// pure functions of (stream, node, tick) and stay silent (the
+// streamowner claims below keep that rule satisfied too), while every
 // method call on a sequential *sim.RNG stream is flagged — the value a
 // sequential draw sees depends on which shard drew first.
 //
 //adf:shardstage
+//adf:owns StreamGatewayDrop StreamOutage — fixture: sole keyed consumer in this package
 func DrawInShard(sh *shardLocal, rng *sim.RNG, keyed *sim.Keyed, node int, tick uint64) {
 	if keyed.Bool(sim.StreamGatewayDrop, node, tick, 0.5) { // keyed: silent
 		sh.dropped++

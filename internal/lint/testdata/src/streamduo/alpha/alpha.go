@@ -1,0 +1,11 @@
+// Alpha half of the doubly-owned-stream fixture: claims StreamOutage.
+package alpha
+
+import "github.com/mobilegrid/adf/internal/sim"
+
+// Step draws the outage stream under a claim that would be fine alone.
+//
+//adf:owns StreamOutage — fixture: alpha's outage chain
+func Step(keyed *sim.Keyed, id int, tick uint64) float64 {
+	return keyed.Float64(sim.StreamOutage, id, tick)
+}

@@ -1,0 +1,14 @@
+// Beta half of the doubly-owned-stream fixture: claims StreamOutage
+// too, from a different package — the cross-package collision the
+// streamowner rule exists to catch, because two subsystems keying the
+// same stream can collide on (id, tick) keys.
+package beta
+
+import "github.com/mobilegrid/adf/internal/sim"
+
+// Step draws the same outage stream alpha claimed.
+//
+//adf:owns StreamOutage — fixture: beta's outage chain
+func Step(keyed *sim.Keyed, id int, tick uint64) float64 {
+	return keyed.Float64(sim.StreamOutage, id, tick)
+}

@@ -1,0 +1,72 @@
+// Streamowner fixture: every randomness stream — keyed constants,
+// sequential *sim.RNG receiver fields, worker queues — must have
+// exactly one owner, declared //adf:owns on the consuming function.
+package streamowner
+
+import "github.com/mobilegrid/adf/internal/sim"
+
+// source owns a sequential stream and a worker queue.
+type source struct {
+	rng   *sim.RNG
+	spare *sim.RNG
+	work  chan int
+	name  string
+}
+
+// Draw claims its keyed stream and the sequential field it consumes:
+// everything here is silent.
+//
+//adf:owns rng StreamGatewayDrop — fixture: sole consumer of both streams
+func (s *source) Draw(keyed *sim.Keyed, node int, tick uint64) bool {
+	if keyed.Bool(sim.StreamGatewayDrop, node, tick, 0.5) {
+		return true
+	}
+	return s.rng.Bool(0.5)
+}
+
+// Unclaimed draws a keyed stream with no //adf:owns: flagged.
+func Unclaimed(keyed *sim.Keyed, node int, tick uint64) uint64 {
+	return keyed.Uint64(sim.StreamOutage, node, tick) // flagged: no ownership claim
+}
+
+// Poach draws the sequential field Draw claimed: flagged — the claim
+// made Draw the field's only consumer.
+func (s *source) Poach() bool {
+	return s.rng.Bool(0.1) // flagged: rng is owned by source.Draw
+}
+
+// Stale claims a stream it never draws and a field the receiver does
+// not have: both claims are flagged where they stand.
+//
+//adf:owns StreamChurnLeave missing — fixture: deliberately wrong claims
+func (s *source) Stale(keyed *sim.Keyed) {
+	_ = s.name
+}
+
+// Malformed shows the grammar error: a resource token fitting no form.
+//
+//adf:owns Queue(work) — fixture: not a valid resource token
+func (s *source) Malformed() {}
+
+// StartWorkers launches the goroutine pool that drains the work queue:
+// the claim makes those goroutines the channel's only receivers.
+//
+//adf:owns queue:work — fixture: the pool is the queue's sole drainer
+func (s *source) StartWorkers(n int) {
+	for i := 0; i < n; i++ {
+		go func() {
+			for range s.work {
+			}
+		}()
+	}
+}
+
+// Steal receives from the claimed queue outside its owner: flagged.
+func (s *source) Steal() int {
+	return <-s.work // flagged: work is drained only by StartWorkers' pool
+}
+
+// Send feeds the queue; sends are not receives and stay silent.
+func (s *source) Send(v int) {
+	s.work <- v
+}
