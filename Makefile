@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint lint-sarif lint-fix-check race race-core check check-sharded obs-check bench-smoke ci bench-runner bench bench-obs profile
+.PHONY: build test vet lint lint-sarif lint-fix-check lint-lock race race-core check check-sharded obs-check bench-smoke ci bench-runner bench bench-obs profile
 
 build:
 	$(GO) build ./...
@@ -17,10 +17,11 @@ vet:
 
 # adflint is the project's own static-analysis pass (internal/lint):
 # the determinism, maporder, hotpath (call-graph aware), exhaustive,
-# floatcmp, invariant, shardsafe, streamowner and allowaudit rules. Two
-# passes — bare and with the adfcheck tag — so both halves of every
-# sanitizer file pair are analyzed. The shipped tree must lint clean;
-# any violation exits non-zero and fails ci.
+# floatcmp, invariant, shardsafe, streamowner, adflock (guardedby,
+# lockorder, goroleak, netctx) and allowaudit rules. Two passes — bare
+# and with the adfcheck tag — so both halves of every sanitizer file
+# pair are analyzed. The shipped tree must lint clean; any violation
+# exits non-zero and fails ci.
 lint:
 	$(GO) run ./cmd/adflint
 	$(GO) run ./cmd/adflint -tags adfcheck
@@ -39,6 +40,15 @@ lint-sarif:
 lint-fix-check:
 	$(GO) run ./cmd/adflint -rules allowaudit
 	$(GO) run ./cmd/adflint -rules allowaudit -tags adfcheck
+
+# lint-lock runs just the adflock concurrency rules — guarded-by
+# discipline, lock-order cycles, goroutine lifecycle, net deadlines —
+# under both tag sets. A fast pre-flight when touching the served layer
+# (internal/hla, internal/obs, cmd/rtiserver); `make lint` covers the
+# same rules as part of the full pass.
+lint-lock:
+	$(GO) run ./cmd/adflint -rules guardedby,lockorder,goroleak,netctx
+	$(GO) run ./cmd/adflint -rules guardedby,lockorder,goroleak,netctx -tags adfcheck
 
 # Run the whole module under the race detector.
 race:
@@ -94,7 +104,7 @@ bench-smoke:
 # ci builds with -trimpath so artifacts are reproducible regardless of
 # the checkout location.
 ci: export GOFLAGS += -trimpath
-ci: build vet lint test race obs-check check-sharded bench-smoke
+ci: build vet lint lint-lock test race obs-check check-sharded bench-smoke
 
 # Benchmark the campaign runner (sequential vs parallel figure
 # regeneration) and write BENCH_runner.json.

@@ -1,19 +1,25 @@
 // Command adflint runs the repository's static-analysis pass (see
 // internal/lint): determinism, maporder, hotpath (call-graph aware),
 // exhaustive, floatcmp, invariant, the interprocedural shardsafe and
-// streamowner dataflow rules, and the allowaudit suppression audit. It
-// walks the whole module, prints
+// streamowner dataflow rules, the adflock concurrency rules
+// (guardedby, lockorder, goroleak, netctx), and the allowaudit
+// suppression audit. It walks the whole module, prints
 // one file:line:col diagnostic per violation and exits 1 when anything
 // is found, so `make ci` fails fast on a stray time.Now(), an
 // order-dependent map range, an allocation in (or reachable from) an
 // //adf:hotpath function, a non-exhaustive enum switch, a float
-// equality in simulation code, or a sanitizer annotation drifted out of
-// sync.
+// equality in simulation code, a sanitizer annotation drifted out of
+// sync, an unlocked access to a //adf:guardedby field, a lock-order
+// cycle, a leaked goroutine, or an unbounded network wait.
 //
 // Usage:
 //
 //	adflint [-dir module-root] [-rules determinism,maporder,...]
 //	        [-tags adfcheck] [-json] [-sarif findings.sarif] [-list]
+//	        [-explain rule]
+//
+// -explain prints one rule's long-form documentation — semantics and
+// annotation grammar — and exits.
 //
 // -tags selects the build-tag set used for file selection; `make lint`
 // runs the module twice, bare and with -tags adfcheck, so both halves
@@ -47,11 +53,19 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit newline-delimited JSON diagnostics instead of text")
 	sarifPath := flag.String("sarif", "", "also write a SARIF v2.1.0 report to this path (written even when clean)")
 	list := flag.Bool("list", false, "list the available rules and exit")
+	explain := flag.String("explain", "", "print one rule's documentation and annotation grammar, then exit")
 	flag.Parse()
 
 	if *list {
 		for _, a := range lint.All() {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *explain != "" {
+		if err := explainRule(os.Stdout, *explain); err != nil {
+			fmt.Fprintln(os.Stderr, "adflint:", err)
+			os.Exit(2)
 		}
 		return
 	}
@@ -64,6 +78,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "adflint: %d violation(s)\n", n)
 		os.Exit(1)
 	}
+}
+
+// explainRule prints one rule's summary line and long-form Explain text.
+func explainRule(out io.Writer, name string) error {
+	for _, a := range lint.All() {
+		if a.Name != name {
+			continue
+		}
+		fmt.Fprintf(out, "%s — %s\n\n%s\n", a.Name, a.Doc, strings.TrimSpace(a.Explain))
+		return nil
+	}
+	return fmt.Errorf("unknown rule %q (try -list)", name)
 }
 
 // jsonDiagnostic is the machine-readable shape of one finding.

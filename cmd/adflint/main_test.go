@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/mobilegrid/adf/internal/lint"
 )
 
 // TestRealModuleIsClean runs the driver over this repository, in both
@@ -244,6 +246,30 @@ func Tick() {}
 	}
 	if !strings.Contains(string(raw), `"results": []`) {
 		t.Errorf("clean report must carry an empty results array:\n%s", raw)
+	}
+}
+
+// TestExplain pins the -explain surface: every registered rule prints
+// its name, summary, and non-empty long-form text; an unknown rule
+// errors by name.
+func TestExplain(t *testing.T) {
+	for _, a := range lint.All() {
+		var out strings.Builder
+		if err := explainRule(&out, a.Name); err != nil {
+			t.Fatalf("explainRule(%s): %v", a.Name, err)
+		}
+		got := out.String()
+		if !strings.HasPrefix(got, a.Name+" — ") {
+			t.Errorf("explain %s does not lead with the rule name:\n%s", a.Name, got)
+		}
+		if len(strings.TrimSpace(got)) <= len(a.Name)+len(a.Doc) {
+			t.Errorf("explain %s has no long-form text beyond the summary:\n%s", a.Name, got)
+		}
+	}
+	if err := explainRule(&strings.Builder{}, "nosuchrule"); err == nil {
+		t.Error("unknown rule name did not error")
+	} else if !strings.Contains(err.Error(), "nosuchrule") {
+		t.Errorf("unknown-rule error %q does not name the rule", err)
 	}
 }
 

@@ -12,6 +12,8 @@ type Group struct {
 	sem chan struct{}
 	wg  sync.WaitGroup
 	mu  sync.Mutex
+
+	//adf:guardedby mu
 	err error
 }
 

@@ -112,9 +112,13 @@ func (c Config) fingerprint() (string, error) {
 // pay for one campaign between them.
 var campaignCache = struct {
 	sync.Mutex
+
+	//adf:guardedby Mutex
 	entries map[string]*campaignEntry
-	hits    uint64
-	misses  uint64
+	//adf:guardedby Mutex
+	hits uint64
+	//adf:guardedby Mutex
+	misses uint64
 }{entries: map[string]*campaignEntry{}}
 
 type campaignEntry struct {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"time"
 
 	"github.com/mobilegrid/adf/internal/wire"
 )
@@ -18,6 +19,12 @@ type Client struct {
 	handle FederateHandle
 	joined bool
 	closed bool
+
+	// readTimeout and writeTimeout bound each frame read and write.
+	// Zero means no deadline: a time advance legitimately blocks until
+	// the rest of the federation catches up. Set via SetIOTimeouts.
+	readTimeout  time.Duration
+	writeTimeout time.Duration
 }
 
 // Dial connects to a TCP RTI server.
@@ -41,6 +48,21 @@ func (c *Client) Close() error {
 // Handle returns the federate handle assigned at join.
 func (c *Client) Handle() FederateHandle { return c.handle }
 
+// SetIOTimeouts bounds each frame read and write on the connection.
+// Zero (the default) means no deadline. Like the rest of Client, not
+// safe for concurrent use.
+func (c *Client) SetIOTimeouts(read, write time.Duration) {
+	c.readTimeout = read
+	c.writeTimeout = write
+}
+
+// writeFrame sends one frame under the configured write deadline; every
+// outbound request funnels through here.
+func (c *Client) writeFrame(payload []byte) error {
+	_ = c.conn.SetWriteDeadline(ioDeadline(c.writeTimeout))
+	return wire.WriteFrame(c.conn, payload)
+}
+
 // Join joins a federation as a time-regulating, time-constrained
 // federate. Callbacks are delivered to amb during TimeAdvanceRequest and
 // Tick.
@@ -57,7 +79,7 @@ func (c *Client) Join(federation, name string, lookahead float64, amb Ambassador
 	e.PutString(federation)
 	e.PutString(name)
 	e.PutFloat64(lookahead)
-	if err := wire.WriteFrame(c.conn, e.Bytes()); err != nil {
+	if err := c.writeFrame(e.Bytes()); err != nil {
 		return err
 	}
 	payload, err := c.await(msgJoined)
@@ -79,6 +101,7 @@ func (c *Client) Join(federation, name string, lookahead float64, amb Ambassador
 // terminal frame's payload.
 func (c *Client) await(terminal byte) ([]byte, error) {
 	for {
+		_ = c.conn.SetReadDeadline(ioDeadline(c.readTimeout))
 		payload, err := wire.ReadFrame(c.conn)
 		if err != nil {
 			return nil, fmt.Errorf("hla: connection lost: %w", err)
@@ -157,7 +180,7 @@ func (c *Client) call(e *wire.Encoder) error {
 	if !c.joined {
 		return errors.New("hla: not joined")
 	}
-	if err := wire.WriteFrame(c.conn, e.Bytes()); err != nil {
+	if err := c.writeFrame(e.Bytes()); err != nil {
 		return err
 	}
 	_, err := c.await(msgOK)
@@ -207,7 +230,7 @@ func (c *Client) RegisterObjectInstance(class, name string) (ObjectHandle, error
 	e.PutByte(msgRegister)
 	e.PutString(class)
 	e.PutString(name)
-	if err := wire.WriteFrame(c.conn, e.Bytes()); err != nil {
+	if err := c.writeFrame(e.Bytes()); err != nil {
 		return 0, err
 	}
 	payload, err := c.await(msgRegistered)
@@ -267,7 +290,7 @@ func (c *Client) advance(typ byte, t float64) error {
 	var e wire.Encoder
 	e.PutByte(typ)
 	e.PutFloat64(t)
-	if err := wire.WriteFrame(c.conn, e.Bytes()); err != nil {
+	if err := c.writeFrame(e.Bytes()); err != nil {
 		return err
 	}
 	payload, err := c.await(msgGrant)
@@ -319,7 +342,7 @@ func (c *Client) Resign() error {
 	}
 	var e wire.Encoder
 	e.PutByte(msgResign)
-	if err := wire.WriteFrame(c.conn, e.Bytes()); err != nil {
+	if err := c.writeFrame(e.Bytes()); err != nil {
 		return err
 	}
 	_, err := c.await(msgOK)

@@ -140,9 +140,13 @@ func (c callback) deliver(amb Ambassador) {
 // RTI pushes deliveries while holding federation state, and a bounded
 // channel could deadlock the federation if one federate stops draining.
 type mailbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	items  []callback
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	//adf:guardedby mu
+	items []callback
+
+	//adf:guardedby mu
 	closed bool
 }
 
@@ -208,26 +212,41 @@ type federateState struct {
 	handle FederateHandle
 	name   string
 
-	time       float64
 	lookahead  float64
 	regulating bool
 	// constrained federates receive TSO messages only on time advance.
 	constrained bool
-	pendingTAR  float64
-	hasTAR      bool
+
+	//adf:guardedby Federation.mu
+	time float64
+	//adf:guardedby Federation.mu
+	pendingTAR float64
+	//adf:guardedby Federation.mu
+	hasTAR bool
 	// nextEvent marks the pending request as a NextEventRequest: the
 	// grant jumps to the next TSO message's timestamp when one precedes
 	// the requested time.
+	//
+	//adf:guardedby Federation.mu
 	nextEvent bool
-	resigned  bool
+	//adf:guardedby Federation.mu
+	resigned bool
 
-	pubObjects      map[string]map[string]bool // class -> attribute set
-	subObjects      map[string]map[string]bool
+	// pub/sub interest sets, mutated by the publish/subscribe services.
+	//
+	//adf:guardedby Federation.mu
+	pubObjects map[string]map[string]bool // class -> attribute set
+	//adf:guardedby Federation.mu
+	subObjects map[string]map[string]bool
+	//adf:guardedby Federation.mu
 	pubInteractions map[string]bool
+	//adf:guardedby Federation.mu
 	subInteractions map[string]bool
 
+	//adf:guardedby Federation.mu
 	tsoQueue []tsoMessage
-	mailbox  *mailbox
+
+	mailbox *mailbox
 }
 
 // objectState is the RTI-side record of one registered object instance.
@@ -245,20 +264,29 @@ type objectState struct {
 type Federation struct {
 	name string
 
-	mu           sync.Mutex
-	federates    map[FederateHandle]*federateState
-	objects      map[ObjectHandle]*objectState
-	syncPoints   map[string]*syncPoint
+	mu sync.Mutex
+
+	//adf:guardedby mu
+	federates map[FederateHandle]*federateState
+	//adf:guardedby mu
+	objects map[ObjectHandle]*objectState
+	//adf:guardedby mu
+	syncPoints map[string]*syncPoint
+	//adf:guardedby mu
 	nextFederate FederateHandle
-	nextObject   ObjectHandle
-	seq          uint64
+	//adf:guardedby mu
+	nextObject ObjectHandle
+	//adf:guardedby mu
+	seq uint64
 }
 
 // RTI hosts federation executions. One RTI serves any number of
 // federations; federates attach in-process via Join or remotely via the
 // TCP transport.
 type RTI struct {
-	mu          sync.Mutex
+	mu sync.Mutex
+
+	//adf:guardedby mu
 	federations map[string]*Federation
 }
 

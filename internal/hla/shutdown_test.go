@@ -1,0 +1,153 @@
+package hla
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newTestServer starts a serving TCP RTI with one federation and hands
+// back the server itself, for tests that drive the shutdown path.
+func newTestServer(t *testing.T) (*Server, chan error) {
+	t.Helper()
+	rti := NewRTI()
+	if err := rti.CreateFederation("test"); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(rti, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve() }()
+	return srv, served
+}
+
+// TestShutdownIdempotent pins the teardown contract: only the first
+// Shutdown closes the listener, every later call (and a Close after)
+// waits for the drain and returns cleanly instead of re-closing.
+func TestShutdownIdempotent(t *testing.T) {
+	srv, served := newTestServer(t)
+	if err := srv.Shutdown(); err != nil {
+		t.Fatalf("first Shutdown: %v", err)
+	}
+	if err := srv.Shutdown(); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close after Shutdown: %v", err)
+	}
+	select {
+	case <-served:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Shutdown")
+	}
+}
+
+// TestShutdownConcurrentCalls races several Shutdown calls against each
+// other: all must return nil, none may panic on a double listener close.
+func TestShutdownConcurrentCalls(t *testing.T) {
+	srv, served := newTestServer(t)
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = srv.Shutdown()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("concurrent Shutdown %d: %v", i, err)
+		}
+	}
+	<-served
+}
+
+// TestShutdownRacesJoin keeps federates joining while Shutdown lands:
+// joins may fail once the teardown starts, but the shutdown itself must
+// stay clean and every handler must drain.
+func TestShutdownRacesJoin(t *testing.T) {
+	srv, served := newTestServer(t)
+	addr := srv.Addr().String()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c, err := Dial(addr)
+				if err != nil {
+					return // listener gone: shutdown won the race
+				}
+				// The join itself may succeed or lose to the teardown;
+				// either way the connection must come back.
+				_ = c.Join("test", fmt.Sprintf("f-%d-%d", id, n), 1.0, &recorder{})
+				_ = c.Close()
+			}
+		}(i)
+	}
+
+	time.Sleep(5 * time.Millisecond) // let some joins land first
+	if err := srv.Shutdown(); err != nil {
+		t.Fatalf("Shutdown during joins: %v", err)
+	}
+	if err := srv.Shutdown(); err != nil {
+		t.Fatalf("repeat Shutdown after the race: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	<-served
+}
+
+// waitForGoroutines polls until the live goroutine count settles back to
+// the baseline (small slack for runtime housekeeping), failing the test
+// if it never does — the leak regression check.
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var n int
+	for time.Now().Before(deadline) {
+		n = runtime.NumGoroutine()
+		if n <= baseline {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d live, baseline %d", n, baseline)
+}
+
+// TestServerGoroutinesDrain joins several federates, shuts the server
+// down, and requires every accept and handler goroutine to exit.
+func TestServerGoroutinesDrain(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	srv, served := newTestServer(t)
+	addr := srv.Addr().String()
+	for i := 0; i < 3; i++ {
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Join("test", fmt.Sprintf("f%d", i), 1.0, &recorder{}); err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = c.Close() }()
+	}
+	if err := srv.Shutdown(); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	<-served
+	waitForGoroutines(t, baseline)
+}

@@ -5,10 +5,22 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/mobilegrid/adf/internal/obs"
 	"github.com/mobilegrid/adf/internal/wire"
 )
+
+// ioDeadline converts a configured I/O timeout into an absolute
+// deadline. A non-positive timeout yields the zero time.Time — an
+// explicit "no deadline" — so blocking time-advance semantics are
+// preserved unless a timeout is configured.
+func ioDeadline(d time.Duration) time.Time {
+	if d <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(d) //adf:allow determinism — wall-clock deadline for network I/O, not simulation state
+}
 
 // Message types of the TCP RTI protocol. Client requests first, then
 // server responses and callbacks.
@@ -80,10 +92,21 @@ type Server struct {
 	rti *RTI
 	ln  net.Listener
 
-	mu     sync.Mutex
-	conns  map[net.Conn]bool
+	// readTimeout and writeTimeout bound each frame read and write on
+	// federate connections. Zero means no deadline (block forever, the
+	// HLA default). Set via SetIOTimeouts before Serve.
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+
+	mu sync.Mutex
+
+	//adf:guardedby mu
+	conns map[net.Conn]bool
+
+	//adf:guardedby mu
 	closed bool
-	wg     sync.WaitGroup
+
+	wg sync.WaitGroup
 }
 
 // NewServer listens on addr (e.g. "127.0.0.1:0") and serves the given
@@ -101,6 +124,14 @@ func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
 // RTI returns the RTI this server exposes.
 func (s *Server) RTI() *RTI { return s.rti }
+
+// SetIOTimeouts bounds each frame read and write on federate
+// connections. Zero (the default) means no deadline. Call before Serve:
+// the values are read by the handler goroutines without locking.
+func (s *Server) SetIOTimeouts(read, write time.Duration) {
+	s.readTimeout = read
+	s.writeTimeout = write
+}
 
 // Serve accepts connections until Close. It always returns a non-nil
 // error; after Close the error wraps net.ErrClosed.
@@ -128,15 +159,20 @@ func (s *Server) Serve() error {
 }
 
 // Close stops accepting, closes every live connection and waits for the
-// handlers to finish.
+// handlers to finish. Close is idempotent: subsequent calls wait for
+// the drain and return nil.
 func (s *Server) Close() error {
 	s.mu.Lock()
+	first := !s.closed
 	s.closed = true
 	for conn := range s.conns {
 		_ = conn.Close()
 	}
 	s.mu.Unlock()
-	err := s.ln.Close()
+	var err error
+	if first {
+		err = s.ln.Close()
+	}
 	s.wg.Wait()
 	return err
 }
@@ -153,12 +189,18 @@ func (s *Server) dropConn(conn net.Conn) {
 // connections first, then closes every live federate connection (each
 // handler resigns its federate on the way out) and waits for the
 // handlers to drain. Unlike Close, the listener is gone before any
-// federate is dropped, so no new work races the teardown.
+// federate is dropped, so no new work races the teardown. Shutdown is
+// idempotent: only the first call closes the listener; later calls
+// (including ones racing the first) wait for the drain and return nil.
 func (s *Server) Shutdown() error {
 	s.mu.Lock()
+	first := !s.closed
 	s.closed = true
 	s.mu.Unlock()
-	err := s.ln.Close()
+	var err error
+	if first {
+		err = s.ln.Close()
+	}
 	s.mu.Lock()
 	for conn := range s.conns {
 		_ = conn.Close()
@@ -171,9 +213,12 @@ func (s *Server) Shutdown() error {
 // connWriter serialises frame writes from the request handler and the
 // RTI callback path.
 type connWriter struct {
-	mu   sync.Mutex
-	conn net.Conn
-	err  error
+	mu      sync.Mutex
+	conn    net.Conn
+	timeout time.Duration // write deadline per frame; zero blocks
+
+	//adf:guardedby mu
+	err error
 }
 
 func (w *connWriter) writeFrame(payload []byte) {
@@ -182,6 +227,7 @@ func (w *connWriter) writeFrame(payload []byte) {
 	if w.err != nil {
 		return
 	}
+	_ = w.conn.SetWriteDeadline(ioDeadline(w.timeout))
 	w.err = wire.WriteFrame(w.conn, payload)
 	if w.err == nil {
 		obs.WireFramesOut.Inc()
@@ -274,7 +320,7 @@ func writeError(w *connWriter, err error) {
 // RTI service requests until the connection drops or the client resigns.
 func (s *Server) handle(conn net.Conn) {
 	defer s.dropConn(conn)
-	w := &connWriter{conn: conn}
+	w := &connWriter{conn: conn, timeout: s.writeTimeout}
 
 	var fed *Federate
 	defer func() {
@@ -285,6 +331,9 @@ func (s *Server) handle(conn net.Conn) {
 	}()
 
 	for {
+		// Refresh the read deadline each request; zero-timeout servers
+		// get an explicit unbounded wait.
+		_ = conn.SetReadDeadline(ioDeadline(s.readTimeout))
 		payload, err := wire.ReadFrame(conn)
 		if err != nil {
 			return

@@ -35,6 +35,17 @@ import (
 var AllowAudit = &Analyzer{
 	Name: "allowaudit",
 	Doc:  "flag stale //adf:allow suppressions (no matching diagnostic on their lines) and suppressions without a reason",
+	Explain: `allowaudit audits the escape hatches themselves.
+
+Suppression grammar (own line above, or trailing on the line):
+    //adf:allow <rule> [<rule>...] — reason
+
+Flagged: an //adf:allow whose named rule produced no diagnostic (and
+consumed no walk-pruning exemption) in its covered span — a stale
+suppression hiding nothing — and any //adf:allow without a free-text
+reason after the rule list. A deliberately dormant suppression (one
+that only fires under another build-tag pass) is kept alive with
+//adf:allow allowaudit — reason.`,
 }
 
 // auditAllows reports the stale and reason-less entries of a run's allow

@@ -39,7 +39,21 @@ import (
 var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc:  "forbid wall-clock reads, the global math/rand source, bare goroutines in simulation packages, and package-level writes or sequential *sim.RNG draws in //adf:shardstage functions",
-	Run:  runDeterminism,
+	Explain: `determinism keeps simulation runs bit-for-bit reproducible.
+
+Module-wide: no time.Now/Since/Until (wall-clock state) and no global
+math/rand draws — randomness comes from injected *sim.RNG streams.
+In the simulation packages additionally: no bare go statements
+(concurrency goes through the engine's pools).
+
+Functions annotated //adf:shardstage (concurrent region-shard stage
+bodies) additionally may not write package-level variables unless the
+variable is declared //adf:shardlocal (disjoint per-shard slots), and
+may not draw on sequential RNG streams unless the field is claimed
+//adf:owns <field> (see streamowner).
+
+Escape hatch: //adf:allow determinism — reason.`,
+	Run: runDeterminism,
 }
 
 // bannedClockFuncs are the package-level time functions that read the wall

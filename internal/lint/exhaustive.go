@@ -18,7 +18,14 @@ import (
 var Exhaustive = &Analyzer{
 	Name: "exhaustive",
 	Doc:  "require switches over project enums to cover every constant or have a default",
-	Run:  runExhaustive,
+	Explain: `exhaustive covers switches over project enums — named integer or
+string types with two or more package-level constants. Every switch
+over such a type must either list every constant or carry a default
+clause, so adding an enum member fails the lint instead of silently
+falling through.
+
+Escape hatch: //adf:allow exhaustive — reason.`,
+	Run: runExhaustive,
 }
 
 func runExhaustive(p *Pass) {

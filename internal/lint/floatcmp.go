@@ -20,7 +20,15 @@ import (
 var FloatCmp = &Analyzer{
 	Name: "floatcmp",
 	Doc:  "forbid == and != on computed float operands in simulation packages",
-	Run:  runFloatCmp,
+	Explain: `floatcmp applies in the simulation packages: == and != on
+floating-point operands are forbidden unless one side is a
+compile-time constant (sentinel checks stay legal).
+
+Break ordering ties with two < comparisons; check bit-identity through
+geo.SameBits and tolerances through geo.NearEq.
+
+Escape hatch: //adf:allow floatcmp — reason.`,
+	Run: runFloatCmp,
 }
 
 func runFloatCmp(p *Pass) {

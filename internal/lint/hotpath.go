@@ -18,8 +18,19 @@ import (
 // module-local callees of a hotpath function are walked transitively
 // and held to the same standard.
 var HotPath = &Analyzer{
-	Name:      "hotpath",
-	Doc:       "forbid allocating constructs in and reachable from //adf:hotpath functions",
+	Name: "hotpath",
+	Doc:  "forbid allocating constructs in and reachable from //adf:hotpath functions",
+	Explain: `//adf:hotpath on a function declares it part of the per-tick
+zero-allocation path.
+
+Annotation grammar (function doc comment):
+    //adf:hotpath
+
+Flagged inside the body and in every statically reachable module-local
+callee: append, make, new, &T{...}, slice/map literals, closures, go
+and defer statements. A callee that is itself //adf:hotpath is its own
+root. //adf:allow hotpath on a call site declares the call a cold path
+and prunes the walk; on a construct it silences just that construct.`,
 	Run:       runHotPath,
 	RunModule: runHotPathModule,
 }

@@ -34,7 +34,18 @@ import (
 var Invariant = &Analyzer{
 	Name: "invariant",
 	Doc:  "keep //adf:invariant annotations and adfcheck/!adfcheck file pairs in sync",
-	Run:  runInvariant,
+	Explain: `invariant keeps the adfcheck sanitizer honest.
+
+Annotation grammar (statement-level comment):
+    //adf:invariant <free-text description>
+
+Every //adf:invariant must sit directly on a sanitize.Check* call and
+every sanitize.Check* call must carry one. Each adfcheck/!adfcheck
+file pair must declare the same exported and method names, so tagged
+builds cannot drift from default builds.
+
+Escape hatch: //adf:allow invariant — reason.`,
+	Run: runInvariant,
 }
 
 // invariantPrefix introduces an annotation naming a guarded invariant.

@@ -78,6 +78,9 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description.
 	Doc string
+	// Explain is the long-form help behind `adflint -explain <rule>`:
+	// the rule's semantics and its annotation grammar.
+	Explain string
 	// Run inspects one package and reports findings through the pass.
 	// Nil for analyzers that only work module-wide.
 	Run func(*Pass)
@@ -135,10 +138,12 @@ type ModulePass struct {
 	// Pkgs are all packages of the run, in import-path order.
 	Pkgs []*Package
 
-	rule        string
-	simSuffixes []string
-	diags       *[]Diagnostic
-	allows      *allowSet
+	rule         string
+	simSuffixes  []string
+	concSuffixes []string
+	netSuffixes  []string
+	diags        *[]Diagnostic
+	allows       *allowSet
 }
 
 // Allowed reports whether an //adf:allow for rule covers pos, marking
@@ -164,6 +169,18 @@ func (p *ModulePass) Sim(path string) bool {
 	return isSimPackage(path, p.simSuffixes)
 }
 
+// Concurrent reports whether an import path belongs to the concurrent
+// (served/distributed) packages the goroleak rule covers.
+func (p *ModulePass) Concurrent(path string) bool {
+	return isSimPackage(path, p.concSuffixes)
+}
+
+// Net reports whether an import path belongs to the network packages
+// the netctx rule covers.
+func (p *ModulePass) Net(path string) bool {
+	return isSimPackage(path, p.netSuffixes)
+}
+
 // SimPackages lists the import-path suffixes of the packages whose code
 // mutates simulation state every tick. The determinism goroutine rule and
 // the maporder rule apply only here; the clock/rand and annotation-driven
@@ -181,6 +198,24 @@ var SimPackages = []string{
 	"internal/energy",
 }
 
+// ConcurrentPackages lists the import-path suffixes of the packages
+// whose goroutines serve concurrent (non-simulation) work: the RTI
+// transport, observability, the engine's worker pools, the campaign
+// runner and the server binary. The goroleak rule applies here.
+var ConcurrentPackages = []string{
+	"internal/hla",
+	"internal/obs",
+	"internal/engine",
+	"internal/experiment",
+	"cmd/rtiserver",
+}
+
+// NetPackages lists the import-path suffixes of the packages doing raw
+// network I/O. The netctx deadline rule applies here.
+var NetPackages = []string{
+	"internal/hla",
+}
+
 // Config parameterises a lint run.
 type Config struct {
 	// Analyzers to run; nil means All().
@@ -188,11 +223,17 @@ type Config struct {
 	// SimPackages are import-path suffixes treated as simulation
 	// packages; nil means the package-level SimPackages default.
 	SimPackages []string
+	// ConcurrentPackages are import-path suffixes the goroleak rule
+	// covers; nil means the package-level ConcurrentPackages default.
+	ConcurrentPackages []string
+	// NetPackages are import-path suffixes the netctx rule covers; nil
+	// means the package-level NetPackages default.
+	NetPackages []string
 }
 
 // All returns the full analyzer set in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, MapOrder, HotPath, Exhaustive, FloatCmp, Invariant, ShardSafe, StreamOwner, AllowAudit}
+	return []*Analyzer{Determinism, MapOrder, HotPath, Exhaustive, FloatCmp, Invariant, ShardSafe, StreamOwner, GuardedBy, LockOrder, GoroLeak, NetCtx, AllowAudit}
 }
 
 // isSimPackage reports whether an import path names (or is nested under)
@@ -222,6 +263,14 @@ func Run(pkgs []*Package, cfg Config) []Diagnostic {
 	simSuffixes := cfg.SimPackages
 	if simSuffixes == nil {
 		simSuffixes = SimPackages
+	}
+	concSuffixes := cfg.ConcurrentPackages
+	if concSuffixes == nil {
+		concSuffixes = ConcurrentPackages
+	}
+	netSuffixes := cfg.NetPackages
+	if netSuffixes == nil {
+		netSuffixes = NetPackages
 	}
 	if len(pkgs) == 0 {
 		return nil
@@ -266,11 +315,13 @@ func Run(pkgs []*Package, cfg Config) []Diagnostic {
 		}
 	}
 	mp := &ModulePass{
-		Fset:        pkgs[0].Fset,
-		Pkgs:        pkgs,
-		simSuffixes: simSuffixes,
-		diags:       &raw,
-		allows:      allows,
+		Fset:         pkgs[0].Fset,
+		Pkgs:         pkgs,
+		simSuffixes:  simSuffixes,
+		concSuffixes: concSuffixes,
+		netSuffixes:  netSuffixes,
+		diags:        &raw,
+		allows:       allows,
 	}
 	for _, a := range analyzers {
 		if a.RunModule == nil {
@@ -449,7 +500,7 @@ func (s *allowSet) allowedAt(file string, line int, rule string) bool {
 // a loop over All() because the analyzers' Run functions reference the
 // allow machinery, which references this — going through All() would be
 // an initialization cycle. TestRuleNamesMatchAll keeps the two in sync.
-var ruleNames = []string{"determinism", "maporder", "hotpath", "exhaustive", "floatcmp", "invariant", "shardsafe", "streamowner", "allowaudit"}
+var ruleNames = []string{"determinism", "maporder", "hotpath", "exhaustive", "floatcmp", "invariant", "shardsafe", "streamowner", "guardedby", "lockorder", "goroleak", "netctx", "allowaudit"}
 
 func isRuleName(s string) bool {
 	for _, n := range ruleNames {

@@ -11,10 +11,18 @@ import (
 
 var update = flag.Bool("update", false, "rewrite the golden files from the current analyzer output")
 
+// fixtureScope selects which package-gated rule families see the
+// fixture: sim (determinism goroutine rule, maporder, floatcmp), conc
+// (goroleak), net (netctx).
+type fixtureScope struct {
+	sim  bool
+	conc bool
+	net  bool
+}
+
 // loadFixture lints one fixture package under testdata/src with the full
-// analyzer set. sim loads it as a simulation package (the determinism
-// goroutine rule and maporder only fire there).
-func loadFixture(t *testing.T, name string, sim bool) []Diagnostic {
+// analyzer set, scoped per the gating flags.
+func loadFixture(t *testing.T, name string, scope fixtureScope) []Diagnostic {
 	t.Helper()
 	loader, err := NewLoader(".")
 	if err != nil {
@@ -26,8 +34,14 @@ func loadFixture(t *testing.T, name string, sim bool) []Diagnostic {
 		t.Fatalf("LoadDir(%s): %v", name, err)
 	}
 	cfg := Config{}
-	if sim {
+	if scope.sim {
 		cfg.SimPackages = []string{importPath}
+	}
+	if scope.conc {
+		cfg.ConcurrentPackages = []string{importPath}
+	}
+	if scope.net {
+		cfg.NetPackages = []string{importPath}
 	}
 	return Run([]*Package{pkg}, cfg)
 }
@@ -47,22 +61,26 @@ func render(diags []Diagnostic) string {
 // regenerate after deliberate message or fixture changes.
 func TestGoldenFixtures(t *testing.T) {
 	cases := []struct {
-		name string
-		sim  bool
+		name  string
+		scope fixtureScope
 	}{
-		{"determinism", true},
-		{"maporder", true},
-		{"hotpath", false},
-		{"exhaustive", false},
-		{"floatcmp", true},
-		{"invariant", false},
-		{"shardsafe", false},
-		{"streamowner", false},
-		{"allowaudit", false},
+		{"determinism", fixtureScope{sim: true}},
+		{"maporder", fixtureScope{sim: true}},
+		{"hotpath", fixtureScope{}},
+		{"exhaustive", fixtureScope{}},
+		{"floatcmp", fixtureScope{sim: true}},
+		{"invariant", fixtureScope{}},
+		{"shardsafe", fixtureScope{}},
+		{"streamowner", fixtureScope{}},
+		{"guardedby", fixtureScope{}},
+		{"lockorder", fixtureScope{}},
+		{"goroleak", fixtureScope{conc: true}},
+		{"netctx", fixtureScope{net: true}},
+		{"allowaudit", fixtureScope{}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			got := render(loadFixture(t, tc.name, tc.sim))
+			got := render(loadFixture(t, tc.name, tc.scope))
 			goldenPath := filepath.Join("testdata", "golden", tc.name+".golden")
 			if *update {
 				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
@@ -118,17 +136,45 @@ func TestStreamOwnerDoublyOwned(t *testing.T) {
 // as ordinary packages, the determinism goroutine rule and maporder stay
 // quiet, while the clock/rand rules still fire.
 func TestFixturesFlagNothingOutsideSimScope(t *testing.T) {
-	for _, d := range loadFixture(t, "maporder", false) {
+	for _, d := range loadFixture(t, "maporder", fixtureScope{}) {
 		t.Errorf("maporder fixture flagged outside sim scope: %s", d)
 	}
 	var goStmts int
-	for _, d := range loadFixture(t, "determinism", false) {
+	for _, d := range loadFixture(t, "determinism", fixtureScope{}) {
 		if strings.Contains(d.Message, "go statement") {
 			goStmts++
 		}
 	}
 	if goStmts != 0 {
 		t.Errorf("goroutine rule fired %d times outside sim scope", goStmts)
+	}
+}
+
+// TestConcurrencyFixturesRespectScope pins the goroleak and netctx
+// package gating: outside their declared scopes the rules stay silent.
+func TestConcurrencyFixturesRespectScope(t *testing.T) {
+	for _, d := range loadFixture(t, "goroleak", fixtureScope{}) {
+		if d.Rule == "goroleak" && strings.Contains(d.Message, "termination path") {
+			t.Errorf("goroleak launch rule fired outside concurrent scope: %s", d)
+		}
+	}
+	for _, d := range loadFixture(t, "netctx", fixtureScope{}) {
+		if d.Rule == "netctx" {
+			t.Errorf("netctx fired outside net scope: %s", d)
+		}
+	}
+}
+
+// TestEveryRuleHasExplainText backs `adflint -explain`: each registered
+// analyzer must ship long-form documentation.
+func TestEveryRuleHasExplainText(t *testing.T) {
+	for _, a := range All() {
+		if strings.TrimSpace(a.Explain) == "" {
+			t.Errorf("analyzer %q has no Explain text", a.Name)
+		}
+		if strings.TrimSpace(a.Doc) == "" {
+			t.Errorf("analyzer %q has no Doc text", a.Name)
+		}
 	}
 }
 

@@ -23,7 +23,17 @@ import (
 var MapOrder = &Analyzer{
 	Name: "maporder",
 	Doc:  "flag order-dependent iteration over maps in simulation packages",
-	Run:  runMapOrder,
+	Explain: `maporder applies in the simulation packages: ranging over a Go
+map yields a random order, so any map iteration whose effects are
+order-dependent breaks reproducibility.
+
+An iteration passes when its keys are collected and sorted first, or
+the body is provably commutative (pure accumulation into commutative
+operations). Everything else is flagged: collect the keys, sort, then
+iterate.
+
+Escape hatch: //adf:allow maporder — reason.`,
+	Run: runMapOrder,
 }
 
 func runMapOrder(p *Pass) {

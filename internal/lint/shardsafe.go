@@ -36,8 +36,22 @@ import (
 // outside the concurrent phase and prunes the walk, while //adf:allow
 // shardsafe on the offending write silences just that write.
 var ShardSafe = &Analyzer{
-	Name:      "shardsafe",
-	Doc:       "prove mutations reachable from //adf:shardstage stages resolve to shard-owned state (no package-level writes, captured-variable writes, or goroutines)",
+	Name: "shardsafe",
+	Doc:  "prove mutations reachable from //adf:shardstage stages resolve to shard-owned state (no package-level writes, captured-variable writes, or goroutines)",
+	Explain: `shardsafe proves shard isolation interprocedurally.
+
+Annotation grammar (function doc comments):
+    //adf:shardstage            this function runs concurrently, once
+                                per region shard, during a pipeline tick
+    //adf:shardlocal            on a package-level var: per-shard slots,
+                                indexed so shards never share an element
+
+From every //adf:shardstage root, the static call graph is walked.
+Flagged anywhere reachable: writes to package-level variables not
+declared //adf:shardlocal, writes to variables captured from an
+enclosing non-stage scope, and go statements (shards must not spawn).
+A callee annotated //adf:shardstage is its own root; //adf:allow
+shardsafe on a call site prunes the walk.`,
 	RunModule: runShardSafe,
 }
 

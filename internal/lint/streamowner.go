@@ -52,8 +52,25 @@ import (
 // obligation moved here. An unverifiable ownership pattern falls back
 // to //adf:allow streamowner with a reason.
 var StreamOwner = &Analyzer{
-	Name:      "streamowner",
-	Doc:       "prove every RNG stream (keyed constants, sequential *sim.RNG fields, worker queues) has exactly one owning consumer, declared //adf:owns",
+	Name: "streamowner",
+	Doc:  "prove every RNG stream (keyed constants, sequential *sim.RNG fields, worker queues) has exactly one owning consumer, declared //adf:owns",
+	Explain: `streamowner proves single-ownership of randomness and work queues.
+
+Annotation grammar (function doc comment, comma-separated claims):
+    //adf:owns StreamXxx          exclusive use of a keyed stream const
+    //adf:owns <field>            exclusive draws on a sequential
+                                  *sim.RNG struct field
+    //adf:owns queue:<field>      this function's goroutines are the
+                                  sole drainers of a channel field
+
+Flagged: a keyed-stream constant or sequential RNG field used by a
+function that does not claim it (and is not reachable from a claimant
+through the static call graph), a stream claimed by two functions
+neither of which can reach the other, and a claim naming nothing the
+function uses (stale). queue: claims also exempt the draining
+goroutines from goroleak.
+
+Escape hatch: //adf:allow streamowner — reason.`,
 	RunModule: runStreamOwner,
 }
 

@@ -1,0 +1,135 @@
+// Package goroleak exercises the goroutine-lifecycle analyzer: the
+// three termination witnesses (WaitGroup.Done, close-signalled channel,
+// ctx.Done), the //adf:owns queue: and //adf:detached exemptions, and
+// the leaks — a bare forever-loop, a witness hidden in a nested
+// goroutine, and the detached-annotation audit. The fixture is loaded
+// as a concurrent package.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+// pool drains work until stop closes the channel.
+type pool struct {
+	work chan int
+	wg   sync.WaitGroup
+}
+
+func (p *pool) stop() { close(p.work) }
+
+// start launches the drainers it owns: the queue claim exempts them
+// (streamowner proves the protocol; closing work ends the workers).
+//
+//adf:owns queue:work
+func (p *pool) start(n int) {
+	for i := 0; i < n; i++ {
+		go func() {
+			for w := range p.work {
+				_ = w
+			}
+		}()
+	}
+}
+
+// tracked ties the goroutine to the WaitGroup: clean. jobs is a caller
+// channel, not the claimed queue — the Done is the witness.
+func (p *pool) tracked(jobs chan int) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for w := range jobs {
+			_ = w
+		}
+	}()
+}
+
+// pump launches a named worker; the Done witness is found through the
+// static call: clean.
+func (p *pool) pump(jobs chan int) {
+	p.wg.Add(1)
+	go p.drainOnce(jobs)
+}
+
+func (p *pool) drainOnce(jobs chan int) {
+	defer p.wg.Done()
+	for w := range jobs {
+		_ = w
+	}
+}
+
+// feed is closed by closeFeed: receiving from it is a termination
+// witness in its own right, no claim or WaitGroup needed.
+var feed = make(chan int)
+
+func closeFeed() { close(feed) }
+
+// follow ranges the module-closed feed: clean.
+func follow() {
+	go func() {
+		for v := range feed {
+			_ = v
+		}
+	}()
+}
+
+// watch waits for cancellation: the ctx.Done receive is the witness.
+func watch(ctx context.Context, tick chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-tick:
+				_ = v
+			}
+		}
+	}()
+}
+
+// runForever leaks: no Done, no close-signalled channel, no context.
+func runForever(events chan int) {
+	go func() {
+		for {
+			events <- 1
+		}
+	}()
+}
+
+// nested hides the Done inside a second goroutine: the inner launch is
+// vouched for, the outer one is flagged.
+func (p *pool) nested() {
+	go func() {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+		}()
+	}()
+}
+
+// serve is deliberately process-lifetime: declared, not silenced.
+func serve(requests chan int) {
+	//adf:detached fixture: serves until process exit
+	go func() {
+		for r := range requests {
+			_ = r
+		}
+	}()
+}
+
+// sloppy detaches without saying why: the annotation is flagged.
+func sloppy(requests chan int) {
+	//adf:detached
+	go func() {
+		for r := range requests {
+			_ = r
+		}
+	}()
+}
+
+// stale carries a detached annotation covering no go statement: flagged.
+func stale() {
+	//adf:detached fixture: nothing underneath
+	_ = 0
+}

@@ -1,0 +1,125 @@
+// Package guardedby exercises the //adf:guardedby field annotation:
+// direct acquisition, call-graph reachability from an acquirer,
+// unlocked accesses, qualified cross-struct guards, the embedded-mutex
+// form, annotation errors, and the annotation-independent mixed
+// atomic/plain check.
+package guardedby
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// counter guards its mutable fields with mu.
+type counter struct {
+	mu sync.Mutex
+
+	// n is the running total.
+	//
+	//adf:guardedby mu
+	n int
+
+	//adf:guardedby mu
+	names []string
+}
+
+// Add locks before touching n, and the bump helper inherits the proof
+// through the call graph: clean.
+func (c *counter) Add(delta int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += delta
+	c.bump()
+}
+
+// bump never locks itself; it is reachable from Add, which does.
+func (c *counter) bump() {
+	c.names = append(c.names, "bump")
+}
+
+// Peek reads n without the lock and no acquirer reaches it: flagged.
+func (c *counter) Peek() int {
+	return c.n
+}
+
+// Reset writes both guarded fields cold: flagged twice.
+func Reset(c *counter) {
+	c.n = 0
+	c.names = nil
+}
+
+// registry guards rows owned by other structs: row.seen names its
+// guard with the qualified Type.field form.
+type registry struct {
+	mu   sync.Mutex
+	rows map[string]*row
+}
+
+type row struct {
+	//adf:guardedby registry.mu
+	seen int
+}
+
+// Touch holds the registry lock across the row mutation: clean.
+func (r *registry) Touch(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rows[name].seen++
+}
+
+// Leak mutates a row without the registry lock: flagged.
+func Leak(rw *row) {
+	rw.seen++
+}
+
+// cache is an anonymous struct var with an embedded mutex guarding its
+// fields through the promoted Lock/Unlock methods.
+var cache = struct {
+	sync.Mutex
+
+	//adf:guardedby Mutex
+	entries map[string]int
+}{entries: map[string]int{}}
+
+// Lookup locks through the promoted method: clean.
+func Lookup(key string) int {
+	cache.Lock()
+	defer cache.Unlock()
+	return cache.entries[key]
+}
+
+// Evict skips the lock: flagged.
+func Evict(key string) {
+	delete(cache.entries, key)
+}
+
+// orphan names a guard that does not exist: the annotation itself is
+// flagged and the field goes unchecked.
+type orphan struct {
+	//adf:guardedby missing
+	v int
+}
+
+// notAMutex guards with a field of the wrong type: flagged.
+type notAMutex struct {
+	gate int
+
+	//adf:guardedby gate
+	v int
+}
+
+// hybrid updates hits through sync/atomic in one place and plainly in
+// another — a data race no annotation can bless.
+type hybrid struct {
+	hits uint64
+}
+
+// Hit is the atomic side: not flagged.
+func (h *hybrid) Hit() {
+	atomic.AddUint64(&h.hits, 1)
+}
+
+// Report is the plain side: flagged at the read.
+func (h *hybrid) Report() uint64 {
+	return h.hits
+}

@@ -1,0 +1,97 @@
+// Package lockorder exercises the lock-acquisition graph: a two-lock
+// ordering cycle, direct and via-call re-entrant acquisitions, and the
+// clean shapes — consistent nesting, sequential (non-overlapping)
+// critical sections, and closures as separate lock contexts.
+package lockorder
+
+import "sync"
+
+type account struct {
+	mu  sync.Mutex
+	bal int
+}
+
+type ledger struct {
+	mu      sync.Mutex
+	entries int
+}
+
+// Deposit nests ledger.mu under account.mu: one direction of the cycle.
+func Deposit(a *account, l *ledger, n int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.bal += n
+	l.mu.Lock()
+	l.entries++
+	l.mu.Unlock()
+}
+
+// Audit nests the same pair the other way round: with Deposit it closes
+// the cycle account.mu -> ledger.mu -> account.mu.
+func Audit(a *account, l *ledger) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.bal + l.entries
+}
+
+// Transfer nests in the same order as Deposit: consistent, no report.
+func Transfer(a *account, l *ledger, n int) {
+	a.mu.Lock()
+	l.mu.Lock()
+	a.bal -= n
+	l.entries++
+	l.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// Sequential takes the locks one after the other with no overlap: no
+// edge at all.
+func Sequential(a *account, l *ledger) {
+	l.mu.Lock()
+	l.entries++
+	l.mu.Unlock()
+	a.mu.Lock()
+	a.bal++
+	a.mu.Unlock()
+}
+
+// Rebalance re-locks a mutex it already holds: a direct self-deadlock.
+func Rebalance(a *account) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.mu.Lock()
+	a.bal = 0
+	a.mu.Unlock()
+}
+
+// drain locks the account internally; safe on its own.
+func drain(a *account) {
+	a.mu.Lock()
+	a.bal = 0
+	a.mu.Unlock()
+}
+
+// Close calls drain while already holding the account lock: the
+// transitive summary flags the self-deadlock at the call site.
+func Close(a *account) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	drain(a)
+}
+
+// Spawn holds account.mu while defining a closure that locks ledger.mu.
+// The closure is a separate context — its lock is not nested under the
+// caller's — so no edge arises here.
+func Spawn(a *account, l *ledger) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	f := func() {
+		l.mu.Lock()
+		l.entries++
+		l.mu.Unlock()
+	}
+	f()
+	a.bal++
+}

@@ -35,9 +35,13 @@ type EventLog struct {
 	enabled atomic.Bool
 	verbose atomic.Bool
 
-	mu  sync.Mutex
-	w   io.Writer
+	mu sync.Mutex
+
+	//adf:guardedby mu
+	w io.Writer
+	//adf:guardedby mu
 	seq uint64
+	//adf:guardedby mu
 	buf []byte
 }
 

@@ -159,9 +159,12 @@ type family struct {
 // callers are cold paths: instruments are resolved once and cached);
 // the returned instruments themselves are lock-free.
 type Registry struct {
-	mu       sync.Mutex
+	mu sync.Mutex
+
+	//adf:guardedby mu
 	families []*family
-	byName   map[string]*family
+	//adf:guardedby mu
+	byName map[string]*family
 }
 
 // NewRegistry returns an empty registry.

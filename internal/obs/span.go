@@ -65,9 +65,13 @@ const spanRingCap = 1 << 15
 // atomics) guards it: recording happens a handful of times per tick,
 // and the /trace endpoint reads it while simulations run.
 type spanRing struct {
-	mu      sync.Mutex
+	mu sync.Mutex
+
+	//adf:guardedby mu
 	records []spanRecord
-	next    int
+	//adf:guardedby mu
+	next int
+	//adf:guardedby mu
 	wrapped bool
 }
 
