@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint lint-sarif lint-fix-check lint-lock race race-core check check-sharded obs-check bench-smoke ci bench-runner bench bench-obs profile
+.PHONY: build test vet lint lint-sarif lint-fix-check lint-lock race race-core check check-sharded obs-check check-obs-e2e bench-smoke bench-regress ci bench-runner bench bench-obs profile
 
 build:
 	$(GO) build ./...
@@ -91,6 +91,15 @@ obs-check:
 	$(GO) test -race -run 'TestObsSmoke|TestZeroAllocTick' ./internal/experiment/
 	$(GO) test -race ./internal/obs/
 
+# check-obs-e2e is the cross-process tracing gate: a real rtiserver and
+# two adffed federates (sender and receiver) run over TCP with tracing
+# on, adfobs merges the three per-process Chrome traces on one aligned
+# timeline, and at least 99% of the sender's LU origin spans must link
+# to a receiver-side delivery span by trace ID. Set ADFOBS_E2E_OUT to
+# keep the merged trace (CI uploads it as an artifact).
+check-obs-e2e:
+	ADF_OBS_E2E=1 $(GO) test -run TestObsE2E -count=1 ./cmd/adfobs
+
 # bench-smoke is the perf-regression gate: a short hot-path run at the
 # ~5k-node scale under both RNG modes that fails if the steady-state
 # (post-warmup) allocation rate of the tick pipeline rises above 2
@@ -101,10 +110,18 @@ bench-smoke:
 	$(GO) run ./cmd/adfbench -hotpath -duration 120 -seed 1 -scales 5k \
 		-alloc-budget 2 -hotpath-out /dev/null
 
+# bench-regress re-measures the CI-sized scale points of the committed
+# BENCH_hotpath.json and BENCH_obs.json baselines under their own
+# recorded protocol and fails on throughput (when the CPU configuration
+# matches the baseline's), allocation-floor or obs-overhead regressions.
+# See cmd/adfbench/regress.go for the noise bands.
+bench-regress:
+	$(GO) run ./cmd/adfbench -regress
+
 # ci builds with -trimpath so artifacts are reproducible regardless of
 # the checkout location.
 ci: export GOFLAGS += -trimpath
-ci: build vet lint lint-lock test race obs-check check-sharded bench-smoke
+ci: build vet lint lint-lock test race obs-check check-obs-e2e check-sharded bench-smoke bench-regress
 
 # Benchmark the campaign runner (sequential vs parallel figure
 # regeneration) and write BENCH_runner.json.

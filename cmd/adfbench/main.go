@@ -12,6 +12,9 @@
 //	adfbench -hotpath [-hotpath-out BENCH_hotpath.json] [-duration 300] [-seed 1]
 //	         [-scales 140,1k,5k,20k,50k] [-rng keyed] [-alloc-budget 2]
 //	adfbench -obs-bench [-obs-out BENCH_obs.json] [-duration 300] [-seed 1] [-force]
+//	         [-obs-budget 5]
+//	adfbench -regress [-regress-tol 0.25] [-obs-budget 5]
+//	         [-hotpath-out BENCH_hotpath.json] [-obs-out BENCH_obs.json]
 //	adfbench -sanitize [-duration 120] [-mobility-workers 4]   (requires -tags adfcheck)
 //	adfbench -shard-digest [-duration 120] [-rng keyed]        (requires -tags adfcheck)
 //	adfbench -trace out.json ...
@@ -46,10 +49,20 @@
 //
 // With -obs-bench the observability layer itself is benchmarked: the
 // hot-path throughput is measured with obs disabled and enabled at each
-// population scale and the overhead percentage (budget: 5%) is written
-// as JSON. Because the overhead claim is about concurrent-capable
-// environments, -obs-bench refuses to (re)record a baseline at
-// GOMAXPROCS=1 unless -force is given.
+// population scale and the overhead percentage is written as JSON; any
+// scale exceeding -obs-budget (default 5%) fails the run after the
+// report is written. Because the overhead claim is about
+// concurrent-capable environments, -obs-bench refuses to (re)record a
+// baseline at GOMAXPROCS=1 unless -force is given.
+//
+// With -regress the committed BENCH_hotpath.json and BENCH_obs.json are
+// re-measured at their own recorded protocol and the run fails if the
+// current tree regresses past the noise-aware tolerance bands:
+// throughput below (1 - regress-tol) of baseline (enforced only when
+// the host matches the baseline's num_cpu/gomaxprocs, advisory
+// otherwise), allocs/tick above the committed numbers plus a small
+// absolute slack, or obs overhead above max(budget, committed) plus a
+// two-point band; `make bench-regress` runs this as CI's perf gate.
 //
 // -trace enables observability for whichever mode runs and writes the
 // recorded per-tick spans and the metrics registry as Chrome
@@ -154,6 +167,9 @@ func run(w io.Writer, args []string) (err error) {
 		hotpathPath = fs.String("hotpath-out", "BENCH_hotpath.json", "where -hotpath writes the report")
 		obsBench    = fs.Bool("obs-bench", false, "benchmark the observability layer's overhead (disabled vs enabled hot-path throughput) and write a JSON report instead of running ablations")
 		obsPath     = fs.String("obs-out", "BENCH_obs.json", "where -obs-bench writes the report")
+		obsBudget   = fs.Float64("obs-budget", 5, "fail -obs-bench and -regress if any scale's obs overhead percentage exceeds this (0 = no gate)")
+		regress     = fs.Bool("regress", false, "re-measure the committed BENCH_hotpath.json and BENCH_obs.json points and fail on regression (noise-aware; see -regress-tol)")
+		regressTol  = fs.Float64("regress-tol", 0.25, "fractional throughput band for -regress: fail below (1-tol) x baseline ticks/sec")
 		tracePath   = fs.String("trace", "", "enable observability and write a Chrome trace_event JSON of the run to this file at exit")
 		sanCompare  = fs.Bool("sanitize", false, "compare sequential vs parallel per-tick state digests under the adfcheck sanitizer (requires a -tags adfcheck build)")
 		shardDigest = fs.Bool("shard-digest", false, "compare the region-sharded pipeline's per-tick state digests at 1, 4 and NumCPU workers (requires a -tags adfcheck build)")
@@ -209,7 +225,10 @@ func run(w io.Writer, args []string) (err error) {
 		return runHotpath(w, cfg, *hotpathPath, *scales, *allocBudget)
 	}
 	if *obsBench {
-		return runObsBench(w, cfg, *obsPath, *force)
+		return runObsBench(w, cfg, *obsPath, *force, *obsBudget)
+	}
+	if *regress {
+		return runRegress(w, *hotpathPath, *obsPath, *regressTol, *obsBudget)
 	}
 	if *jsonOut {
 		// Benchmark the paper's own campaign: the ideal baseline plus the

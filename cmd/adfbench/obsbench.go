@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 
 	"github.com/mobilegrid/adf/internal/experiment"
 	"github.com/mobilegrid/adf/internal/obs"
@@ -13,8 +14,10 @@ import (
 
 // obsBenchPasses is how many alternating passes each setting gets; the
 // best (highest ticks/sec) of each side is compared, so transient noise
-// — a GC pause, a scheduler hiccup — cannot fake an overhead.
-const obsBenchPasses = 3
+// — a GC pause, a scheduler hiccup — cannot fake an overhead. Five
+// passes keep the small scales (where one tick is tens of microseconds
+// and a single preemption moves the ratio by whole points) honest.
+const obsBenchPasses = 5
 
 // ObsReport is the -obs-bench output: the cost of the observability
 // layer, measured as hot-path throughput with obs disabled versus
@@ -53,8 +56,11 @@ type ObsScale struct {
 // recorded at GOMAXPROCS=1 measures a serialized scheduler, not the
 // overhead the budget is about, so the mode refuses to write one unless
 // force is set (the refusal names the flag); the report's meta block
-// records the GOMAXPROCS it ran at either way.
-func runObsBench(w io.Writer, cfg experiment.Config, path string, force bool) error {
+// records the GOMAXPROCS it ran at either way. A positive budget fails
+// the invocation, after writing the report, if any scale's overhead
+// percentage exceeds it — per scale, not just the max, so a small-scale
+// breach cannot hide behind a healthy average.
+func runObsBench(w io.Writer, cfg experiment.Config, path string, force bool, budget float64) error {
 	if runtime.GOMAXPROCS(0) == 1 && !force {
 		return fmt.Errorf("obs-bench: refusing to record a baseline at GOMAXPROCS=1 (overhead numbers from a serialized scheduler are not comparable); rerun with -force to record anyway")
 	}
@@ -71,6 +77,7 @@ func runObsBench(w io.Writer, cfg experiment.Config, path string, force bool) er
 	if err != nil {
 		return err
 	}
+	var over []string
 	for _, pg := range perGroups {
 		c := cfg
 		c.PerGroup = pg
@@ -108,6 +115,9 @@ func runObsBench(w io.Writer, cfg experiment.Config, path string, force bool) er
 		if s.OverheadPercent > report.MaxOverheadPercent {
 			report.MaxOverheadPercent = s.OverheadPercent
 		}
+		if budget > 0 && s.OverheadPercent > budget {
+			over = append(over, fmt.Sprintf("%d nodes: %.2f%%", s.Nodes, s.OverheadPercent))
+		}
 		report.Scales = append(report.Scales, s)
 		fmt.Fprintf(w, "%5d nodes: disabled %8.1f ticks/sec, enabled %8.1f ticks/sec, overhead %.2f%%\n",
 			s.Nodes, s.DisabledTicksPerSec, s.EnabledTicksPerSec, s.OverheadPercent)
@@ -120,9 +130,14 @@ func runObsBench(w io.Writer, cfg experiment.Config, path string, force bool) er
 	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
 		return err
 	}
-	_, err = fmt.Fprintf(w, "wrote %s (max overhead %.2f%%, budget 5%%)\n",
-		path, report.MaxOverheadPercent)
-	return err
+	if _, err := fmt.Fprintf(w, "wrote %s (max overhead %.2f%%, budget %g%%)\n",
+		path, report.MaxOverheadPercent, budget); err != nil {
+		return err
+	}
+	if len(over) > 0 {
+		return fmt.Errorf("obs overhead over budget %g%%: %s", budget, strings.Join(over, "; "))
+	}
+	return nil
 }
 
 // writeTrace dumps the span ring and metrics registry as Chrome

@@ -60,6 +60,11 @@ func run(w io.Writer, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	obs.SetProcName("adfsim")
+	obs.RegisterStatusSection("run", func() string {
+		return fmt.Sprintf("figure=%s duration=%gs seed=%d estimator=%s\n",
+			*figure, *duration, *seed, *estimator)
+	})
 
 	if *obsEvents != "" {
 		ew := io.Writer(os.Stderr)

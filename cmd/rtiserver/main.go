@@ -6,12 +6,17 @@
 //
 //	rtiserver [-addr 127.0.0.1:4500] [-federations mobilegrid]
 //	          [-obs-addr :8080] [-obs-events events.ndjson]
+//	          [-obs-trace trace.json]
 //
 // With -obs-addr the server exposes /metrics (Prometheus text),
-// /trace (Chrome trace_event JSON) and /debug/pprof on that address.
-// With -obs-events discrete occurrences (federate joins, resigns, the
-// federates still connected at shutdown) stream to the given NDJSON
-// file, or to stderr with "-".
+// /trace (Chrome trace_event JSON), /healthz, /statusz (federation
+// roster, per-federate lag, tick watermark) and /debug/pprof on that
+// address. With -obs-events discrete occurrences (federate joins,
+// resigns, the federates still connected at shutdown) stream to the
+// given NDJSON file, or to stderr with "-". With -obs-trace a Chrome
+// trace_event file including RTI request spans is written at
+// shutdown; feed it to cmd/adfobs together with the federates' traces
+// for a single cross-process view.
 package main
 
 import (
@@ -40,6 +45,7 @@ func main() {
 var obsConfig struct {
 	addr   string
 	events string
+	trace  string
 }
 
 // setup parses flags, creates the federations and starts listening. It
@@ -50,14 +56,17 @@ func setup(args []string) (*hla.Server, error) {
 	var (
 		addr        = fs.String("addr", "127.0.0.1:4500", "listen address")
 		federations = fs.String("federations", "mobilegrid", "comma-separated federation executions to create")
-		obsAddr     = fs.String("obs-addr", "", "serve /metrics, /trace and /debug/pprof on this address (empty disables)")
+		obsAddr     = fs.String("obs-addr", "", "serve /metrics, /trace, /healthz, /statusz and /debug/pprof on this address (empty disables)")
 		obsEvents   = fs.String("obs-events", "", "write NDJSON observability events to this file (\"-\" for stderr)")
+		obsTrace    = fs.String("obs-trace", "", "write a Chrome trace_event JSON file (with RTI request spans) at shutdown")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
 	obsConfig.addr = *obsAddr
 	obsConfig.events = *obsEvents
+	obsConfig.trace = *obsTrace
+	obs.SetProcName("rtiserver")
 
 	rti := hla.NewRTI()
 	created := 0
@@ -79,6 +88,35 @@ func setup(args []string) (*hla.Server, error) {
 	return hla.NewServer(rti, *addr)
 }
 
+// federationStatus renders the /statusz "federation" section: one line
+// per federation with its tick watermark, then one indented line per
+// joined federate with its logical time, lag behind the watermark
+// leader, pending advance request and TSO queue depth.
+func federationStatus(infos []hla.FederationInfo) string {
+	var b strings.Builder
+	for _, fi := range infos {
+		fmt.Fprintf(&b, "%s: federates=%d watermark=%.3f\n", fi.Name, len(fi.Detail), fi.Watermark)
+		lead := fi.Watermark
+		for _, fd := range fi.Detail {
+			if fd.Time > lead {
+				lead = fd.Time
+			}
+		}
+		for _, fd := range fi.Detail {
+			fmt.Fprintf(&b, "  %s: time=%.3f lag=%.3f lookahead=%.3f tso=%d",
+				fd.Name, fd.Time, lead-fd.Time, fd.Lookahead, fd.QueuedTSO)
+			if fd.Pending {
+				fmt.Fprintf(&b, " pending_tar=%.3f", fd.RequestedTime)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	if b.Len() == 0 {
+		return "no federations\n"
+	}
+	return b.String()
+}
+
 func run(args []string) error {
 	srv, err := setup(args)
 	if err != nil {
@@ -98,6 +136,12 @@ func run(args []string) error {
 		}
 		obs.Events.SetOutput(w)
 	}
+	if obsConfig.trace != "" {
+		obs.SetEnabled(true)
+	}
+	obs.RegisterStatusSection("federation", func() string {
+		return federationStatus(srv.RTI().Snapshot())
+	})
 	if obsConfig.addr != "" {
 		addr, stop, err := obs.Serve(obsConfig.addr)
 		if err != nil {
@@ -105,6 +149,21 @@ func run(args []string) error {
 		}
 		defer stop()
 		log.Printf("observability on http://%s/metrics", addr)
+	}
+	if obsConfig.trace != "" {
+		defer func() {
+			f, err := os.Create(obsConfig.trace)
+			if err != nil {
+				log.Printf("obs trace: %v", err)
+				return
+			}
+			if err := obs.WriteChromeTrace(f); err != nil {
+				log.Printf("obs trace: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Printf("obs trace: %v", err)
+			}
+		}()
 	}
 
 	errc := make(chan error, 1)

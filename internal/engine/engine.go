@@ -299,7 +299,7 @@ func (p *Pipeline) Tick(now float64) error {
 	p.obsv.on = obs.Enabled()
 	t0 := obs.StageStart()
 	p.stageAdvance(now)
-	t1 := obs.StageEnd(p.obsv.tid, obs.StageAdvance, t0)
+	t1 := obs.StageClock(t0)
 	p.sanitizeTick(now)
 	p.tick++
 	if p.ChurnK != nil {
@@ -310,10 +310,10 @@ func (p *Pipeline) Tick(now float64) error {
 			return err
 		}
 	}
-	t2 := obs.StageEnd(p.obsv.tid, obs.StageNodes, t1)
+	t2 := obs.StageClock(t0)
 	err := p.Observers.OnTick(now)
-	t3 := obs.StageEnd(p.obsv.tid, obs.StageObservers, t2)
-	obs.RecordSpan(p.obsv.tid, obs.StageTick, t0, t3)
+	t3 := obs.StageClock(t0)
+	obs.RecordTickSpans(p.obsv.tid, t0, t1, t2, t3)
 	if p.obsv.on {
 		p.obsFlush()
 	}

@@ -6,6 +6,7 @@ import (
 	"net"
 	"time"
 
+	"github.com/mobilegrid/adf/internal/obs"
 	"github.com/mobilegrid/adf/internal/wire"
 )
 
@@ -17,6 +18,7 @@ type Client struct {
 	conn   net.Conn
 	amb    Ambassador
 	handle FederateHandle
+	name   string
 	joined bool
 	closed bool
 
@@ -56,17 +58,42 @@ func (c *Client) SetIOTimeouts(read, write time.Duration) {
 	c.writeTimeout = write
 }
 
-// writeFrame sends one frame under the configured write deadline; every
-// outbound request funnels through here.
-func (c *Client) writeFrame(payload []byte) error {
+// request sends one frame and awaits the terminal response, recording
+// the request's encode (entry to socket write) and round-trip (write to
+// terminal read) phases and — when tracing is on — the client op span
+// that roots the request's cross-process trace. start is the op-entry
+// clock token (obs.RPCClock at method entry, before payload encoding);
+// 0 disables all recording and sends the legacy untraced frame.
+func (c *Client) request(e *wire.Encoder, op obs.RPCOp, terminal byte, start int64) ([]byte, error) {
+	var tc wire.TraceContext
+	if start != 0 {
+		tc = obs.NewTraceContext(start)
+	}
 	_ = c.conn.SetWriteDeadline(ioDeadline(c.writeTimeout))
-	return wire.WriteFrame(c.conn, payload)
+	if err := wire.WriteFrameTC(c.conn, e.Bytes(), tc); err != nil {
+		obs.RTIError(obs.SideClient, classifyErr(err))
+		return nil, err
+	}
+	if start != 0 {
+		wrote := obs.RPCClock()
+		obs.ObserveRPC(obs.PhaseEncode, op, start, wrote)
+		payload, err := c.await(terminal)
+		if err != nil {
+			return nil, err
+		}
+		end := obs.RPCClock()
+		obs.ObserveRPC(obs.PhaseRTT, op, wrote, end)
+		obs.RecordRPC(obs.KindClientOp, op, tc, start, end)
+		return payload, nil
+	}
+	return c.await(terminal)
 }
 
 // Join joins a federation as a time-regulating, time-constrained
 // federate. Callbacks are delivered to amb during TimeAdvanceRequest and
 // Tick.
 func (c *Client) Join(federation, name string, lookahead float64, amb Ambassador) error {
+	start := obs.RPCClock()
 	if amb == nil {
 		return errors.New("hla: nil ambassador")
 	}
@@ -74,15 +101,13 @@ func (c *Client) Join(federation, name string, lookahead float64, amb Ambassador
 		return errors.New("hla: already joined")
 	}
 	c.amb = amb
+	c.name = name
 	var e wire.Encoder
 	e.PutByte(msgJoin)
 	e.PutString(federation)
 	e.PutString(name)
 	e.PutFloat64(lookahead)
-	if err := c.writeFrame(e.Bytes()); err != nil {
-		return err
-	}
-	payload, err := c.await(msgJoined)
+	payload, err := c.request(&e, obs.OpJoin, msgJoined, start)
 	if err != nil {
 		return err
 	}
@@ -102,10 +127,12 @@ func (c *Client) Join(federation, name string, lookahead float64, amb Ambassador
 func (c *Client) await(terminal byte) ([]byte, error) {
 	for {
 		_ = c.conn.SetReadDeadline(ioDeadline(c.readTimeout))
-		payload, err := wire.ReadFrame(c.conn)
+		payload, rtc, err := wire.ReadFrameTC(c.conn)
 		if err != nil {
+			obs.RTIError(obs.SideClient, classifyErr(err))
 			return nil, fmt.Errorf("hla: connection lost: %w", err)
 		}
+		rstart := obs.RPCClock()
 		d := wire.NewDecoder(payload)
 		typ := d.Byte()
 		switch typ {
@@ -134,6 +161,11 @@ func (c *Client) await(terminal byte) ([]byte, error) {
 				return nil, d.Err()
 			}
 			c.amb.ReflectAttributeValues(obj, values, t)
+			if rstart != 0 {
+				rend := obs.RPCClock()
+				obs.RecordRPC(obs.KindClientRecv, obs.OpUpdate, obs.ChildContext(rtc), rstart, rend)
+				obs.ObserveFreshness(obs.FreshRecv, rtc.OriginNS, rend)
+			}
 		case msgReceive:
 			class := d.String()
 			t := d.Float64()
@@ -142,6 +174,11 @@ func (c *Client) await(terminal byte) ([]byte, error) {
 				return nil, d.Err()
 			}
 			c.amb.ReceiveInteraction(class, values, t)
+			if rstart != 0 {
+				rend := obs.RPCClock()
+				obs.RecordRPC(obs.KindClientRecv, obs.OpInteraction, obs.ChildContext(rtc), rstart, rend)
+				obs.ObserveFreshness(obs.FreshRecv, rtc.OriginNS, rend)
+			}
 		case msgRemove:
 			obj := ObjectHandle(d.Int64())
 			if d.Err() != nil {
@@ -175,54 +212,57 @@ func (c *Client) await(terminal byte) ([]byte, error) {
 	}
 }
 
-// call sends a request and waits for the ok acknowledgement.
-func (c *Client) call(e *wire.Encoder) error {
+// call sends a request and waits for the ok acknowledgement. start is
+// the op-entry clock token (see request).
+func (c *Client) call(e *wire.Encoder, op obs.RPCOp, start int64) error {
 	if !c.joined {
 		return errors.New("hla: not joined")
 	}
-	if err := c.writeFrame(e.Bytes()); err != nil {
-		return err
-	}
-	_, err := c.await(msgOK)
+	_, err := c.request(e, op, msgOK, start)
 	return err
 }
 
 // PublishObjectClass mirrors Federate.PublishObjectClass.
 func (c *Client) PublishObjectClass(class string, attributes []string) error {
+	start := obs.RPCClock()
 	var e wire.Encoder
 	e.PutByte(msgPublishObject)
 	e.PutString(class)
 	e.PutStrings(attributes)
-	return c.call(&e)
+	return c.call(&e, obs.OpOther, start)
 }
 
 // SubscribeObjectClass mirrors Federate.SubscribeObjectClass.
 func (c *Client) SubscribeObjectClass(class string, attributes []string) error {
+	start := obs.RPCClock()
 	var e wire.Encoder
 	e.PutByte(msgSubscribeObject)
 	e.PutString(class)
 	e.PutStrings(attributes)
-	return c.call(&e)
+	return c.call(&e, obs.OpOther, start)
 }
 
 // PublishInteractionClass mirrors Federate.PublishInteractionClass.
 func (c *Client) PublishInteractionClass(class string) error {
+	start := obs.RPCClock()
 	var e wire.Encoder
 	e.PutByte(msgPublishInteraction)
 	e.PutString(class)
-	return c.call(&e)
+	return c.call(&e, obs.OpOther, start)
 }
 
 // SubscribeInteractionClass mirrors Federate.SubscribeInteractionClass.
 func (c *Client) SubscribeInteractionClass(class string) error {
+	start := obs.RPCClock()
 	var e wire.Encoder
 	e.PutByte(msgSubscribeInteraction)
 	e.PutString(class)
-	return c.call(&e)
+	return c.call(&e, obs.OpOther, start)
 }
 
 // RegisterObjectInstance mirrors Federate.RegisterObjectInstance.
 func (c *Client) RegisterObjectInstance(class, name string) (ObjectHandle, error) {
+	start := obs.RPCClock()
 	if !c.joined {
 		return 0, errors.New("hla: not joined")
 	}
@@ -230,10 +270,7 @@ func (c *Client) RegisterObjectInstance(class, name string) (ObjectHandle, error
 	e.PutByte(msgRegister)
 	e.PutString(class)
 	e.PutString(name)
-	if err := c.writeFrame(e.Bytes()); err != nil {
-		return 0, err
-	}
-	payload, err := c.await(msgRegistered)
+	payload, err := c.request(&e, obs.OpRegister, msgRegistered, start)
 	if err != nil {
 		return 0, err
 	}
@@ -245,30 +282,33 @@ func (c *Client) RegisterObjectInstance(class, name string) (ObjectHandle, error
 
 // UpdateAttributeValues mirrors Federate.UpdateAttributeValues.
 func (c *Client) UpdateAttributeValues(obj ObjectHandle, attrs Values, ts float64) error {
+	start := obs.RPCClock()
 	var e wire.Encoder
 	e.PutByte(msgUpdate)
 	e.PutInt64(int64(obj))
 	e.PutFloat64(ts)
 	e.PutValues(attrs)
-	return c.call(&e)
+	return c.call(&e, obs.OpUpdate, start)
 }
 
 // SendInteraction mirrors Federate.SendInteraction.
 func (c *Client) SendInteraction(class string, params Values, ts float64) error {
+	start := obs.RPCClock()
 	var e wire.Encoder
 	e.PutByte(msgInteraction)
 	e.PutString(class)
 	e.PutFloat64(ts)
 	e.PutValues(params)
-	return c.call(&e)
+	return c.call(&e, obs.OpInteraction, start)
 }
 
 // DeleteObjectInstance mirrors Federate.DeleteObjectInstance.
 func (c *Client) DeleteObjectInstance(obj ObjectHandle) error {
+	start := obs.RPCClock()
 	var e wire.Encoder
 	e.PutByte(msgDelete)
 	e.PutInt64(int64(obj))
-	return c.call(&e)
+	return c.call(&e, obs.OpOther, start)
 }
 
 // TimeAdvanceRequest mirrors Federate.TimeAdvanceRequest: it blocks,
@@ -284,16 +324,14 @@ func (c *Client) NextEventRequest(t float64) error {
 }
 
 func (c *Client) advance(typ byte, t float64) error {
+	start := obs.RPCClock()
 	if !c.joined {
 		return errors.New("hla: not joined")
 	}
 	var e wire.Encoder
 	e.PutByte(typ)
 	e.PutFloat64(t)
-	if err := c.writeFrame(e.Bytes()); err != nil {
-		return err
-	}
-	payload, err := c.await(msgGrant)
+	payload, err := c.request(&e, obs.OpAdvance, msgGrant, start)
 	if err != nil {
 		return err
 	}
@@ -310,43 +348,55 @@ func (c *Client) advance(typ byte, t float64) error {
 // Tick asks the server to flush pending receive-ordered callbacks
 // (discoveries, removals) and delivers them.
 func (c *Client) Tick() error {
+	start := obs.RPCClock()
 	var e wire.Encoder
 	e.PutByte(msgTick)
-	return c.call(&e)
+	return c.call(&e, obs.OpTick, start)
 }
 
 // RegisterSynchronizationPoint mirrors
 // Federate.RegisterSynchronizationPoint. The registrant's own
 // announcement is delivered before this call returns.
 func (c *Client) RegisterSynchronizationPoint(label string, tag []byte) error {
+	start := obs.RPCClock()
 	var e wire.Encoder
 	e.PutByte(msgRegisterSync)
 	e.PutString(label)
 	e.PutBytes(tag)
-	return c.call(&e)
+	return c.call(&e, obs.OpSync, start)
 }
 
 // SynchronizationPointAchieved mirrors
-// Federate.SynchronizationPointAchieved.
+// Federate.SynchronizationPointAchieved. With event logging on, the
+// exchange doubles as a clock-alignment probe: the client stamps both
+// endpoints and emits a sync_probe event the cross-process merger pairs
+// with the server's sync_mark to estimate the clock offset (NTP-style:
+// the mark should fall near the probe's midpoint).
 func (c *Client) SynchronizationPointAchieved(label string) error {
+	start := obs.RPCClock()
+	t0 := obs.Events.Now()
 	var e wire.Encoder
 	e.PutByte(msgSyncAchieved)
 	e.PutString(label)
-	return c.call(&e)
+	err := c.call(&e, obs.OpSync, start)
+	if t1 := obs.Events.Now(); err == nil && t0 != 0 && t1 != 0 {
+		obs.Events.Emit("sync_probe",
+			obs.S("label", label), obs.S("fed", c.name),
+			obs.F("t0_ns", float64(t0-obs.EpochNanos())),
+			obs.F("t1_ns", float64(t1-obs.EpochNanos())))
+	}
+	return err
 }
 
 // Resign leaves the federation.
 func (c *Client) Resign() error {
+	start := obs.RPCClock()
 	if !c.joined {
 		return errors.New("hla: not joined")
 	}
 	var e wire.Encoder
 	e.PutByte(msgResign)
-	if err := c.writeFrame(e.Bytes()); err != nil {
-		return err
-	}
-	_, err := c.await(msgOK)
-	if err != nil {
+	if _, err := c.request(&e, obs.OpResign, msgOK, start); err != nil {
 		return err
 	}
 	c.joined = false

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"github.com/mobilegrid/adf/internal/obs"
+	"github.com/mobilegrid/adf/internal/wire"
 )
 
 // Federate is an in-process handle to a joined federate: the RTIambassador
@@ -142,6 +143,15 @@ func (f *Federate) RegisterObjectInstance(class, name string) (ObjectHandle, err
 // object instance. The timestamp must respect the federate's time plus
 // lookahead guarantee.
 func (f *Federate) UpdateAttributeValues(obj ObjectHandle, attrs Values, ts float64) error {
+	return f.updateAttributeValues(obj, attrs, ts, wire.TraceContext{})
+}
+
+// updateAttributeValues is UpdateAttributeValues with the originating
+// request's trace context, which rides the routed callbacks to their
+// delivery hops (the TCP server passes the inbound frame's context; the
+// public method passes zero).
+func (f *Federate) updateAttributeValues(obj ObjectHandle, attrs Values, ts float64, tc wire.TraceContext) error {
+	enq := obs.RPCClock()
 	f.fed.mu.Lock()
 	defer f.fed.mu.Unlock()
 	if err := f.checkLive(); err != nil {
@@ -173,7 +183,7 @@ func (f *Federate) UpdateAttributeValues(obj ObjectHandle, attrs Values, ts floa
 			o.discovered[h] = true
 			other.mailbox.push(callback{kind: cbDiscover, object: o.handle, class: o.class, name: o.name})
 		}
-		f.fed.routeTSO(other, ts, callback{kind: cbReflect, object: obj, values: filtered, time: ts})
+		f.fed.routeTSO(other, ts, callback{kind: cbReflect, object: obj, values: filtered, time: ts, tc: tc, enqueuedNS: enq})
 	}
 	return nil
 }
@@ -197,6 +207,13 @@ func filterValues(attrs Values, subscribed map[string]bool) Values {
 
 // SendInteraction sends a timestamped interaction to subscribers.
 func (f *Federate) SendInteraction(class string, params Values, ts float64) error {
+	return f.sendInteraction(class, params, ts, wire.TraceContext{})
+}
+
+// sendInteraction is SendInteraction with the originating request's
+// trace context (see updateAttributeValues).
+func (f *Federate) sendInteraction(class string, params Values, ts float64, tc wire.TraceContext) error {
+	enq := obs.RPCClock()
 	f.fed.mu.Lock()
 	defer f.fed.mu.Unlock()
 	if err := f.checkLive(); err != nil {
@@ -215,7 +232,7 @@ func (f *Federate) SendInteraction(class string, params Values, ts float64) erro
 		if !other.subInteractions[class] {
 			continue
 		}
-		f.fed.routeTSO(other, ts, callback{kind: cbInteraction, class: class, values: params.clone(), time: ts})
+		f.fed.routeTSO(other, ts, callback{kind: cbInteraction, class: class, values: params.clone(), time: ts, tc: tc, enqueuedNS: enq})
 	}
 	return nil
 }

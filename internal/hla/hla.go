@@ -30,6 +30,7 @@ import (
 	"sync"
 
 	"github.com/mobilegrid/adf/internal/obs"
+	"github.com/mobilegrid/adf/internal/wire"
 )
 
 // Errors returned by RTI services.
@@ -109,17 +110,36 @@ const (
 	cbGrant
 )
 
-// callback is one queued ambassador invocation.
+// callback is one queued ambassador invocation. tc carries the
+// originating request's trace context across the TSO queue (zero for
+// untraced sends) and enqueuedNS its wall-clock enqueue stamp (0 when
+// observability was off at send time); neither influences delivery
+// semantics, so traced and untraced runs stay bit-identical.
 type callback struct {
-	kind   callbackKind
-	object ObjectHandle
-	class  string
-	name   string
-	values Values
-	time   float64
+	kind       callbackKind
+	object     ObjectHandle
+	class      string
+	name       string
+	values     Values
+	time       float64
+	tc         wire.TraceContext
+	enqueuedNS int64
+}
+
+// tracedDeliverer is implemented by ambassadors that can forward a
+// traced callback with its context (the TCP transport's remote
+// ambassador). deliverTraced reports whether it handled the callback;
+// false falls back to the plain interface dispatch.
+type tracedDeliverer interface {
+	deliverTraced(c callback) bool
 }
 
 func (c callback) deliver(amb Ambassador) {
+	if (c.tc.Valid() || c.enqueuedNS != 0) && (c.kind == cbReflect || c.kind == cbInteraction) {
+		if td, ok := amb.(tracedDeliverer); ok && td.deliverTraced(c) {
+			return
+		}
+	}
 	switch c.kind {
 	case cbDiscover:
 		amb.DiscoverObjectInstance(c.object, c.class, c.name)
@@ -386,6 +406,25 @@ func (r *RTI) Join(federation, name string, lookahead float64, amb Ambassador) (
 	return &Federate{fed: fed, st: st, amb: amb}, nil
 }
 
+// FederateInfo is one live federate's time-management state in a
+// federation snapshot, the per-federate lag view /statusz renders.
+type FederateInfo struct {
+	// Name is the federate's name; Handle its federation-local handle.
+	Name   string
+	Handle FederateHandle
+	// Time is the federate's current logical time, Lookahead its
+	// regulating lookahead.
+	Time      float64
+	Lookahead float64
+	// Pending reports a blocked time advance, RequestedTime its target
+	// (meaningful only when Pending).
+	Pending       bool
+	RequestedTime float64
+	// QueuedTSO counts timestamped messages waiting in the federate's
+	// TSO queue.
+	QueuedTSO int
+}
+
 // FederationInfo is one federation's live-membership snapshot.
 type FederationInfo struct {
 	// Name is the federation execution's name.
@@ -393,6 +432,12 @@ type FederationInfo struct {
 	// Federates are the names of currently joined (not resigned)
 	// federates, in join order.
 	Federates []string
+	// Detail carries each live federate's time-management state, in the
+	// same order as Federates.
+	Detail []FederateInfo
+	// Watermark is the minimum logical time across live federates (the
+	// federation's tick watermark); 0 when the federation is empty.
+	Watermark float64
 }
 
 // Snapshot reports every federation and its live federates, ordered by
@@ -416,8 +461,22 @@ func (r *RTI) Snapshot() []FederationInfo {
 		}
 		sort.Slice(handles, func(i, j int) bool { return handles[i] < handles[j] })
 		for _, h := range handles {
-			if f := fed.federates[h]; !f.resigned {
-				info.Federates = append(info.Federates, f.name)
+			f := fed.federates[h]
+			if f.resigned {
+				continue
+			}
+			info.Federates = append(info.Federates, f.name)
+			info.Detail = append(info.Detail, FederateInfo{
+				Name:          f.name,
+				Handle:        f.handle,
+				Time:          f.time,
+				Lookahead:     f.lookahead,
+				Pending:       f.hasTAR,
+				RequestedTime: f.pendingTAR,
+				QueuedTSO:     len(f.tsoQueue),
+			})
+			if len(info.Detail) == 1 || f.time < info.Watermark {
+				info.Watermark = f.time
 			}
 		}
 		fed.mu.Unlock()

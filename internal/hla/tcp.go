@@ -19,7 +19,46 @@ func ioDeadline(d time.Duration) time.Time {
 	if d <= 0 {
 		return time.Time{}
 	}
-	return time.Now().Add(d) //adf:allow determinism — wall-clock deadline for network I/O, not simulation state
+	return time.Now().Add(d) //adf:allow determinism obsgate — wall-clock deadline for network I/O, not simulation state
+}
+
+// classifyErr maps a transport failure to its obs error class: deadline
+// expiries (SetIOTimeouts) are timeouts, wire codec sentinels are
+// decode failures, and everything else — clean EOF, reset, closed
+// listener — counts as a peer hangup.
+func classifyErr(err error) obs.ErrClass {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return obs.ErrTimeout
+	}
+	if errors.Is(err, wire.ErrShortBuffer) || errors.Is(err, wire.ErrFrameTooLarge) {
+		return obs.ErrDecode
+	}
+	return obs.ErrEOF
+}
+
+// opOfMsg maps a request frame type to its latency label.
+func opOfMsg(typ byte) obs.RPCOp {
+	switch typ {
+	case msgJoin:
+		return obs.OpJoin
+	case msgUpdate:
+		return obs.OpUpdate
+	case msgInteraction:
+		return obs.OpInteraction
+	case msgTAR, msgNER:
+		return obs.OpAdvance
+	case msgTick:
+		return obs.OpTick
+	case msgRegisterSync, msgSyncAchieved:
+		return obs.OpSync
+	case msgRegister:
+		return obs.OpRegister
+	case msgResign:
+		return obs.OpResign
+	default:
+		return obs.OpOther
+	}
 }
 
 // Message types of the TCP RTI protocol. Client requests first, then
@@ -222,17 +261,26 @@ type connWriter struct {
 }
 
 func (w *connWriter) writeFrame(payload []byte) {
+	w.writeFrameTC(payload, wire.TraceContext{})
+}
+
+// writeFrameTC writes one frame carrying a trace context (zero for
+// untraced frames — the wire layer then emits the legacy framing).
+func (w *connWriter) writeFrameTC(payload []byte, tc wire.TraceContext) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.err != nil {
 		return
 	}
 	_ = w.conn.SetWriteDeadline(ioDeadline(w.timeout))
-	w.err = wire.WriteFrame(w.conn, payload)
-	if w.err == nil {
-		obs.WireFramesOut.Inc()
-		obs.WireBytesOut.Add(uint64(len(payload)))
+	w.err = wire.WriteFrameTC(w.conn, payload, tc)
+	if w.err != nil {
+		// Only the sticky transition is counted; later writes short-circuit.
+		obs.RTIError(obs.SideServer, classifyErr(w.err))
+		return
 	}
+	obs.WireFramesOut.Inc()
+	obs.WireBytesOut.Add(uint64(len(payload)))
 }
 
 // remoteAmbassador relays ambassador callbacks to the remote client.
@@ -284,6 +332,52 @@ func (a *remoteAmbassador) TimeAdvanceGrant(t float64) {
 }
 
 var _ SyncAmbassador = (*remoteAmbassador)(nil)
+var _ tracedDeliverer = (*remoteAmbassador)(nil)
+
+// deliverTraced forwards a traced reflect/interaction callback to the
+// remote client with its trace context (a fresh hop span ID) in the
+// frame header, recording the callback's TSO-queue residency, the
+// delivery fan-out span, and the LU's delivery freshness. Trace-context
+// forwarding itself is not gated — a server with recording off still
+// propagates the sender's context so downstream hops can link — while
+// every recording call sits behind a clock token that is 0 when the
+// gate is off.
+func (a *remoteAmbassador) deliverTraced(c callback) bool {
+	var op obs.RPCOp
+	var e wire.Encoder
+	switch c.kind {
+	case cbReflect:
+		op = obs.OpUpdate
+		e.PutByte(msgReflect)
+		e.PutInt64(int64(c.object))
+		e.PutFloat64(c.time)
+		e.PutValues(c.values)
+	case cbInteraction:
+		op = obs.OpInteraction
+		e.PutByte(msgReceive)
+		e.PutString(c.class)
+		e.PutFloat64(c.time)
+		e.PutValues(c.values)
+	default:
+		return false
+	}
+	start := obs.RPCClock()
+	if start != 0 {
+		obs.ObserveRPC(obs.PhaseQueue, op, c.enqueuedNS, start)
+	}
+	tc := c.tc
+	if tc.Valid() {
+		tc = obs.ChildContext(tc)
+	}
+	a.w.writeFrameTC(e.Bytes(), tc)
+	if start != 0 {
+		end := obs.RPCClock()
+		obs.ObserveRPC(obs.PhaseDeliver, op, start, end)
+		obs.RecordRPC(obs.KindServerDeliver, op, tc, start, end)
+		obs.ObserveFreshness(obs.FreshDeliver, tc.OriginNS, end)
+	}
+	return true
+}
 
 // AnnounceSynchronizationPoint implements SyncAmbassador.
 func (a *remoteAmbassador) AnnounceSynchronizationPoint(label string, tag []byte) {
@@ -334,14 +428,16 @@ func (s *Server) handle(conn net.Conn) {
 		// Refresh the read deadline each request; zero-timeout servers
 		// get an explicit unbounded wait.
 		_ = conn.SetReadDeadline(ioDeadline(s.readTimeout))
-		payload, err := wire.ReadFrame(conn)
+		payload, rtc, err := wire.ReadFrameTC(conn)
 		if err != nil {
+			obs.RTIError(obs.SideServer, classifyErr(err))
 			return
 		}
 		obs.WireFramesIn.Inc()
 		obs.WireBytesIn.Add(uint64(len(payload)))
 		d := wire.NewDecoder(payload)
 		typ := d.Byte()
+		hstart := obs.RPCClock()
 
 		if fed == nil {
 			if typ != msgJoin {
@@ -368,6 +464,9 @@ func (s *Server) handle(conn net.Conn) {
 			continue
 		}
 
+		// Case bodies use `break` (not `continue`) on early exits so the
+		// per-request handle-phase recording below the switch always runs.
+		done := false
 		switch typ {
 		case msgPublishObject:
 			class := d.String()
@@ -388,12 +487,12 @@ func (s *Server) handle(conn net.Conn) {
 			name := d.String()
 			if d.Err() != nil {
 				writeError(w, d.Err())
-				continue
+				break
 			}
 			obj, err := fed.RegisterObjectInstance(class, name)
 			if err != nil {
 				writeError(w, err)
-				continue
+				break
 			}
 			var e wire.Encoder
 			e.PutByte(msgRegistered)
@@ -403,12 +502,12 @@ func (s *Server) handle(conn net.Conn) {
 			obj := ObjectHandle(d.Int64())
 			ts := d.Float64()
 			values := Values(d.Values())
-			s.respond(w, d.Err(), func() error { return fed.UpdateAttributeValues(obj, values, ts) })
+			s.respond(w, d.Err(), func() error { return fed.updateAttributeValues(obj, values, ts, rtc) })
 		case msgInteraction:
 			class := d.String()
 			ts := d.Float64()
 			values := Values(d.Values())
-			s.respond(w, d.Err(), func() error { return fed.SendInteraction(class, values, ts) })
+			s.respond(w, d.Err(), func() error { return fed.sendInteraction(class, values, ts, rtc) })
 		case msgDelete:
 			obj := ObjectHandle(d.Int64())
 			s.respond(w, d.Err(), func() error { return fed.DeleteObjectInstance(obj) })
@@ -416,7 +515,7 @@ func (s *Server) handle(conn net.Conn) {
 			t := d.Float64()
 			if d.Err() != nil {
 				writeError(w, d.Err())
-				continue
+				break
 			}
 			// The advance blocks; callbacks (ending with the grant)
 			// stream to the client through the remote ambassador.
@@ -435,11 +534,11 @@ func (s *Server) handle(conn net.Conn) {
 			tag := d.Bytes()
 			if d.Err() != nil {
 				writeError(w, d.Err())
-				continue
+				break
 			}
 			if err := fed.RegisterSynchronizationPoint(label, tag); err != nil {
 				writeError(w, err)
-				continue
+				break
 			}
 			// Stream the registrant's own announcement before the ack so
 			// the client sees announce-then-ok, as an in-process federate
@@ -450,11 +549,19 @@ func (s *Server) handle(conn net.Conn) {
 			label := d.String()
 			if d.Err() != nil {
 				writeError(w, d.Err())
-				continue
+				break
+			}
+			// The sync mark is the server-side anchor of the client's
+			// sync_probe pair: the merger estimates per-process clock
+			// offsets from mark-versus-probe-midpoint differences.
+			if tm := obs.Events.Now(); tm != 0 {
+				obs.Events.Emit("sync_mark",
+					obs.S("label", label), obs.S("fed", fed.Name()),
+					obs.F("t_ns", float64(tm-obs.EpochNanos())))
 			}
 			if err := fed.SynchronizationPointAchieved(label); err != nil {
 				writeError(w, err)
-				continue
+				break
 			}
 			fed.Tick()
 			writeOK(w)
@@ -462,9 +569,18 @@ func (s *Server) handle(conn net.Conn) {
 			err := fed.Resign()
 			fed = nil
 			s.respond(w, nil, func() error { return err })
-			return
+			done = true
 		default:
 			writeError(w, fmt.Errorf("hla: unknown message type %d", typ))
+		}
+		if hstart != 0 {
+			hend := obs.RPCClock()
+			op := opOfMsg(typ)
+			obs.ObserveRPC(obs.PhaseHandle, op, hstart, hend)
+			obs.RecordRPC(obs.KindServerHandle, op, obs.ChildContext(rtc), hstart, hend)
+		}
+		if done {
+			return
 		}
 	}
 }

@@ -138,12 +138,13 @@ type ModulePass struct {
 	// Pkgs are all packages of the run, in import-path order.
 	Pkgs []*Package
 
-	rule         string
-	simSuffixes  []string
-	concSuffixes []string
-	netSuffixes  []string
-	diags        *[]Diagnostic
-	allows       *allowSet
+	rule            string
+	simSuffixes     []string
+	concSuffixes    []string
+	netSuffixes     []string
+	obsGateSuffixes []string
+	diags           *[]Diagnostic
+	allows          *allowSet
 }
 
 // Allowed reports whether an //adf:allow for rule covers pos, marking
@@ -181,6 +182,12 @@ func (p *ModulePass) Net(path string) bool {
 	return isSimPackage(path, p.netSuffixes)
 }
 
+// ObsGated reports whether an import path belongs to the
+// obs-instrumented packages the obsgate rule covers.
+func (p *ModulePass) ObsGated(path string) bool {
+	return isSimPackage(path, p.obsGateSuffixes)
+}
+
 // SimPackages lists the import-path suffixes of the packages whose code
 // mutates simulation state every tick. The determinism goroutine rule and
 // the maporder rule apply only here; the clock/rand and annotation-driven
@@ -216,6 +223,15 @@ var NetPackages = []string{
 	"internal/hla",
 }
 
+// ObsGatePackages lists the import-path suffixes of the packages carrying
+// obs instrumentation on their hot request paths. The obsgate rule
+// (recording behind the enable gate, timing through the shared obs
+// clock) applies here.
+var ObsGatePackages = []string{
+	"internal/hla",
+	"internal/wire",
+}
+
 // Config parameterises a lint run.
 type Config struct {
 	// Analyzers to run; nil means All().
@@ -229,11 +245,14 @@ type Config struct {
 	// NetPackages are import-path suffixes the netctx rule covers; nil
 	// means the package-level NetPackages default.
 	NetPackages []string
+	// ObsGatePackages are import-path suffixes the obsgate rule covers;
+	// nil means the package-level ObsGatePackages default.
+	ObsGatePackages []string
 }
 
 // All returns the full analyzer set in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, MapOrder, HotPath, Exhaustive, FloatCmp, Invariant, ShardSafe, StreamOwner, GuardedBy, LockOrder, GoroLeak, NetCtx, AllowAudit}
+	return []*Analyzer{Determinism, MapOrder, HotPath, Exhaustive, FloatCmp, Invariant, ShardSafe, StreamOwner, GuardedBy, LockOrder, GoroLeak, NetCtx, ObsGate, AllowAudit}
 }
 
 // isSimPackage reports whether an import path names (or is nested under)
@@ -271,6 +290,10 @@ func Run(pkgs []*Package, cfg Config) []Diagnostic {
 	netSuffixes := cfg.NetPackages
 	if netSuffixes == nil {
 		netSuffixes = NetPackages
+	}
+	obsGateSuffixes := cfg.ObsGatePackages
+	if obsGateSuffixes == nil {
+		obsGateSuffixes = ObsGatePackages
 	}
 	if len(pkgs) == 0 {
 		return nil
@@ -315,13 +338,14 @@ func Run(pkgs []*Package, cfg Config) []Diagnostic {
 		}
 	}
 	mp := &ModulePass{
-		Fset:         pkgs[0].Fset,
-		Pkgs:         pkgs,
-		simSuffixes:  simSuffixes,
-		concSuffixes: concSuffixes,
-		netSuffixes:  netSuffixes,
-		diags:        &raw,
-		allows:       allows,
+		Fset:            pkgs[0].Fset,
+		Pkgs:            pkgs,
+		simSuffixes:     simSuffixes,
+		concSuffixes:    concSuffixes,
+		netSuffixes:     netSuffixes,
+		obsGateSuffixes: obsGateSuffixes,
+		diags:           &raw,
+		allows:          allows,
 	}
 	for _, a := range analyzers {
 		if a.RunModule == nil {
@@ -500,7 +524,7 @@ func (s *allowSet) allowedAt(file string, line int, rule string) bool {
 // a loop over All() because the analyzers' Run functions reference the
 // allow machinery, which references this — going through All() would be
 // an initialization cycle. TestRuleNamesMatchAll keeps the two in sync.
-var ruleNames = []string{"determinism", "maporder", "hotpath", "exhaustive", "floatcmp", "invariant", "shardsafe", "streamowner", "guardedby", "lockorder", "goroleak", "netctx", "allowaudit"}
+var ruleNames = []string{"determinism", "maporder", "hotpath", "exhaustive", "floatcmp", "invariant", "shardsafe", "streamowner", "guardedby", "lockorder", "goroleak", "netctx", "obsgate", "allowaudit"}
 
 func isRuleName(s string) bool {
 	for _, n := range ruleNames {

@@ -13,11 +13,12 @@ var update = flag.Bool("update", false, "rewrite the golden files from the curre
 
 // fixtureScope selects which package-gated rule families see the
 // fixture: sim (determinism goroutine rule, maporder, floatcmp), conc
-// (goroleak), net (netctx).
+// (goroleak), net (netctx), obsgate (obs gating discipline).
 type fixtureScope struct {
-	sim  bool
-	conc bool
-	net  bool
+	sim     bool
+	conc    bool
+	net     bool
+	obsgate bool
 }
 
 // loadFixture lints one fixture package under testdata/src with the full
@@ -42,6 +43,9 @@ func loadFixture(t *testing.T, name string, scope fixtureScope) []Diagnostic {
 	}
 	if scope.net {
 		cfg.NetPackages = []string{importPath}
+	}
+	if scope.obsgate {
+		cfg.ObsGatePackages = []string{importPath}
 	}
 	return Run([]*Package{pkg}, cfg)
 }
@@ -76,6 +80,7 @@ func TestGoldenFixtures(t *testing.T) {
 		{"lockorder", fixtureScope{}},
 		{"goroleak", fixtureScope{conc: true}},
 		{"netctx", fixtureScope{net: true}},
+		{"obsgate", fixtureScope{obsgate: true}},
 		{"allowaudit", fixtureScope{}},
 	}
 	for _, tc := range cases {

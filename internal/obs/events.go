@@ -70,6 +70,19 @@ func (l *EventLog) Verbose() bool { return l.verbose.Load() && l.enabled.Load() 
 // SetVerbose toggles per-LU event emission.
 func (l *EventLog) SetVerbose(v bool) { l.verbose.Store(v) }
 
+// Now returns the wall clock (absolute Unix nanoseconds) for
+// event-correlated timestamps when the log has a writer, 0 otherwise —
+// gated like Emit so a disabled probe costs one atomic load and no
+// clock read. Sync-point probes stamp both endpoints of their exchange
+// with this clock so the cross-process merger can estimate clock
+// offsets.
+func (l *EventLog) Now() int64 {
+	if !l.enabled.Load() {
+		return 0
+	}
+	return nowNanos()
+}
+
 // Seq returns the number of events emitted.
 func (l *EventLog) Seq() uint64 {
 	l.mu.Lock()

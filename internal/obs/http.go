@@ -11,6 +11,9 @@ import (
 //
 //	/metrics      Prometheus text exposition of the Default registry
 //	/trace        Chrome trace_event JSON of the span ring + metrics
+//	/healthz      liveness probe ("ok")
+//	/statusz      operator page: identity, runtime gauges, RTI latency
+//	              quantiles, binary-registered sections
 //	/debug/pprof  the standard runtime profiles
 func Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -22,6 +25,8 @@ func Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		_ = WriteChromeTrace(w)
 	})
+	mux.HandleFunc("/healthz", healthz)
+	mux.HandleFunc("/statusz", statusz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

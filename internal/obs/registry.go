@@ -94,6 +94,45 @@ func (h *Histogram) bucket(v float64) int {
 // Count returns the total number of observations.
 func (h *Histogram) Count() uint64 { return h.n.Load() }
 
+// Quantile estimates the q-quantile (q in [0,1]) from the bucketed
+// counts: the rank is located in its bucket and linearly interpolated
+// across that bucket's bound span, with the lowest bucket interpolated
+// from zero. Ranks landing in the overflow bucket clamp to the largest
+// finite bound (the histogram records nothing beyond it). Returns NaN
+// for an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.n.Load()
+	if total == 0 || len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += c
+		if float64(cum) >= rank {
+			if i == len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			return lo + (h.bounds[i]-lo)*((rank-float64(prev))/float64(c))
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return h.sum.Load() }
 

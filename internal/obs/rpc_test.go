@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/mobilegrid/adf/internal/wire"
+)
+
+func TestQuantileBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", []float64{1, 10, 100})
+	withEnabled(t, func() {
+		for i := 0; i < 5; i++ {
+			h.Observe(0.5) // le=1 bucket
+		}
+		for i := 0; i < 5; i++ {
+			h.Observe(5) // le=10 bucket
+		}
+	})
+	// The median rank lands exactly on the first bucket's cumulative
+	// count, so interpolation must return exactly its upper bound.
+	if got := h.Quantile(0.5); got != 1 {
+		t.Errorf("p50 = %v, want exactly the le=1 boundary", got)
+	}
+	// One rank further interpolates into the second bucket: strictly
+	// above the boundary, at most its upper bound.
+	if got := h.Quantile(0.6); got <= 1 || got > 10 {
+		t.Errorf("p60 = %v, want within (1, 10]", got)
+	}
+	// The maximum quantile of a fully-bucketed distribution is the last
+	// populated bucket's upper bound.
+	if got := h.Quantile(1); got != 10 {
+		t.Errorf("p100 = %v, want 10", got)
+	}
+	// Out-of-range q clamps instead of extrapolating.
+	if got := h.Quantile(1.7); got != 10 {
+		t.Errorf("q=1.7 -> %v, want clamp to 10", got)
+	}
+	if got := h.Quantile(-0.3); got < 0 || got > 1 {
+		t.Errorf("q=-0.3 -> %v, want clamp into the first bucket", got)
+	}
+}
+
+func TestQuantileEmptyAndOverflow(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("qe_seconds", []float64{1, 10})
+	if got := h.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty histogram quantile = %v, want NaN", got)
+	}
+	withEnabled(t, func() {
+		h.Observe(1e6) // overflow bucket
+	})
+	// Overflow observations clamp to the largest finite bound: the
+	// histogram cannot know how far beyond it they landed.
+	if got := h.Quantile(0.99); got != 10 {
+		t.Errorf("overflow p99 = %v, want clamp to last bound 10", got)
+	}
+}
+
+func TestMetricsRenderingEmptyAndOneSample(t *testing.T) {
+	r := NewRegistry()
+	empty := r.Histogram("empty_seconds", []float64{0.5, 2})
+	one := r.Histogram("one_seconds", []float64{0.5, 2})
+	_ = empty
+	withEnabled(t, func() {
+		one.Observe(1)
+	})
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	// A registered-but-never-observed histogram still renders a complete,
+	// all-zero series (scrapers need the schema before traffic arrives).
+	want := `# TYPE empty_seconds histogram
+empty_seconds_bucket{le="0.5"} 0
+empty_seconds_bucket{le="2"} 0
+empty_seconds_bucket{le="+Inf"} 0
+empty_seconds_sum 0
+empty_seconds_count 0
+# TYPE one_seconds histogram
+one_seconds_bucket{le="0.5"} 0
+one_seconds_bucket{le="2"} 1
+one_seconds_bucket{le="+Inf"} 1
+one_seconds_sum 1
+one_seconds_count 1
+`
+	if got != want {
+		t.Errorf("rendering mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestRPCClockGating(t *testing.T) {
+	SetEnabled(false)
+	if got := RPCClock(); got != 0 {
+		t.Fatalf("disabled RPCClock = %d, want 0", got)
+	}
+	withEnabled(t, func() {
+		if RPCClock() == 0 {
+			t.Fatal("enabled RPCClock returned 0")
+		}
+	})
+	// A zero start token makes the whole downstream chain a no-op even
+	// if observability is flipped on meanwhile.
+	before := rpcSeconds[PhaseRTT][OpTick].Count()
+	withEnabled(t, func() {
+		ObserveRPC(PhaseRTT, OpTick, 0, RPCClock())
+	})
+	if got := rpcSeconds[PhaseRTT][OpTick].Count(); got != before {
+		t.Errorf("ObserveRPC with zero start recorded %d new samples", got-before)
+	}
+}
+
+func TestObserveRPCAndQuantiles(t *testing.T) {
+	before := rpcSeconds[PhaseHandle][OpResign].Count()
+	withEnabled(t, func() {
+		start := RPCClock()
+		ObserveRPC(PhaseHandle, OpResign, start, start+2_000_000) // 2ms
+	})
+	p50, p95, p99, n := RPCQuantiles(PhaseHandle, OpResign)
+	if n != before+1 {
+		t.Fatalf("count = %d, want %d", n, before+1)
+	}
+	for _, q := range []float64{p50, p95, p99} {
+		if math.IsNaN(q) || q <= 0 || q > 3 {
+			t.Errorf("quantile %v out of the histogram's range", q)
+		}
+	}
+}
+
+func TestTraceContextIdentity(t *testing.T) {
+	withEnabled(t, func() {
+		a := NewTraceContext(RPCClock())
+		b := NewTraceContext(RPCClock())
+		if !a.Valid() || !b.Valid() {
+			t.Fatal("root contexts must be valid")
+		}
+		if a.TraceHi == b.TraceHi && a.TraceLo == b.TraceLo {
+			t.Error("two roots drew the same trace ID")
+		}
+		child := ChildContext(a)
+		if child.TraceHi != a.TraceHi || child.TraceLo != a.TraceLo {
+			t.Error("child changed trace ID")
+		}
+		if child.SpanID == a.SpanID || child.ParentID != a.SpanID {
+			t.Errorf("child span/parent = %x/%x, want fresh span with parent %x", child.SpanID, child.ParentID, a.SpanID)
+		}
+		if child.OriginNS != a.OriginNS {
+			t.Error("child lost the origin timestamp")
+		}
+	})
+}
+
+func TestRecordRPCRequiresValidContext(t *testing.T) {
+	withEnabled(t, func() {
+		before := RPCSpanCount()
+		start := RPCClock()
+		RecordRPC(KindClientOp, OpTick, wire.TraceContext{}, start, start+10)
+		if got := RPCSpanCount(); got != before {
+			t.Fatalf("zero-context RecordRPC stored a span (%d -> %d)", before, got)
+		}
+		tc := NewTraceContext(start)
+		RecordRPC(KindClientOp, OpTick, tc, start, start+10)
+		if got := RPCSpanCount(); got != before+1 {
+			t.Fatalf("span count = %d, want %d", got, before+1)
+		}
+		RecordRPC(KindClientOp, OpTick, tc, 0, 10) // zero start token
+		if got := RPCSpanCount(); got != before+1 {
+			t.Fatal("zero-start RecordRPC stored a span")
+		}
+	})
+}
+
+func TestStatusEndpointRendering(t *testing.T) {
+	SetProcName("obs-test")
+	RegisterStatusSection("fixture", func() string { return "hello from the fixture\n" })
+	var buf bytes.Buffer
+	withEnabled(t, func() {
+		WriteStatus(&buf)
+	})
+	out := buf.String()
+	for _, want := range []string{"proc: obs-test", "obs_enabled: true", "goroutines:", "[fixture]", "hello from the fixture"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("statusz missing %q:\n%s", want, out)
+		}
+	}
+	// Re-registering the same section name replaces it instead of
+	// duplicating the block.
+	RegisterStatusSection("fixture", func() string { return "replaced\n" })
+	buf.Reset()
+	WriteStatus(&buf)
+	out = buf.String()
+	if strings.Contains(out, "hello from the fixture") || !strings.Contains(out, "replaced") {
+		t.Errorf("section not replaced:\n%s", out)
+	}
+	if strings.Count(out, "[fixture]") != 1 {
+		t.Errorf("duplicated section:\n%s", out)
+	}
+}
+
+func TestErrorClassCounters(t *testing.T) {
+	before := rtiErrors[SideClient][ErrTimeout].Value()
+	withEnabled(t, func() {
+		RTIError(SideClient, ErrTimeout)
+	})
+	if got := rtiErrors[SideClient][ErrTimeout].Value(); got != before+1 {
+		t.Errorf("timeout counter = %d, want %d", got, before+1)
+	}
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"os"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -107,6 +108,54 @@ func StageEnd(tid uint32, s Stage, start int64) int64 {
 	return end
 }
 
+// StageClock reads the wall clock for the next link of a span chain
+// opened with StageStart, or returns 0 when the chain's start token is
+// 0 (observability was off). Unlike StageEnd it records nothing and
+// re-checks no atomics — the start token is the gate — so a tick can
+// read its stage boundaries at minimal cost and publish them in one
+// RecordTickSpans batch.
+func StageClock(start int64) int64 {
+	if start == 0 {
+		return 0
+	}
+	return nowNanos()
+}
+
+// RecordTickSpans publishes one tick's whole stage chain — advance,
+// nodes, observers and the enclosing tick span — under a single ring
+// lock acquisition, replacing three StageEnd calls and a RecordSpan
+// (four lock/unlock pairs and four atomic gate loads) on the engine's
+// per-tick path. Boundaries come from one StageStart and three
+// StageClock reads; a zero t0 means the chain was never opened.
+func RecordTickSpans(tid uint32, t0, t1, t2, t3 int64) {
+	if t0 == 0 || t1 < t0 || t2 < t1 || t3 < t2 || !on.Load() {
+		return
+	}
+	stageSeconds[StageAdvance].observe(float64(t1-t0) / 1e9)
+	stageSeconds[StageNodes].observe(float64(t2-t1) / 1e9)
+	stageSeconds[StageObservers].observe(float64(t3-t2) / 1e9)
+	stageSeconds[StageTick].observe(float64(t3-t0) / 1e9)
+	recs := [4]spanRecord{
+		{stage: StageAdvance, tid: tid, shard: -1, startNS: t0, durNS: t1 - t0},
+		{stage: StageNodes, tid: tid, shard: -1, startNS: t1, durNS: t2 - t1},
+		{stage: StageObservers, tid: tid, shard: -1, startNS: t2, durNS: t3 - t2},
+		{stage: StageTick, tid: tid, shard: -1, startNS: t0, durNS: t3 - t0},
+	}
+	spans.mu.Lock()
+	if spans.records == nil {
+		spans.records = make([]spanRecord, spanRingCap)
+	}
+	for _, rec := range recs {
+		spans.records[spans.next] = rec
+		spans.next++
+		if spans.next == len(spans.records) {
+			spans.next = 0
+			spans.wrapped = true
+		}
+	}
+	spans.mu.Unlock()
+}
+
 // RecordSpan records a span with explicit endpoints (used for the
 // whole-tick span, whose endpoints the stage chain already read).
 func RecordSpan(tid uint32, s Stage, start, end int64) {
@@ -168,14 +217,27 @@ func (r *spanRing) snapshot() []spanRecord {
 }
 
 // traceEvent is one Chrome trace_event entry ("ph":"X" complete event;
-// timestamps and durations in microseconds).
+// timestamps and durations in microseconds). RPC spans additionally
+// carry a category and their trace identity in args.
 type traceEvent struct {
-	Name string  `json:"name"`
-	Ph   string  `json:"ph"`
-	Pid  int     `json:"pid"`
-	Tid  uint32  `json:"tid"`
-	Ts   float64 `json:"ts"`
-	Dur  float64 `json:"dur"`
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Tid  uint32            `json:"tid"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// traceMeta identifies the emitting process so the cross-process merger
+// (cmd/adfobs) can attribute spans and restore absolute time. EpochNS
+// is a decimal string: Unix nanoseconds exceed float64's 53-bit integer
+// range, and JSON numbers round-trip through float64 in most decoders.
+type traceMeta struct {
+	Proc    string `json:"proc"`
+	Pid     int    `json:"pid"`
+	EpochNS string `json:"epoch_ns"`
 }
 
 // chromeTrace is the top-level trace file: the event array plus the
@@ -184,35 +246,68 @@ type traceEvent struct {
 type chromeTrace struct {
 	TraceEvents     []traceEvent `json:"traceEvents"`
 	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	AdfMeta         traceMeta    `json:"adfMeta"`
 	Metrics         Snapshot     `json:"metrics"`
 }
 
 // WriteChromeTrace writes the recorded spans as Chrome trace_event JSON
 // (load via about:tracing or https://ui.perfetto.dev) with the Default
-// registry's snapshot embedded under the "metrics" key.
+// registry's snapshot embedded under the "metrics" key. Traced RPC
+// spans render after the pipeline stages, on per-kind tracks, with
+// their trace/span/parent identity and origin stamp in args.
 func WriteChromeTrace(w io.Writer) error {
 	records := spans.snapshot()
-	events := make([]traceEvent, len(records))
-	for i, rec := range records {
+	rpcs := rpcSpans.snapshot()
+	events := make([]traceEvent, 0, len(records)+len(rpcs))
+	for _, rec := range records {
 		name := rec.stage.String()
 		if rec.stage == StageShard && rec.shard >= 0 {
 			name = "shard:" + strconv.Itoa(int(rec.shard))
 		}
-		events[i] = traceEvent{
+		events = append(events, traceEvent{
 			Name: name,
 			Ph:   "X",
 			Pid:  1,
 			Tid:  rec.tid,
 			Ts:   sinceEpochMicros(rec.startNS),
 			Dur:  float64(rec.durNS) / 1e3,
-		}
+		})
+	}
+	for _, rec := range rpcs {
+		events = append(events, traceEvent{
+			Name: rec.kind.String() + ":" + rec.op.String(),
+			Cat:  "rpc",
+			Ph:   "X",
+			Pid:  1,
+			Tid:  rpcTIDBase + uint32(rec.kind),
+			Ts:   sinceEpochMicros(rec.startNS),
+			Dur:  float64(rec.durNS) / 1e3,
+			Args: map[string]string{
+				"trace":     hexID(rec.tc.TraceHi) + hexID2(rec.tc.TraceLo),
+				"span":      hexID(rec.tc.SpanID),
+				"parent":    hexID(rec.tc.ParentID),
+				"origin_ns": strconv.FormatInt(rec.tc.OriginNS, 10),
+			},
+		})
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(chromeTrace{
 		TraceEvents:     events,
 		DisplayTimeUnit: "ms",
+		AdfMeta:         traceMeta{Proc: ProcName(), Pid: os.Getpid(), EpochNS: strconv.FormatInt(epoch, 10)},
 		Metrics:         Default.Snapshot(),
 	})
+}
+
+// hexID2 renders the low half of a 128-bit trace ID zero-padded so the
+// concatenated form is positionally unambiguous.
+func hexID2(v uint64) string {
+	s := strconv.FormatUint(v, 16)
+	const width = 16
+	if len(s) < width {
+		s = "0000000000000000"[:width-len(s)] + s
+	}
+	return s
 }
 
 // SpanCount returns the number of live records in the ring (capped at

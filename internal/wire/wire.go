@@ -43,21 +43,12 @@ func WriteFrame(w io.Writer, payload []byte) error {
 	return nil
 }
 
-// ReadFrame reads one length-prefixed frame.
+// ReadFrame reads one length-prefixed frame. Traced frames (see
+// trace.go) are accepted and their context dropped, so readers that
+// never look at trace contexts still interoperate with traced senders.
 func ReadFrame(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrameSize {
-		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
-	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("wire: read frame payload: %w", err)
-	}
-	return payload, nil
+	payload, _, err := ReadFrameTC(r)
+	return payload, err
 }
 
 // Encoder builds a frame payload. The zero value is ready to use.
